@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (quick variant:
+the representative workload cross-section at a reduced trace length) and
+asserts the paper's qualitative shape.  Simulations are deterministic, so a
+single round is meaningful; ``benchmark.pedantic(..., rounds=1)`` keeps the
+full harness runnable in minutes.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark timer."""
+
+    def runner(func):
+        return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,66 @@
+"""Benchmarks regenerating the main results: Figures 10-13 and Table I."""
+
+from repro.experiments import (
+    fig10_catch_exclusive,
+    fig11_timeliness,
+    fig12_per_workload,
+    fig13_tact_components,
+    table1_area,
+)
+
+
+def test_fig10_catch_exclusive(once):
+    """Figure 10: CATCH turns the noL2 loss around; CATCH on the baseline
+    gains (paper +8.4%)."""
+    data = once(lambda: fig10_catch_exclusive.run(quick=True))
+    s = {k: v["GeoMean"] for k, v in data["summary"].items()}
+    print("\nfig10:", {k: f"{v:+.1%}" for k, v in s.items()})
+    assert s["noL2_6.5MB"] < -0.02
+    assert s["CATCH"] > 0.02
+    assert s["noL2_6.5MB+CATCH"] > s["noL2_6.5MB"] + 0.05
+    assert s["noL2_9.5MB+CATCH"] >= s["noL2_6.5MB+CATCH"] - 1e-6
+
+
+def test_fig11_timeliness(once):
+    """Figure 11: TACT prefetches come from the LLC and hide most latency."""
+    data = once(lambda: fig11_timeliness.run(quick=True))
+    o = data["overall"]
+    print(f"\nfig11: from LLC {o['llc']:.1%} (paper ~88%), "
+          f">80% saved {o['over_80']:.1%} (paper >85%)")
+    # Quick-run thresholds; the full suite lands much closer to the paper.
+    # (The >80% bucket is diluted by feeder prefetches on pointer chases,
+    # which are issued but cannot be early — the paper's namd/gromacs case.)
+    assert o["llc"] > 0.25
+    assert o["over_80"] > 0.3
+
+
+def test_fig12_per_workload(once):
+    """Figure 12 callouts: hmmer recovered by CATCH, mcf lifted, povray and
+    namd/gromacs left behind."""
+    data = once(lambda: fig12_per_workload.run(quick=True))
+    callouts = data["callouts"]
+    print("\nfig12 callouts:", {
+        wl: {k: round(v, 2) for k, v in row.items()} for wl, row in callouts.items()
+    })
+    hmmer = callouts["hmmer_like"]
+    assert hmmer["noL2_6.5MB"] < 0.7            # big loss without the L2
+    assert hmmer["noL2_9.5+CATCH"] > 0.9        # CATCH recovers it
+    assert callouts["mcf_like"]["CATCH"] > 1.05  # feeder lift
+    assert abs(callouts["namd_like"]["CATCH"] - 1.0) < 0.05  # unprefetchable
+
+
+def test_fig13_tact_components(once):
+    """Figure 13: every TACT component contributes on the noL2 hierarchy."""
+    data = once(lambda: fig13_tact_components.run(quick=True))
+    inc = data["increments"]
+    print("\nfig13 increments:", {k: f"{v:+.1%}" for k, v in inc.items()})
+    total = sum(inc.values())
+    assert total > 0.05  # paper: ~13% over noL2
+    assert inc["Code"] > 0  # server code prefetching contributes
+    assert inc["+Deep"] > 0  # deep-self is a major component
+
+
+def test_table1_area(once):
+    data = once(table1_area.run)
+    assert 2.5 <= data["detector_total_kb"] <= 4.0
+    assert data["tact_total_kb"] <= 1.3

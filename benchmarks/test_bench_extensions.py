@@ -1,0 +1,55 @@
+"""Benchmarks for the extension studies (beyond the paper's own figures).
+
+* Detector comparison: the DDG detector vs the related-work heuristics
+  (Section VII), measuring delivered performance and over-flagging.
+* Future-work critical-table management: the paper notes that "better
+  critical load table management can help [povray] significantly"; the
+  frequency-aware (LFU + probabilistic-insertion) table implements that.
+"""
+
+from dataclasses import replace
+
+from repro.experiments import detector_comparison
+from repro.sim.config import no_l2, skylake_server, with_catch
+from repro.sim.simulator import Simulator
+
+
+def test_detector_comparison(once):
+    data = once(lambda: detector_comparison.run(quick=True))
+    rows = data["by_detector"]
+    print("\ndetectors:", {
+        k: f"{v['speedup']:+.1%} ({v['avg_flagged_pcs']:.0f} PCs)"
+        for k, v in rows.items()
+    })
+    # The DDG detector is the most *selective* mechanism: it flags fewer PCs
+    # than the liberal heuristics (the paper's over-flagging claim) while
+    # still delivering a solid speedup.
+    ddg = rows["ddg"]
+    assert ddg["speedup"] > 0.02
+    liberal = max(
+        rows["oldest_in_rob"]["avg_flagged_pcs"],
+        rows["consumer_count"]["avg_flagged_pcs"],
+    )
+    assert ddg["avg_flagged_pcs"] < liberal
+    # Every detector must at least not hurt: TACT only prefetches.
+    for name, row in rows.items():
+        assert row["speedup"] > -0.02, name
+
+
+def test_future_work_lfu_table(once):
+    """The frequency-aware table rescues povray (paper Section VI-A: 'better
+    critical load table management can help these workloads significantly')."""
+
+    def body():
+        nol2 = no_l2(skylake_server(), 6.5)
+        base = Simulator(nol2).run("povray_like", 24_000)
+        lru = Simulator(with_catch(nol2)).run("povray_like", 24_000)
+        lfu_cfg = with_catch(nol2, name="noL2+CATCH[lfu]")
+        lfu_cfg = replace(lfu_cfg, catch=replace(lfu_cfg.catch, table_policy="lfu"))
+        lfu = Simulator(lfu_cfg).run("povray_like", 24_000)
+        return base.ipc, lru.ipc, lfu.ipc
+
+    base, lru, lfu = once(body)
+    print(f"\npovray on noL2: LRU {lru / base - 1:+.1%}, LFU {lfu / base - 1:+.1%}")
+    assert lru / base < 1.05   # the paper's observed thrash: LRU barely helps
+    assert lfu / base > 1.10   # frequency-aware management rescues it

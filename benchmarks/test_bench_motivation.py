@@ -1,0 +1,67 @@
+"""Benchmarks regenerating the motivation studies: Figures 1, 3, 4 and 5."""
+
+from repro.experiments import (
+    fig01_remove_l2,
+    fig03_latency_sensitivity,
+    fig04_criticality_oracle,
+    fig05_oracle_prefetch,
+)
+
+
+def test_fig01_remove_l2(once):
+    """Figure 1: removing the L2 loses performance, even iso-area."""
+    data = once(lambda: fig01_remove_l2.run(quick=True))
+    no65 = data["summary"]["noL2_6.5MB"]["GeoMean"]
+    no95 = data["summary"]["noL2_9.5MB"]["GeoMean"]
+    print(f"\nfig01: noL2+6.5MB {no65:+.1%} (paper -7.8%), "
+          f"noL2+9.5MB {no95:+.1%} (paper -5.1%)")
+    assert no65 < -0.02
+    assert no95 < -0.02
+    assert no95 >= no65  # the bigger LLC recovers part of the loss
+
+
+def test_fig03_latency_sensitivity(once):
+    """Figure 3: L1 latency matters most, LLC least."""
+    data = once(lambda: fig03_latency_sensitivity.run(quick=True))
+    s = {k: v["GeoMean"] for k, v in data["summary"].items()}
+    l1 = s["baseline_server+l1+3cyc"]
+    l2 = s["baseline_server+l2+3cyc"]
+    llc = s["baseline_server+llc+3cyc"]
+    print(f"\nfig03 (+3cyc): L1 {l1:+.1%} (paper -7.2%), "
+          f"L2 {l2:+.1%} (paper -1.4%), LLC {llc:+.1%} (paper -0.6%)")
+    # Added latency is never free, and more cycles never help.  (The
+    # paper's L1 >> L2 > LLC ordering is only partially reproduced: our
+    # synthetic kernels generate addresses through ALU chains where real
+    # code loads pointers/indices from the L1, under-weighting L1 latency
+    # on the critical path — see EXPERIMENTS.md.)
+    assert l1 < 0.005 and l2 < 0.005 and llc < 0.005
+    for lvl in ("l1", "l2", "llc"):
+        one = s[f"baseline_server+{lvl}+1cyc"]
+        three = s[f"baseline_server+{lvl}+3cyc"]
+        assert three <= one + 0.005
+
+
+def test_fig04_criticality_oracle(once):
+    """Figure 4: non-critical L2 hits are nearly free to demote; L1 is not."""
+    data = once(lambda: fig04_criticality_oracle.run(quick=True))
+    imp = {k: v["GeoMean"] for k, v in data["impact"].items()}
+    print("\nfig04:", {k: f"{v:+.1%}" for k, v in imp.items()})
+    # Demoting everything at a level always hurts at least as much as
+    # demoting only the non-critical subset.
+    for level in ("L1_to_L2", "L2_to_LLC", "LLC_to_MEM"):
+        assert imp[f"{level}_all"] <= imp[f"{level}_noncritical"] + 1e-6
+    # The paper's key asymmetry: non-critical L2 demotion is the cheapest.
+    assert imp["L2_to_LLC_noncritical"] >= imp["L2_to_LLC_all"]
+    assert imp["L2_to_LLC_noncritical"] > -0.05
+
+
+def test_fig05_oracle_prefetch(once):
+    """Figure 5: few tracked critical PCs capture most of the oracle gain."""
+    data = once(lambda: fig05_oracle_prefetch.run(quick=True))
+    g = data["gain_by_budget"]
+    print("\nfig05:", {k: f"{v:+.1%}" for k, v in g.items()})
+    assert g["32"] > 0  # tracking 32 critical PCs already gains
+    assert g["all"] >= g["32"] - 0.02
+    # The noL2 + oracle configuration lands near the with-L2 oracle
+    # (the motivating "L2 becomes redundant" result).
+    assert g["noL2+2048"] > g["2048"] - 0.10

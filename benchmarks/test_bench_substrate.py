@@ -1,0 +1,76 @@
+"""Microbenchmarks of the simulator substrates (throughput tracking).
+
+These measure simulator *performance* (events per second), complementing the
+figure-regeneration benchmarks: regressions here make the full experiments
+impractically slow.
+"""
+
+from repro.caches.cache import Cache
+from repro.caches.hierarchy import CacheHierarchy, LevelSpec
+from repro.cpu.core import CoreParams, OOOCore
+from repro.memory.controller import MemoryController
+from repro.memory.dram import DRAM
+from repro.sim.config import skylake_server, with_catch
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import build_trace
+
+
+def test_cache_access_throughput(benchmark):
+    cache = Cache("B", 256 * 1024, 8, 10)
+    addrs = [(i * 37) % 16384 for i in range(10_000)]
+
+    def body():
+        for a in addrs:
+            if cache.access(a, 0.0) is None:
+                cache.fill(a, 0.0)
+
+    benchmark(body)
+
+
+def test_dram_read_throughput(benchmark):
+    dram = DRAM()
+    addrs = [(i * 97) % (1 << 20) for i in range(5000)]
+
+    def body():
+        now = 0.0
+        for a in addrs:
+            dram.read(a, now)
+            now += 3.0
+
+    benchmark(body)
+
+
+def test_core_instruction_throughput(benchmark):
+    """Simulated instructions per second on the baseline machine."""
+    trace = build_trace("hmmer_like", 20_000)
+    cfg = skylake_server()
+
+    def body():
+        hierarchy = Simulator(cfg).build_hierarchy(1)
+        OOOCore(0, hierarchy, cfg.core).run(trace)
+
+    benchmark.pedantic(body, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_catch_overhead(benchmark):
+    """CATCH engine cost on top of the baseline simulation."""
+    trace = build_trace("hmmer_like", 20_000)
+    cfg = with_catch(skylake_server())
+
+    def body():
+        sim = Simulator(cfg)
+        hierarchy = sim.build_hierarchy(1)
+        OOOCore(0, hierarchy, cfg.core, sim.make_engine()).run(trace)
+
+    benchmark.pedantic(body, rounds=1, iterations=1, warmup_rounds=0)
+
+
+def test_trace_generation_throughput(benchmark):
+    from repro.workloads.generator import server_app
+
+    benchmark.pedantic(
+        lambda: server_app("bench", "server", 40_000, code_kb=56),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )

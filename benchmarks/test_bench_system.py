@@ -1,0 +1,69 @@
+"""Benchmarks regenerating Figures 14-17 and Table II."""
+
+from repro.experiments import (
+    fig14_multiprogrammed,
+    fig15_llc_latency,
+    fig16_energy,
+    fig17_inclusive,
+    table2_workloads,
+)
+
+
+def test_fig14_multiprogrammed(once):
+    """Figure 14: MP weighted-speedup gains mirror ST (paper: noL2 -4.1%,
+    noL2+CATCH +8.5%, CATCH +9.0%)."""
+    data = once(lambda: fig14_multiprogrammed.run(quick=True, n_mixes=3))
+    s = data["summary"]
+    print("\nfig14:", {k: f"{v:+.1%}" for k, v in s.items()})
+    assert s["noL2_6.5MB"] < 0.01
+    assert s["noL2+CATCH"] > s["noL2_6.5MB"]
+    assert s["CATCH"] > 0.0
+
+
+def test_fig15_llc_latency(once):
+    """Figure 15: each +6 LLC cycles costs performance in both hierarchies."""
+    data = once(lambda: fig15_llc_latency.run(quick=True))
+    lat = data["llc_latency"]
+    print("\nfig15:", {k: f"{v:+.1%}" for k, v in lat.items()})
+    base_nol2 = lat["noL2_6.5MB"]
+    assert lat["noL2_6.5MB+llc+6cyc"] <= base_nol2 + 1e-6
+    assert lat["noL2_6.5MB+llc+12cyc"] <= lat["noL2_6.5MB+llc+6cyc"] + 1e-6
+    catch = lat["noL2_9.5+CATCH"]
+    assert lat["noL2_9.5+CATCH+llc+12cyc"] <= catch + 1e-6
+
+
+def test_fig16_energy(once):
+    """Figure 16: two-level CATCH saves energy despite far more interconnect
+    traffic (paper: ~11% savings, ~5x ring traffic, less cache+DRAM work)."""
+    data = once(lambda: fig16_energy.run(quick=True))
+    savings = data["energy_savings"]["GeoMean"]
+    ratios = data["traffic_ratio_vs_baseline"]
+    print(f"\nfig16: energy savings {savings:+.1%} (paper ~11%); traffic "
+          + str({k: f'{v:.2f}x' for k, v in ratios.items()}))
+    assert ratios["interconnect"] > 1.5   # much more ring traffic
+    assert ratios["cache"] < 1.0          # less total cache work
+    # NOTE: the energy *sign* is not asserted.  At capacity_scale=4 the
+    # 8 KB L1 misses ~4x more often than the paper's 32 KB L1, multiplying
+    # ring crossings (~30x vs the paper's ~5x) and flipping the net energy
+    # negative; the traffic directions above are the reproducible shape.
+    # See EXPERIMENTS.md.
+    a = data["area"]
+    assert abs(a["two_level_mm2"] / a["baseline_mm2"] - 1.0) < 0.06  # iso-area
+
+
+def test_fig17_inclusive(once):
+    """Figure 17: CATCH also wins on the small-L2 inclusive baseline
+    (paper: noL2 -5.7%, noL2+CATCH +6.4%, +9MB +7.2%, CATCH +10.3%)."""
+    data = once(lambda: fig17_inclusive.run(quick=True))
+    s = {k: v["GeoMean"] for k, v in data["summary"].items()}
+    print("\nfig17:", {k: f"{v:+.1%}" for k, v in s.items()})
+    assert s["noL2_incl"] < 0.01
+    assert s["noL2+CATCH"] > s["noL2_incl"]
+    assert s["noL2+CATCH+9MB_L3"] >= s["noL2+CATCH"] - 1e-6
+    assert s["CATCH_incl"] > 0.0
+
+
+def test_table2_workloads(once):
+    data = once(lambda: table2_workloads.run(quick=True, n_instrs=4000))
+    categories = {r["category"] for r in data["rows"]}
+    assert categories == {"client", "FSPEC", "HPC", "ISPEC", "server"}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Four-core multi-programmed demo (the Figure 14 setting).
+
+Runs a RATE-4 mix (four copies of one application) and a heterogeneous mix on
+the shared-LLC four-core machine, for the baseline and for two-level CATCH,
+reporting per-core IPC and weighted speedup.
+
+Run:  python examples/multiprogrammed.py
+"""
+
+from repro.sim import (
+    MultiCoreSimulator,
+    alone_ipcs,
+    no_l2,
+    skylake_server,
+    with_catch,
+)
+
+N_INSTRS = 20_000
+MIXES = [
+    ("hmmer_like",) * 4,
+    ("hmmer_like", "mcf_like", "tpcc_like", "bwaves_like"),
+]
+
+
+def main():
+    base = skylake_server()
+    configs = [base, with_catch(no_l2(base, 6.5), name="noL2+CATCH")]
+    names = {name for mix in MIXES for name in mix}
+    alone = alone_ipcs(base, names, N_INSTRS)
+    print("alone IPC (baseline):", {k: round(v, 2) for k, v in alone.items()})
+
+    for mix in MIXES:
+        print(f"\nmix: {', '.join(mix)}")
+        for cfg in configs:
+            result = MultiCoreSimulator(cfg).run_mix(mix, N_INSTRS)
+            per_core = "  ".join(
+                f"c{c}:{ipc:4.2f}" for c, ipc in sorted(result.ipc.items())
+            )
+            ws = result.weighted_speedup(alone)
+            print(f"  {cfg.name:14s} {per_core}   weighted speedup {ws:4.2f}")
+    print(
+        "\nA weighted speedup of 4.0 means zero interference; shared-LLC and "
+        "DRAM contention pull it down, and CATCH recovers latency exactly as "
+        "in the single-core runs (paper Figure 14)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs (`python setup.py develop`).
+
+Offline environments without the `wheel` package cannot use PEP 660
+editable installs; `pip install -e . --no-build-isolation` or
+`python setup.py develop` both work through this shim.  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

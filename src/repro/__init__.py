@@ -1,0 +1,48 @@
+"""Reproduction of "Criticality Aware Tiered Cache Hierarchy" (ISCA 2018).
+
+Public API tour:
+
+* ``repro.sim`` — machine configurations and the simulation drivers
+  (:class:`~repro.sim.Simulator`, :class:`~repro.sim.MultiCoreSimulator`).
+* ``repro.core`` — the paper's contribution: the hardware criticality
+  detector (:class:`~repro.core.CriticalityDetector`), the TACT prefetcher
+  family and the composed :class:`~repro.core.CatchEngine`.
+* ``repro.workloads`` — the synthetic Table-II workload suite.
+* ``repro.cpu`` / ``repro.caches`` / ``repro.memory`` /
+  ``repro.interconnect`` — the OOO core, cache hierarchy, DDR4 and ring
+  substrates.
+* ``repro.power`` — CACTI/Orion/Micron-style energy and area models.
+* ``repro.experiments`` — one module per paper figure/table
+  (``python -m repro.experiments all``).
+"""
+
+from .core import CatchConfig, CatchEngine, CriticalityDetector
+from .sim import (
+    MultiCoreSimulator,
+    SimConfig,
+    Simulator,
+    no_l2,
+    skylake_client,
+    skylake_server,
+    with_catch,
+)
+from .workloads import Trace, build_trace, suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CatchConfig",
+    "CatchEngine",
+    "CriticalityDetector",
+    "MultiCoreSimulator",
+    "SimConfig",
+    "Simulator",
+    "no_l2",
+    "skylake_client",
+    "skylake_server",
+    "with_catch",
+    "Trace",
+    "build_trace",
+    "suite",
+    "__version__",
+]

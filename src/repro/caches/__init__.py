@@ -1,0 +1,20 @@
+"""Cache substrate: set-associative caches, hierarchy, baseline prefetchers."""
+
+from .cache import Cache, CacheLine, CacheStats
+from .hierarchy import AccessResult, CacheHierarchy, HierarchyStats, Level, LevelSpec
+from .prefetchers import L1StridePrefetcher, L2StreamPrefetcher
+from .replacement import make_policy
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "CacheStats",
+    "AccessResult",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "Level",
+    "LevelSpec",
+    "L1StridePrefetcher",
+    "L2StreamPrefetcher",
+    "make_policy",
+]

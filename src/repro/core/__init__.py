@@ -1,0 +1,31 @@
+"""The paper's contribution: criticality detection, TACT, CATCH, oracles."""
+
+from .catch_engine import CatchConfig, CatchEngine
+from .criticality import CriticalityDetector, detector_area
+from .critical_table import CriticalLoadTable, hash_pc, table_area_bytes
+from .ddg import BufferedDDG, CriticalLoad, graph_area_bytes, quantize_latency
+from .heuristics import HEURISTICS, make_heuristic
+from .oracle import OraclePrefetchEngine, make_latency_policy, profile_critical_pcs
+from .tact.coordinator import TACTConfig, TACTCoordinator, TACTStats
+
+__all__ = [
+    "CatchConfig",
+    "CatchEngine",
+    "CriticalityDetector",
+    "detector_area",
+    "CriticalLoadTable",
+    "hash_pc",
+    "table_area_bytes",
+    "BufferedDDG",
+    "HEURISTICS",
+    "make_heuristic",
+    "CriticalLoad",
+    "graph_area_bytes",
+    "quantize_latency",
+    "OraclePrefetchEngine",
+    "make_latency_policy",
+    "profile_critical_pcs",
+    "TACTConfig",
+    "TACTCoordinator",
+    "TACTStats",
+]

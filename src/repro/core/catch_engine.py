@@ -1,0 +1,116 @@
+"""CATCH: Criticality Aware Tiered Cache Hierarchy — the composed engine.
+
+Wires the hardware criticality detector (Section IV-A) and the TACT
+prefetcher family (Section IV-B) into an :class:`~repro.cpu.OOOCore` via the
+engine hooks.  This object *is* the paper's proposal: attach it to a core
+over any hierarchy (three-level, or two-level "noL2") and critical loads that
+would have been served by the L2/LLC are prefetched into the L1 just in time,
+while code misses are hidden by the CNPIP runahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..caches.hierarchy import AccessResult
+from ..cpu.engine import Engine, RetireRecord
+from ..workloads.trace import Instr
+from .criticality import CriticalityDetector
+from .tact.coordinator import TACTConfig, TACTCoordinator
+
+
+@dataclass(frozen=True)
+class CatchConfig:
+    """Knobs for the full CATCH engine."""
+
+    tact: TACTConfig = field(default_factory=TACTConfig)
+    table_entries: int = 32
+    epoch_instructions: int = 100_000
+    #: Detector-only mode: learn criticality but never prefetch (used by the
+    #: oracle studies to enumerate critical PCs without perturbing timing).
+    detector_only: bool = False
+    #: Criticality identification mechanism: ``"ddg"`` (the paper's buffered
+    #: dependency graph) or one of ``repro.core.heuristics.HEURISTICS``
+    #: (``oldest_in_rob``/``consumer_count``/``branch_feeder``) — the
+    #: related-work comparators.
+    detector: str = "ddg"
+    #: Critical-table victim policy: ``"lru"`` (paper) or ``"lfu"`` (the
+    #: frequency-aware future-work variant for povray-class applications).
+    table_policy: str = "lru"
+
+
+class CatchEngine(Engine):
+    """Criticality detection + TACT prefetching for one core."""
+
+    def __init__(self, config: CatchConfig | None = None) -> None:
+        self.config = config or CatchConfig()
+        self.detector: CriticalityDetector | None = None
+        self.tact: TACTCoordinator | None = None
+        self._core = None
+
+    # -------------------------------------------------------------- wiring
+
+    def attach(self, core_id: int, core) -> None:
+        if self._core is core:
+            return  # re-attach on a warmup/measure boundary keeps state
+        self._core = core
+        cfg = self.config
+        if cfg.detector == "ddg":
+            self.detector = CriticalityDetector(
+                rob_size=core.params.rob_size,
+                table_entries=cfg.table_entries,
+                rename_latency=core.params.rename_latency,
+                epoch_instructions=cfg.epoch_instructions,
+                table_policy=cfg.table_policy,
+            )
+        else:
+            from .heuristics import make_heuristic
+
+            self.detector = make_heuristic(
+                cfg.detector,
+                table_entries=cfg.table_entries,
+                epoch_instructions=cfg.epoch_instructions,
+            )
+        if not cfg.detector_only:
+            self.tact = TACTCoordinator(
+                core_id,
+                core.hierarchy,
+                self.detector,
+                core.predictor,
+                cfg.tact,
+            )
+            core.frontend.on_code_miss = self.tact.on_code_miss
+
+    def set_trace(self, trace) -> None:
+        if self.tact is not None:
+            self.tact.set_trace(trace)
+
+    # --------------------------------------------------------------- hooks
+
+    def after_load(
+        self, instr: Instr, idx: int, now: float, result: AccessResult
+    ) -> None:
+        if self.tact is not None:
+            self.tact.on_load_execute(instr, idx, now, result)
+
+    def on_execute(self, instr: Instr, idx: int, now: float) -> None:
+        if self.tact is not None:
+            self.tact.on_execute(instr, idx, now)
+
+    def on_retire(self, record: RetireRecord) -> None:
+        assert self.detector is not None, "engine not attached"
+        self.detector.on_retire(record)
+
+    # ---------------------------------------------------------------- stats
+
+    def reset_stats(self) -> None:
+        """Zero TACT counters at a sample boundary (learned state is kept)."""
+        if self.tact is not None:
+            from .tact.coordinator import TACTStats
+
+            self.tact.stats = TACTStats()
+            self.tact.code.stats = type(self.tact.code.stats)()
+
+    @property
+    def critical_pcs(self) -> int:
+        return self.detector.table.critical_count() if self.detector else 0

@@ -1,0 +1,255 @@
+"""Hardware-buffered data dependency graph (Fields et al.) — Section IV-A.
+
+The criticality detector buffers the DDG of the last ``2.5 x ROB`` retired
+instructions.  Each instruction contributes three nodes:
+
+* **D** — allocation into the OOO,
+* **E** — dispatch to the execution units,
+* **C** — writeback/commit,
+
+with edges D-D (in-order allocation), C-D (ROB depth), D-E (rename), E-E
+(data and memory dependences, weighted by the producer's execution latency),
+E-C (execution latency), C-C (in-order commit) and E-D (bad speculation).
+
+The longest D(first)->C(last) path is found *incrementally*: when an
+instruction retires, each of its nodes takes the incoming edge that maximises
+its distance from the start of the buffered graph, storing that distance
+(``node cost``) and the chosen edge (``prev``).  Once ``2 x ROB``
+instructions are buffered, enumerating the critical path is a simple
+backwards walk over ``prev`` pointers — no depth-first search.
+
+As in the hardware proposal, execution latencies are quantised (divided by 8,
+5-bit saturating) before being stored as edge weights, and the buffer keeps
+headroom (2.5x vs the 2x walk window) so retirement can continue while a walk
+is in progress.
+
+Area accounting for Table I is provided by :func:`graph_area_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from ..cpu.engine import RetireRecord
+
+#: Execution latencies are stored quantised: ``min(31, lat >> 3)`` (5-bit
+#: saturating counter of 8-cycle units), per Section IV-A.
+QUANT_SHIFT = 3
+QUANT_MAX = 31
+
+
+def quantize_latency(latency: float) -> int:
+    """Quantise a latency the way the hardware stores it (5b, /8)."""
+    return min(QUANT_MAX, int(latency) >> QUANT_SHIFT)
+
+
+def dequantize(q: int) -> int:
+    return q << QUANT_SHIFT
+
+
+class NodeKind(IntEnum):
+    D = 0
+    E = 1
+    C = 2
+
+
+@dataclass(slots=True)
+class CriticalLoad:
+    """A load E-node found on the critical path during a walk."""
+
+    pc: int
+    level: int      #: ``caches.Level`` value at which the load was served
+    idx: int        #: dynamic instruction index
+
+
+@dataclass(slots=True)
+class _Node:
+    """Buffered graph entry for one instruction (all three nodes)."""
+
+    idx: int
+    pc: int
+    is_load: bool
+    level: int            #: serving level for loads (-1 otherwise)
+    lat_q: int            #: quantised execution latency
+    d_cost: int = 0
+    e_cost: int = 0
+    c_cost: int = 0
+    # prev pointers: local buffer position of the predecessor instruction and
+    # which of its nodes the max-cost edge came from (NodeKind); -1 = source.
+    d_prev: int = -1
+    d_prev_kind: int = -1
+    e_prev: int = -1
+    e_prev_kind: int = -1
+    c_prev: int = -1
+    c_prev_kind: int = -1
+
+
+@dataclass
+class DDGStats:
+    retired: int = 0
+    walks: int = 0
+    overflows: int = 0
+    critical_loads_seen: int = 0
+    critical_path_nodes: int = 0
+
+
+class BufferedDDG:
+    """Incremental critical-path finder over a sliding retire window.
+
+    Args:
+        rob_size: machine ROB depth (walk window = 2x, buffer = 2.5x).
+        rename_latency: D-E edge weight.
+        on_walk: callback invoked with the list of :class:`CriticalLoad`
+            found by each completed walk.
+    """
+
+    def __init__(
+        self,
+        rob_size: int = 224,
+        rename_latency: int = 1,
+        on_walk=None,
+    ) -> None:
+        self.rob_size = rob_size
+        self.walk_window = 2 * rob_size
+        self.capacity = int(2.5 * rob_size)
+        self.rename_latency = rename_latency
+        self.on_walk = on_walk
+        self.stats = DDGStats()
+        self._buffer: list[_Node] = []
+        #: dynamic idx of the first instruction in the buffer
+        self._base_idx = 0
+        self._pending_espec_cost = -1  #: E-D edge: cost at which fetch resumes
+
+    # ------------------------------------------------------------------ add
+
+    def add(self, record: RetireRecord) -> list[CriticalLoad] | None:
+        """Buffer one retired instruction; returns walk results when a walk
+        completes, else ``None``."""
+        self.stats.retired += 1
+        buf = self._buffer
+        pos = len(buf)
+        instr = record.instr
+        node = _Node(
+            idx=record.idx,
+            pc=instr.pc,
+            is_load=record.level is not None,
+            level=int(record.level) if record.level is not None else -1,
+            lat_q=quantize_latency(record.exec_lat),
+        )
+
+        # ---- D node: D-D, C-D, E-D incoming edges ------------------------
+        if pos > 0:
+            prev = buf[pos - 1]
+            node.d_cost = prev.d_cost          # D-D, weight 0
+            node.d_prev, node.d_prev_kind = pos - 1, NodeKind.D
+        rob_pos = pos - self.rob_size
+        if rob_pos >= 0 and buf[rob_pos].c_cost > node.d_cost:
+            node.d_cost = buf[rob_pos].c_cost  # C-D, weight 0
+            node.d_prev, node.d_prev_kind = rob_pos, NodeKind.C
+        if self._pending_espec_cost > node.d_cost and pos > 0:
+            node.d_cost = self._pending_espec_cost  # E-D (bad speculation)
+            node.d_prev, node.d_prev_kind = pos - 1, NodeKind.E
+        self._pending_espec_cost = -1
+
+        # ---- E node: D-E and E-E incoming edges ---------------------------
+        node.e_cost = node.d_cost + self.rename_latency
+        node.e_prev, node.e_prev_kind = pos, NodeKind.D
+        for producer_idx in record.producers:
+            ppos = producer_idx - self._base_idx
+            if ppos < 0 or ppos >= pos:
+                continue  # producer retired before this buffer window
+            p = buf[ppos]
+            cost = p.e_cost + dequantize(p.lat_q)
+            if cost > node.e_cost:
+                node.e_cost = cost
+                node.e_prev, node.e_prev_kind = ppos, NodeKind.E
+
+        # ---- C node: E-C and C-C incoming edges ---------------------------
+        node.c_cost = node.e_cost + dequantize(node.lat_q)
+        node.c_prev, node.c_prev_kind = pos, NodeKind.E
+        if pos > 0 and buf[pos - 1].c_cost > node.c_cost:
+            node.c_cost = buf[pos - 1].c_cost  # C-C, weight 0
+            node.c_prev, node.c_prev_kind = pos - 1, NodeKind.C
+
+        if record.mispredicted:
+            self._pending_espec_cost = node.e_cost + dequantize(node.lat_q)
+
+        buf.append(node)
+
+        if len(buf) >= self.walk_window:
+            result = self.walk()
+            self._flush()
+            return result
+        if len(buf) >= self.capacity:  # pragma: no cover - capacity > window
+            self.stats.overflows += 1
+            self._flush()
+        return None
+
+    # ----------------------------------------------------------------- walk
+
+    def walk(self) -> list[CriticalLoad]:
+        """Walk the critical path backwards from C of the last instruction.
+
+        Returns the load E-nodes found on the path (most recent first).
+        """
+        buf = self._buffer
+        if not buf:
+            return []
+        self.stats.walks += 1
+        found: list[CriticalLoad] = []
+        pos = len(buf) - 1
+        kind = NodeKind.C
+        steps = 0
+        while pos >= 0 and steps < 3 * len(buf):
+            steps += 1
+            node = buf[pos]
+            if kind == NodeKind.C:
+                nxt, nxt_kind = node.c_prev, node.c_prev_kind
+            elif kind == NodeKind.E:
+                if node.is_load:
+                    found.append(
+                        CriticalLoad(pc=node.pc, level=node.level, idx=node.idx)
+                    )
+                nxt, nxt_kind = node.e_prev, node.e_prev_kind
+            else:
+                nxt, nxt_kind = node.d_prev, node.d_prev_kind
+            if nxt < 0:
+                break
+            pos, kind = nxt, NodeKind(nxt_kind)
+        self.stats.critical_path_nodes += steps
+        self.stats.critical_loads_seen += len(found)
+        if self.on_walk is not None:
+            self.on_walk(found)
+        return found
+
+    def _flush(self) -> None:
+        """Discard the buffered window ("reset the read pointer")."""
+        self._base_idx += len(self._buffer)
+        self._buffer.clear()
+        self._pending_espec_cost = -1
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+def graph_area_bytes(rob_size: int = 224) -> dict[str, float]:
+    """Table I area accounting for the buffered graph.
+
+    Per buffered instruction: 5 b quantised E-C latency, 3 x 9 b register
+    E-E sources + 9 b memory dependence, 1 b E-D flag, plus a 10 b hashed PC.
+    The buffer holds ``2.5 x ROB`` instructions.
+    """
+    entries = int(2.5 * rob_size)
+    ee_bits = 9 * 3 + 9
+    per_instr_bits = 5 + ee_bits + 1
+    graph_bytes = entries * per_instr_bits / 8
+    pc_bytes = entries * 10 / 8
+    return {
+        "entries": entries,
+        "per_instr_bits": per_instr_bits,
+        "graph_bytes": graph_bytes,
+        "pc_bytes": pc_bytes,
+        "total_bytes": graph_bytes + pc_bytes,
+    }

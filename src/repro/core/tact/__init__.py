@@ -1,0 +1,21 @@
+"""TACT: Timeliness Aware and Criticality Triggered prefetchers."""
+
+from .code import CodePrefetcher, CodeRunaheadStats
+from .coordinator import TACTConfig, TACTCoordinator, TACTStats
+from .cross import CrossState
+from .deep_self import DeepSelfState
+from .feeder import FeederState, RegisterLoadTracker
+from .trigger_cache import TriggerCache
+
+__all__ = [
+    "CodePrefetcher",
+    "CodeRunaheadStats",
+    "TACTConfig",
+    "TACTCoordinator",
+    "TACTStats",
+    "CrossState",
+    "DeepSelfState",
+    "FeederState",
+    "RegisterLoadTracker",
+    "TriggerCache",
+]

@@ -1,0 +1,94 @@
+"""TACT-Code: front-end runahead code prefetching — Section IV-B2.
+
+When the in-order front end stalls on a code L1 miss, the Code Next Prefetch
+IP (CNPIP) checkpoints the architectural NIP and runs ahead through the
+predicted instruction stream, prefetching the code lines it encounters into
+the L1I.  Runahead follows the branch predictor: it stops at the first branch
+the predictor would get wrong (the real CNPIP would wander off the true
+path), and it only operates while the front end is stalled — the paper adds
+no extra ports for it.
+
+In this trace-driven model the upcoming instruction stream *is* the trace;
+fidelity to the hardware comes from (a) consulting the live branch
+predictor's ``would_predict`` for every conditional branch encountered and
+stopping on disagreement, and (b) bounding the runahead by the stall window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...workloads.trace import Op, Trace
+
+
+@dataclass
+class CodeRunaheadStats:
+    activations: int = 0
+    lines_prefetched: int = 0
+    stopped_by_branch: int = 0
+    stopped_by_window: int = 0
+
+
+class CodePrefetcher:
+    """CNPIP runahead bound to one core's front end.
+
+    Args:
+        core: core id.
+        hierarchy: shared hierarchy (prefetches via ``prefetch_l1(code=True)``).
+        predictor: the core's live branch predictor.
+        max_lines: cap on distinct lines prefetched per stall (bounds the
+            work the CNPIP can do in one stall window).
+    """
+
+    def __init__(self, core: int, hierarchy, predictor, max_lines: int = 8) -> None:
+        self.core = core
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.max_lines = max_lines
+        self.stats = CodeRunaheadStats()
+        self._trace: Trace | None = None
+
+    def set_trace(self, trace: Trace) -> None:
+        self._trace = trace
+
+    def on_code_miss(self, idx: int, now: float, stall: float) -> None:
+        """Front-end stall callback: run ahead and prefetch code lines."""
+        if self._trace is None:
+            return
+        self.stats.activations += 1
+        instrs = self._trace.instrs
+        n = len(instrs)
+        seen: set[int] = set()
+        pos = idx % n  # the MP driver replays traces cyclically
+        current_line = instrs[pos].code_line
+        # The CNPIP queries the live predictor with its own speculative
+        # history, exactly as the real front end would during the stall.
+        history = self.predictor.history
+        steps = 0
+        max_steps = self.max_lines * 16  # don't scan unboundedly within a line
+        while steps < max_steps and len(seen) < self.max_lines:
+            steps += 1
+            pos += 1
+            if pos >= n:
+                break
+            instr = instrs[pos]
+            line = instr.code_line
+            if line != current_line and line not in seen:
+                issued = self.hierarchy.prefetch_l1(
+                    self.core, line, now, pc=instr.pc, code=True
+                )
+                seen.add(line)
+                if issued is not None:
+                    self.stats.lines_prefetched += 1
+                current_line = line
+            if instr.op is Op.BRANCH:
+                # A direction the predictor would get wrong, or a taken
+                # branch with no/stale BTB target, derails the runahead.
+                predicted = self.predictor.peek(instr.pc, history)
+                if predicted != instr.taken or (
+                    instr.taken and self.predictor.btb_target(instr.pc) != instr.target
+                ):
+                    self.stats.stopped_by_branch += 1
+                    return
+                history = self.predictor.fold_history(history, instr.taken)
+        self.stats.stopped_by_window += 1

@@ -1,0 +1,87 @@
+"""TACT-Cross: cross-PC address association prefetching — Section IV-B1.
+
+A critical *target* load often sits at a fixed address delta from an earlier
+*trigger* load (same ``RegSrcBase``, different offset — struct fields; or
+pointers loaded with fixed deltas).  Over 85% of useful deltas fall within a
+4 KB page, so candidate triggers come from the :class:`TriggerCache` (first
+four load PCs to touch the target's page).
+
+Learning protocol (as specified in the paper): the target auditions one
+candidate trigger at a time for up to 16 instances, looking for a stable
+delta ``target.addr - trigger.last_addr``; failing that it moves to the next
+candidate, wrapping through the candidate list at most 4 times before giving
+up.  Once learned, every execution of the trigger PC prefetches
+``trigger.addr + delta`` into the L1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+INSTANCES_PER_CANDIDATE = 16
+MAX_WRAPS = 4
+DELTA_CONFIDENCE_MAX = 3
+
+
+@dataclass(slots=True)
+class CrossState:
+    """Per-target trigger-search and delta-learning state."""
+
+    candidates: list[int] = field(default_factory=list)
+    candidate_pos: int = 0
+    instances: int = 0
+    wraps: int = 0
+    gave_up: bool = False
+    trigger_pc: int = -1       #: learned trigger (valid when delta_conf saturated)
+    delta: int = 0
+    delta_conf: int = 0
+    last_delta: int = 0
+
+    @property
+    def learned(self) -> bool:
+        return self.trigger_pc >= 0 and self.delta_conf >= DELTA_CONFIDENCE_MAX
+
+    def current_candidate(self) -> int:
+        if not self.candidates or self.gave_up:
+            return -1
+        return self.candidates[self.candidate_pos % len(self.candidates)]
+
+    def refresh_candidates(self, candidates: list[int], self_pc: int) -> None:
+        """Adopt trigger candidates from the Trigger Cache (excluding self)."""
+        filtered = [pc for pc in candidates if pc != self_pc]
+        if filtered and not self.candidates:
+            self.candidates = filtered
+            self.candidate_pos = 0
+            self.instances = 0
+
+    def observe_target(self, target_addr: int, trigger_last_addr: int) -> None:
+        """Train on one target instance given the candidate's last address."""
+        if self.learned or self.gave_up or not self.candidates:
+            return
+        self.instances += 1
+        if trigger_last_addr >= 0:
+            delta = target_addr - trigger_last_addr
+            if delta == self.last_delta and delta != 0:
+                self.delta_conf += 1
+                if self.delta_conf >= DELTA_CONFIDENCE_MAX:
+                    self.trigger_pc = self.current_candidate()
+                    self.delta = delta
+                    return
+            else:
+                self.delta_conf = 0
+            self.last_delta = delta
+        if self.instances >= INSTANCES_PER_CANDIDATE:
+            self.instances = 0
+            self.delta_conf = 0
+            self.candidate_pos += 1
+            if self.candidate_pos >= len(self.candidates):
+                self.candidate_pos = 0
+                self.wraps += 1
+                if self.wraps >= MAX_WRAPS:
+                    self.gave_up = True
+
+    def prefetch_for_trigger(self, trigger_addr: int) -> int | None:
+        """Address to prefetch when the learned trigger executes."""
+        if not self.learned:
+            return None
+        return trigger_addr + self.delta

@@ -1,0 +1,85 @@
+"""TACT-Deep-Self: deep-distance stride prefetching for critical loads.
+
+Section IV-B1.  The baseline L1 stride prefetcher runs at distance 1, which
+cannot hide an L2/LLC round trip.  For the handful of *critical* target PCs,
+TACT additionally prefetches at a deep distance (capped at 16), guarded by a
+learned **safe length**: the typical number of consecutive same-stride
+accesses the PC produces before the stride breaks (loop exit / re-enter).
+Deep prefetches are issued only up to the safe length, keeping the tiny L1
+unpolluted; both the current-length and safe-length counters cap at 32, and
+the safe length starts at 4 with a 2-bit confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MAX_DISTANCE = 16
+LENGTH_CAP = 32
+CONFIDENCE_MAX = 3
+
+
+@dataclass(slots=True)
+class DeepSelfState:
+    """Per-critical-PC stride and safe-length learning state.
+
+    ``max_distance`` is the deep prefetch-distance cap (16 in the paper;
+    exposed for the ablation benchmarks).
+    """
+
+    max_distance: int = MAX_DISTANCE
+    last_addr: int = -1
+    stride: int = 0
+    stride_conf: int = 0
+    run_length: int = 0        #: current consecutive same-stride run (<=32)
+    safe_length: int = 4       #: learned safe run length (<=32)
+    safe_conf: int = 0         #: 2-bit confidence in the safe length
+
+    def observe(self, addr: int) -> list[int]:
+        """Train on a demand access; returns prefetch addresses to issue."""
+        prefetches: list[int] = []
+        if self.last_addr >= 0:
+            delta = addr - self.last_addr
+            if delta == self.stride and delta != 0:
+                self.stride_conf = min(self.stride_conf + 1, CONFIDENCE_MAX)
+                if self.run_length < LENGTH_CAP:
+                    self.run_length += 1
+                else:
+                    # Wraparound per the paper: a capped run is a completed
+                    # safe run (this is how endless streams gain confidence).
+                    self._update_safe_length()
+                    self.run_length = 1
+            else:
+                # Stride broke: fold the observed run into the safe length.
+                self._update_safe_length()
+                self.stride = delta
+                self.stride_conf = 0
+                self.run_length = 0
+        self.last_addr = addr
+        if self.stride_conf >= 2 and self.stride != 0:
+            prefetches.append(addr + self.stride)  # distance 1 (baseline-like)
+            if self.safe_conf >= CONFIDENCE_MAX:
+                if self.safe_length >= LENGTH_CAP:
+                    # Saturated safe length: the run is effectively endless
+                    # (the counter caps at 32), so the full depth is safe.
+                    deep = self.max_distance
+                else:
+                    # Stay within the remaining safe window of this run.
+                    deep = min(self.max_distance, self.safe_length - self.run_length)
+                if deep > 1:
+                    prefetches.append(addr + self.stride * deep)
+        return prefetches
+
+    def _update_safe_length(self) -> None:
+        """Move the safe length toward the just-observed run length."""
+        observed = min(self.run_length, LENGTH_CAP)
+        if observed == 0:
+            return
+        if observed >= self.safe_length:
+            self.safe_length = min(LENGTH_CAP, max(self.safe_length + 1, observed))
+            self.safe_conf = min(self.safe_conf + 1, CONFIDENCE_MAX)
+        elif observed < self.safe_length // 2:
+            self.safe_length = max(1, observed)
+            self.safe_conf = 0
+        else:
+            self.safe_conf = min(self.safe_conf + 1, CONFIDENCE_MAX)

@@ -1,0 +1,60 @@
+"""Trigger Cache for TACT-Cross — Section IV-B1.
+
+Tracks the last 64 4 KB pages touched by loads in an 8-set x 8-way
+set-associative cache indexed by the 4 KB-aligned address.  Each entry
+remembers the *first four* load PCs that touched the page during its
+residency; a critical target PC looks its own page up here to obtain
+candidate trigger PCs (loads that lead it into the page).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+PAGE_SHIFT = 12
+MAX_PCS_PER_PAGE = 4
+
+
+@dataclass(slots=True)
+class _PageEntry:
+    page: int
+    pcs: list[int] = field(default_factory=list)
+    lru: int = 0
+
+
+class TriggerCache:
+    """64-entry, 8-way set-associative cache of recently touched pages."""
+
+    def __init__(self, sets: int = 8, ways: int = 8) -> None:
+        self.num_sets = sets
+        self.ways = ways
+        self._sets: list[dict[int, _PageEntry]] = [{} for _ in range(sets)]
+        self._clock = 0
+
+    def _set_for(self, page: int) -> dict[int, _PageEntry]:
+        return self._sets[page % self.num_sets]
+
+    def observe(self, pc: int, addr: int) -> None:
+        """Record a load touching its 4 KB page."""
+        page = addr >> PAGE_SHIFT
+        entries = self._set_for(page)
+        self._clock += 1
+        entry = entries.get(page)
+        if entry is None:
+            if len(entries) >= self.ways:
+                victim = min(entries.values(), key=lambda e: e.lru)
+                del entries[victim.page]
+            entry = _PageEntry(page=page)
+            entries[page] = entry
+        entry.lru = self._clock
+        if pc not in entry.pcs and len(entry.pcs) < MAX_PCS_PER_PAGE:
+            entry.pcs.append(pc)
+
+    def candidates(self, addr: int) -> list[int]:
+        """Candidate trigger PCs for the page containing ``addr``, oldest
+        first (the paper starts with the oldest of the four)."""
+        page = addr >> PAGE_SHIFT
+        entry = self._set_for(page).get(page)
+        if entry is None:
+            return []
+        return list(entry.pcs)

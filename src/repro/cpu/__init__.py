@@ -1,0 +1,17 @@
+"""Out-of-order core substrate: DDG timing model, front end, branch predictor."""
+
+from .branch import BranchStats, GshareBranchPredictor
+from .core import CoreParams, CoreResult, OOOCore
+from .engine import Engine, RetireRecord
+from .frontend import FrontEnd
+
+__all__ = [
+    "BranchStats",
+    "GshareBranchPredictor",
+    "CoreParams",
+    "CoreResult",
+    "OOOCore",
+    "Engine",
+    "RetireRecord",
+    "FrontEnd",
+]

@@ -1,0 +1,100 @@
+"""Branch prediction: gshare direction predictor plus a simple BTB.
+
+Branch mispredictions are one of the three creators of critical paths the
+paper identifies (LLC misses, mispredicts, long dependence chains), so the
+core models them explicitly: the trace supplies the true outcome, this
+predictor supplies the guess, and a wrong guess inserts the E-D
+bad-speculation edge into the timing graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class BranchStats:
+    branches: int = 0
+    mispredicts: int = 0
+    btb_misses: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+
+class GshareBranchPredictor:
+    """Gshare: global history XOR PC indexing a table of 2-bit counters.
+
+    Args:
+        history_bits: global history register length and table index width.
+        btb_entries: capacity of the branch target buffer.
+    """
+
+    def __init__(self, history_bits: int = 14, btb_entries: int = 4096) -> None:
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._counters = bytearray([1] * (1 << history_bits))
+        self._history = 0
+        self._btb: dict[int, int] = {}
+        self._btb_entries = btb_entries
+        self.stats = BranchStats()
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) & self._mask
+
+    @property
+    def history(self) -> int:
+        """Current global history register (runahead seeds from this)."""
+        return self._history
+
+    def would_predict(self, pc: int) -> bool:
+        """Direction prediction without updating any state (runahead use)."""
+        return self._counters[self._index(pc)] >= 2
+
+    def peek(self, pc: int, history: int) -> bool:
+        """Direction prediction under a caller-supplied history (the CNPIP
+        runahead queries the predictor with its own speculative history)."""
+        return self._counters[((pc >> 2) ^ history) & self._mask] >= 2
+
+    def btb_target(self, pc: int) -> int | None:
+        """BTB lookup without training (runahead needs targets to proceed)."""
+        return self._btb.get(pc)
+
+    def fold_history(self, history: int, taken: bool) -> int:
+        """Advance a speculative history register by one outcome."""
+        return ((history << 1) | int(taken)) & self._mask
+
+    def predict_and_update(self, pc: int, taken: bool, target: int) -> bool:
+        """Predict the branch, then train; returns ``True`` on mispredict.
+
+        A branch mispredicts when the direction guess is wrong, or when it is
+        taken and the BTB has no (or a stale) target.
+        """
+        self.stats.branches += 1
+        idx = self._index(pc)
+        predicted_taken = self._counters[idx] >= 2
+        btb_target = self._btb.get(pc)
+
+        mispredict = predicted_taken != taken
+        if taken and not mispredict and btb_target != target:
+            self.stats.btb_misses += 1
+            mispredict = True
+        if mispredict:
+            self.stats.mispredicts += 1
+
+        # Train the direction counter and history.
+        if taken:
+            if self._counters[idx] < 3:
+                self._counters[idx] += 1
+        else:
+            if self._counters[idx] > 0:
+                self._counters[idx] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+
+        # Train the BTB.
+        if taken:
+            if pc not in self._btb and len(self._btb) >= self._btb_entries:
+                self._btb.pop(next(iter(self._btb)))
+            self._btb[pc] = target
+        return mispredict

@@ -1,0 +1,273 @@
+"""Out-of-order core timing model, evaluated as the Fields et al. DDG.
+
+The paper analyses (and our reproduction times) the machine through the data
+dependency graph of Fields et al. [1]: every instruction has a Dispatch (D),
+Execute (E) and Commit (C) node, and edges
+
+* D-D (in-order allocation, bounded by dispatch width),
+* C-D (ROB depth: instruction *i* cannot allocate until *i - ROB* commits),
+* D-E (rename latency),
+* E-E (register and memory data dependences, weighted by producer latency),
+* E-C (execution latency), C-C (in-order commit, bounded by commit width),
+* E-D (bad speculation: a mispredicted branch redirects fetch).
+
+This module computes those node times exactly, instruction by instruction, in
+program order.  Load execution latencies come from the cache hierarchy *at
+the load's execute time*, so prefetch timeliness, DRAM bank state and
+in-flight fills all shape the graph.  Total cycles = the last C node.
+
+This is deliberately the same graph the CATCH criticality detector
+(``repro.core.ddg``) rebuilds "in hardware" from the retire stream — detected
+critical paths are true critical paths of this machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..caches.hierarchy import CacheHierarchy, Level
+from ..caches.prefetchers import L1StridePrefetcher, L2StreamPrefetcher
+from ..workloads.trace import EXEC_LATENCY, NUM_ARCH_REGS, Instr, Op, Trace
+from .branch import GshareBranchPredictor
+from .engine import Engine, RetireRecord
+from .frontend import FrontEnd
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Microarchitecture parameters (Skylake-like, Section V)."""
+
+    rob_size: int = 224
+    width: int = 4              #: dispatch and commit width
+    rename_latency: int = 1
+    mispredict_penalty: int = 15  #: front-end refill after a bad branch
+    enable_l1_stride: bool = True
+    enable_l2_stream: bool = True
+
+
+@dataclass
+class CoreResult:
+    """Outcome of running one trace on one core."""
+
+    instructions: int
+    cycles: float
+    load_levels: dict[Level, int] = field(default_factory=dict)
+    branch_mispredicts: int = 0
+    code_stall_cycles: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OOOCore:
+    """One out-of-order core bound to a shared cache hierarchy.
+
+    Args:
+        core_id: index of this core in the hierarchy.
+        hierarchy: shared :class:`CacheHierarchy`.
+        params: microarchitectural parameters.
+        engine: criticality/prefetch engine (CATCH, oracle, or no-op).
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        hierarchy: CacheHierarchy,
+        params: CoreParams | None = None,
+        engine: Engine | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.params = params or CoreParams()
+        self.engine = engine or Engine()
+        self.frontend = FrontEnd(core_id, hierarchy, self.params.width)
+        self.predictor = GshareBranchPredictor()
+        self.stride_pf = (
+            L1StridePrefetcher(core_id, hierarchy)
+            if self.params.enable_l1_stride
+            else None
+        )
+        self.stream_pf = (
+            L2StreamPrefetcher(core_id, hierarchy)
+            if self.params.enable_l2_stream
+            else None
+        )
+        self._reset_run_state()
+
+    def _reset_run_state(self) -> None:
+        p = self.params
+        self._e_time: list[float] = []
+        self._lat: list[float] = []
+        self._c_ring = [0.0] * p.rob_size  # C times of the last ROB_SIZE instrs
+        self._reg_writer = [-1] * NUM_ARCH_REGS
+        self._mem_writer: dict[int, int] = {}
+        self._last_d = 0.0
+        self._last_c = 0.0
+        self._d_cycle = -1
+        self._d_count = 0
+        self._c_cycle = -1
+        self._c_count = 0
+        self._redirect = 0.0
+        self._mispredicts = 0
+
+    # ------------------------------------------------------------------ run
+
+    @property
+    def time(self) -> float:
+        """Commit time of the most recently stepped instruction."""
+        return self._last_c
+
+    @property
+    def mispredicts(self) -> int:
+        return self._mispredicts
+
+    def start(self, trace: Trace) -> None:
+        """Reset timing state and bind the engine for a manual step() run."""
+        self._reset_run_state()
+        self.engine.attach(self.core_id, self)
+        self.engine.set_trace(trace)
+
+    def reset_stats(self) -> None:
+        """Zero core-side counters (not timing state) at a sample boundary."""
+        self._mispredicts = 0
+        self.frontend.code_stall_cycles = 0.0
+        self.frontend.code_misses = 0
+        self.predictor.stats = type(self.predictor.stats)()
+        if self.stride_pf is not None:
+            self.stride_pf.issued = 0
+        if self.stream_pf is not None:
+            self.stream_pf.issued = 0
+
+    def run(self, trace: Trace, limit: int | None = None) -> CoreResult:
+        """Execute the trace to completion; returns timing results."""
+        self.start(trace)
+        instrs = trace.instrs if limit is None else trace.instrs[:limit]
+        step = self.step
+        for idx, instr in enumerate(instrs):
+            step(idx, instr)
+        return self.finish(len(instrs))
+
+    def step(self, idx: int, instr: Instr) -> float:
+        """Advance one instruction through D/E/C; returns its commit time.
+
+        Exposed separately from :meth:`run` so the multi-core driver can
+        interleave cores by timestamp.
+        """
+        p = self.params
+        # ---- Dispatch (D node) ------------------------------------------
+        fetch_ready = self.frontend.fetch_time(
+            idx, instr, max(self._last_d, self._redirect)
+        )
+        d = max(self._last_d, fetch_ready, self._redirect)
+        if idx >= p.rob_size:
+            d = max(d, self._c_ring[idx % p.rob_size])  # C-D edge (ROB full)
+        cyc = int(d)
+        if cyc == self._d_cycle:
+            if self._d_count >= p.width:
+                cyc += 1
+                d = float(cyc)
+                self._d_cycle = cyc
+                self._d_count = 1
+            else:
+                self._d_count += 1
+        else:
+            self._d_cycle = cyc
+            self._d_count = 1
+        self._last_d = d
+
+        # ---- Execute (E node) --------------------------------------------
+        e = d + p.rename_latency
+        producers: list[int] = []
+        for src in instr.srcs:
+            widx = self._reg_writer[src]
+            if widx >= 0:
+                producers.append(widx)
+                t = self._e_time[widx] + self._lat[widx]
+                if t > e:
+                    e = t
+        if instr.op is Op.LOAD:
+            sidx = self._mem_writer.get(instr.addr, -1)
+            if sidx >= 0:
+                producers.append(sidx)
+                t = self._e_time[sidx] + self._lat[sidx]
+                if t > e:
+                    e = t
+
+        # ---- Execution latency --------------------------------------------
+        level: Level | None = None
+        mispredicted = False
+        if instr.op is Op.LOAD:
+            self.engine.before_load(instr, idx, e)
+            result = self.hierarchy.load(self.core_id, instr.pc, instr.line, e)
+            lat = result.latency
+            level = result.level
+            if self.stride_pf is not None:
+                self.stride_pf.train(instr.pc, instr.addr, e)
+            if level is not Level.L1 and self.stream_pf is not None:
+                self.stream_pf.train(instr.line, e)
+            self.engine.after_load(instr, idx, e, result)
+        elif instr.op is Op.STORE:
+            lat = float(EXEC_LATENCY[Op.STORE])
+            self.hierarchy.store(self.core_id, instr.pc, instr.line, e)
+            self._mem_writer[instr.addr] = idx
+        elif instr.op is Op.BRANCH:
+            lat = float(EXEC_LATENCY[Op.BRANCH])
+            mispredicted = self.predictor.predict_and_update(
+                instr.pc, instr.taken, instr.target
+            )
+            if mispredicted:
+                self._mispredicts += 1
+                resume = e + lat + p.mispredict_penalty  # E-D edge
+                self._redirect = max(self._redirect, resume)
+                self.frontend.redirect(resume)
+        else:
+            lat = float(EXEC_LATENCY[instr.op])
+
+        self.engine.on_execute(instr, idx, e)
+        if instr.dst >= 0:
+            self._reg_writer[instr.dst] = idx
+        self._e_time.append(e)
+        self._lat.append(lat)
+
+        # ---- Commit (C node) ----------------------------------------------
+        c = max(e + lat, self._last_c)
+        cyc = int(c)
+        if cyc == self._c_cycle:
+            if self._c_count >= p.width:
+                cyc += 1
+                c = float(cyc)
+                self._c_cycle = cyc
+                self._c_count = 1
+            else:
+                self._c_count += 1
+        else:
+            self._c_cycle = cyc
+            self._c_count = 1
+        self._last_c = c
+        self._c_ring[idx % p.rob_size] = c
+
+        self.engine.on_retire(
+            RetireRecord(
+                idx=idx,
+                instr=instr,
+                exec_lat=lat,
+                producers=tuple(producers),
+                level=level,
+                mispredicted=mispredicted,
+                e_time=e,
+            )
+        )
+        return c
+
+    def finish(self, n_instructions: int) -> CoreResult:
+        """Collect results after the last instruction has stepped."""
+        self.hierarchy.memory.finish(self._last_c)
+        stats = self.hierarchy.stats[self.core_id]
+        return CoreResult(
+            instructions=n_instructions,
+            cycles=self._last_c,
+            load_levels=dict(stats.load_served),
+            branch_mispredicts=self._mispredicts,
+            code_stall_cycles=self.frontend.code_stall_cycles,
+        )

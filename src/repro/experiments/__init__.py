@@ -1,0 +1,1 @@
+"""Experiment modules: one per table/figure in the paper's evaluation."""

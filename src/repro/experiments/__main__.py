@@ -1,0 +1,3 @@
+from .registry import main
+
+raise SystemExit(main())

@@ -1,0 +1,78 @@
+"""Shared experiment infrastructure: cached runs, sweeps, table printing.
+
+Every experiment module exposes ``run(quick=..., n_instrs=...) -> dict`` with
+plain-data results (JSON-friendly), plus a ``main()`` that prints the same
+rows the paper's figure/table reports.  Runs are memoised per process so
+experiments sharing a baseline don't recompute it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, Mapping
+
+from ..sim.config import SimConfig
+from ..sim.metrics import RunResult, category_geomeans
+from ..sim.simulator import DEFAULT_TRACE_LENGTH, Simulator
+from ..workloads.suites import suite
+
+#: Trace length used by the quick (CI/benchmark) variants of experiments.
+#: Long enough that the quick workloads reach their intended cache regimes.
+QUICK_TRACE_LENGTH = 24_000
+
+
+def workload_names(quick: bool) -> list[str]:
+    """The workloads an experiment runs: quick cross-section or full suite."""
+    return [s.name for s in suite(quick=quick)]
+
+
+def workload_categories() -> dict[str, str]:
+    return {s.name: s.category for s in suite()}
+
+
+@lru_cache(maxsize=4096)
+def cached_run(config: SimConfig, workload: str, n_instrs: int) -> RunResult:
+    """Memoised (config, workload, length) simulation."""
+    return Simulator(config).run(workload, n_instrs)
+
+
+def sweep(
+    configs: Iterable[SimConfig], workloads: Iterable[str], n_instrs: int
+) -> dict[str, dict[str, RunResult]]:
+    """Run every workload on every configuration."""
+    return {
+        cfg.name: {wl: cached_run(cfg, wl, n_instrs) for wl in workloads}
+        for cfg in configs
+    }
+
+
+def speedup_summary(
+    results: Mapping[str, RunResult], baseline: Mapping[str, RunResult]
+) -> dict[str, float]:
+    """Per-category and overall geomean speedup-1 (the paper's '% impact')."""
+    categories = workload_categories()
+    speedups = {wl: results[wl].ipc / baseline[wl].ipc for wl in results}
+    gm = category_geomeans(speedups, {wl: categories[wl] for wl in speedups})
+    return {cat: value - 1.0 for cat, value in gm.items()}
+
+
+def format_pct_table(
+    rows: Mapping[str, Mapping[str, float]], columns: list[str] | None = None
+) -> str:
+    """Render ``{row_label: {column: fraction}}`` as a percentage table."""
+    first = next(iter(rows.values()))
+    columns = columns or list(first)
+    width = max(12, max((len(c) for c in columns), default=12) + 2)
+    header = f"{'':28s}" + "".join(f"{c:>{width}s}" for c in columns)
+    lines = [header]
+    for label, values in rows.items():
+        cells = "".join(f"{values.get(c, float('nan')):>+{width}.1%}" for c in columns)
+        lines.append(f"{label:28s}{cells}")
+    return "\n".join(lines)
+
+
+def resolve_params(quick: bool, n_instrs: int | None) -> int:
+    """Pick the trace length for an experiment invocation."""
+    if n_instrs is not None:
+        return n_instrs
+    return QUICK_TRACE_LENGTH if quick else DEFAULT_TRACE_LENGTH

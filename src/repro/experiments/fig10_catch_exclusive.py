@@ -1,0 +1,54 @@
+"""Figure 10: CATCH on the large-L2, exclusive-LLC baseline.
+
+Five configurations against the Skylake-server baseline: noL2+6.5MB,
+noL2+9.5MB (iso-area), both with CATCH, and CATCH on the unmodified
+three-level hierarchy.  Paper shape: noL2 loses 7.8% (5.1% iso-area); CATCH
+turns those into +4.6% / +7.2%; CATCH on the three-level baseline gains 8.4%
+— and crucially two-level CATCH ~ three-level CATCH at equal area.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import fig10_configs, skylake_server
+from .common import (
+    format_pct_table,
+    resolve_params,
+    speedup_summary,
+    sweep,
+    workload_names,
+)
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    base = skylake_server()
+    variants = fig10_configs()
+    workloads = workload_names(quick)
+    results = sweep([base, *variants], workloads, n)
+    summary = {
+        cfg.name: speedup_summary(results[cfg.name], results[base.name])
+        for cfg in variants
+    }
+    per_workload = {
+        cfg.name: {
+            wl: results[cfg.name][wl].ipc / results[base.name][wl].ipc - 1
+            for wl in workloads
+        }
+        for cfg in variants
+    }
+    return {
+        "experiment": "fig10_catch_exclusive",
+        "summary": summary,
+        "per_workload": per_workload,
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 10: CATCH on the 1MB-L2 exclusive-LLC baseline")
+    print(format_pct_table(data["summary"]))
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 11: timeliness of inter-cache TACT prefetching.
+
+For CATCH on the two-level (noL2) hierarchy, reports per category: what
+fraction of TACT prefetches were served by the LLC, and — of the demand loads
+that met a TACT prefetch — how much of the source latency the prefetch hid
+(>80%, 10-80%, <10% buckets).  Paper: ~88% of critical TACT prefetches served
+from the LLC, >85% of them saving more than 80% of the LLC latency.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..core.catch_engine import CatchEngine
+from ..sim.config import no_l2, skylake_server, with_catch
+from ..sim.simulator import Simulator
+from .common import resolve_params, workload_categories, workload_names
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    cfg = with_catch(no_l2(skylake_server(), 6.5), name="noL2+CATCH")
+    sim = Simulator(cfg)
+    categories = workload_categories()
+    by_category: dict[str, dict[str, float]] = {}
+    sums: dict[str, dict[str, float]] = defaultdict(
+        lambda: {"llc": 0.0, "over_80": 0.0, "mid": 0.0, "under_10": 0.0, "n": 0}
+    )
+    for wl in workload_names(quick):
+        engine = CatchEngine(cfg.catch)
+        sim.run(wl, n, engine=engine)
+        stats = engine.tact.stats
+        if not stats.issued or not stats.demand_covered:
+            continue
+        frac = stats.timeliness_fractions()
+        bucket = sums[categories[wl]]
+        bucket["llc"] += stats.pct_from_llc
+        bucket["over_80"] += frac["over_80"]
+        bucket["mid"] += frac["mid"]
+        bucket["under_10"] += frac["under_10"]
+        bucket["n"] += 1
+    for cat, bucket in sums.items():
+        count = bucket.pop("n")
+        by_category[cat] = {k: v / count for k, v in bucket.items()}
+    overall = {
+        key: sum(c[key] for c in by_category.values()) / len(by_category)
+        for key in ("llc", "over_80", "mid", "under_10")
+    }
+    return {
+        "experiment": "fig11_timeliness",
+        "by_category": by_category,
+        "overall": overall,
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 11: TACT inter-cache prefetch timeliness (noL2+CATCH)")
+    print(f"{'category':12s} {'%from LLC':>10s} {'>80% saved':>11s} {'10-80%':>8s} {'<10%':>7s}")
+    for cat, row in sorted(data["by_category"].items()):
+        print(
+            f"{cat:12s} {row['llc']:>10.1%} {row['over_80']:>11.1%} "
+            f"{row['mid']:>8.1%} {row['under_10']:>7.1%}"
+        )
+    o = data["overall"]
+    print(
+        f"{'overall':12s} {o['llc']:>10.1%} {o['over_80']:>11.1%} "
+        f"{o['mid']:>8.1%} {o['under_10']:>7.1%}"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Figure 12: per-workload performance (the S-curve).
+
+Per-workload speedups of three configurations over the baseline: noL2+6.5MB,
+noL2+9.5MB+CATCH, and CATCH on the three-level hierarchy.  The paper's
+callouts: hmmer loses ~40% without an L2 but under 5% with CATCH; mcf swings
+from a loss to a large gain via TACT-Feeder; povray (too many critical PCs)
+and namd/gromacs (unprefetchable chains) are the residual losers.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import no_l2, skylake_server, with_catch
+from .common import resolve_params, sweep, workload_names
+
+CALLOUTS = ("hmmer_like", "mcf_like", "povray_like", "namd_like", "gromacs_like")
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    base = skylake_server()
+    variants = [
+        no_l2(base, 6.5),
+        with_catch(no_l2(base, 9.5), name="noL2_9.5+CATCH"),
+        with_catch(base, name="CATCH"),
+    ]
+    workloads = workload_names(quick)
+    results = sweep([base, *variants], workloads, n)
+    curves = {}
+    for cfg in variants:
+        ratios = {
+            wl: results[cfg.name][wl].ipc / results[base.name][wl].ipc
+            for wl in workloads
+        }
+        curves[cfg.name] = dict(sorted(ratios.items(), key=lambda kv: kv[1]))
+    callouts = {
+        wl: {cfg.name: curves[cfg.name][wl] for cfg in variants}
+        for wl in CALLOUTS
+        if wl in workloads
+    }
+    return {"experiment": "fig12_per_workload", "curves": curves, "callouts": callouts}
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 12: per-workload performance ratio vs baseline (sorted)")
+    for cfg_name, curve in data["curves"].items():
+        values = list(curve.values())
+        print(
+            f"  {cfg_name:18s} min={values[0]:.2f} "
+            f"median={values[len(values) // 2]:.2f} max={values[-1]:.2f}"
+        )
+    print("  callouts:")
+    for wl, row in data["callouts"].items():
+        cells = "  ".join(f"{k}={v:.2f}" for k, v in row.items())
+        print(f"    {wl:16s} {cells}")
+    return data
+
+
+if __name__ == "__main__":
+    main()

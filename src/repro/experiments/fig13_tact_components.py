@@ -1,0 +1,65 @@
+"""Figure 13: contribution of each TACT component.
+
+On the two-level (noL2 + 6.5 MB) hierarchy, TACT components are enabled
+cumulatively: Code, +Cross, +Deep-Self, +Feeder.  Paper: +0.75% (code,
+server-heavy), +3.7% (cross), +5.9% (deep), +2.7% (feeder, ISPEC-heavy) —
+13% total over the noL2 baseline.
+"""
+
+from __future__ import annotations
+
+from ..core.tact.coordinator import TACTConfig
+from ..sim.config import no_l2, skylake_server, with_catch
+from .common import (
+    format_pct_table,
+    resolve_params,
+    speedup_summary,
+    sweep,
+    workload_names,
+)
+
+STAGES = (
+    ("Code", TACTConfig(enable_cross=False, enable_deep_self=False, enable_feeder=False)),
+    ("+Cross", TACTConfig(enable_deep_self=False, enable_feeder=False)),
+    ("+Deep", TACTConfig(enable_feeder=False)),
+    ("+Feeder", TACTConfig()),
+)
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    nol2 = no_l2(skylake_server(), 6.5)
+    variants = [
+        with_catch(nol2, name=f"noL2+{label}", tact=tact) for label, tact in STAGES
+    ]
+    workloads = workload_names(quick)
+    results = sweep([nol2, *variants], workloads, n)
+    cumulative = {
+        cfg.name: speedup_summary(results[cfg.name], results[nol2.name])
+        for cfg in variants
+    }
+    increments = {}
+    prev = None
+    for (label, _), cfg in zip(STAGES, variants):
+        gm = cumulative[cfg.name]["GeoMean"]
+        increments[label] = gm - prev if prev is not None else gm
+        prev = gm
+    return {
+        "experiment": "fig13_tact_components",
+        "cumulative": cumulative,
+        "increments": increments,
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 13: TACT component contribution over the noL2 baseline")
+    print(format_pct_table(data["cumulative"]))
+    print("incremental GeoMean gains:")
+    for label, inc in data["increments"].items():
+        print(f"  {label:8s} {inc:+.1%}")
+    return data
+
+
+if __name__ == "__main__":
+    main()

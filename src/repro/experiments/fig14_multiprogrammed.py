@@ -1,0 +1,70 @@
+"""Figure 14: four-way multi-programmed workloads.
+
+Weighted speedup of noL2, noL2+CATCH and CATCH over the baseline on four-way
+mixes (half RATE-4 homogeneous, half random — Section V).  Paper: noL2 loses
+4.1%; noL2+CATCH gains 8.5%; three-level CATCH gains 9.0% — MP gains mirror
+the ST gains.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import no_l2, skylake_server, with_catch
+from ..sim.metrics import geomean
+from ..sim.multicore import MultiCoreSimulator, alone_ipcs
+from .common import resolve_params
+
+
+def run(
+    quick: bool = True, n_instrs: int | None = None, n_mixes: int | None = None
+) -> dict:
+    from ..workloads.suites import mp_mixes
+
+    n = resolve_params(quick, n_instrs)
+    mixes = mp_mixes(n_mixes or (4 if quick else 12))
+    base = skylake_server()
+    variants = [
+        no_l2(base, 6.5),
+        with_catch(no_l2(base, 6.5), name="noL2+CATCH"),
+        with_catch(base, name="CATCH"),
+    ]
+    names = {name for mix in mixes for name in mix}
+
+    alone: dict[str, dict[str, float]] = {}
+    ws: dict[str, list[float]] = {}
+    base_ws: list[float] = []
+    alone[base.name] = alone_ipcs(base, names, n)
+    base_sim = MultiCoreSimulator(base)
+    for mix in mixes:
+        base_ws.append(base_sim.run_mix(mix, n).weighted_speedup(alone[base.name]))
+    for cfg in variants:
+        alone[cfg.name] = alone_ipcs(base, names, n)  # alone on the baseline
+        sim = MultiCoreSimulator(cfg)
+        ws[cfg.name] = [
+            sim.run_mix(mix, n).weighted_speedup(alone[base.name]) for mix in mixes
+        ]
+    summary = {
+        cfg.name: geomean(
+            [w / b for w, b in zip(ws[cfg.name], base_ws)]
+        )
+        - 1
+        for cfg in variants
+    }
+    return {
+        "experiment": "fig14_multiprogrammed",
+        "summary": summary,
+        "mixes": [list(m) for m in mixes],
+        "baseline_ws": base_ws,
+        "per_config_ws": ws,
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 14: 4-way multi-programmed weighted speedup vs baseline")
+    for cfg, value in data["summary"].items():
+        print(f"  {cfg:16s} {value:+7.1%}")
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Figure 16 + Section VI-E: energy of the two-level CATCH hierarchy.
+
+Compares the three-level baseline against two-level CATCH (noL2 + 9.5 MB) at
+iso-area, pricing the simulator's activity counts through the CACTI-, Orion-
+and Micron-style models.  Paper shape: the two-level hierarchy moves ~5x more
+interconnect traffic but does ~37% less cache work and ~22% less DRAM traffic
+(bigger LLC), netting ~11% energy savings on a small (ring) interconnect.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..power.energy import ChipModel
+from ..sim.config import no_l2, skylake_server, with_catch
+from .common import (
+    resolve_params,
+    sweep,
+    workload_categories,
+    workload_names,
+)
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    base = skylake_server()
+    catch2 = with_catch(no_l2(base, 9.5), name="noL2_9.5+CATCH")
+    workloads = workload_names(quick)
+    results = sweep([base, catch2], workloads, n)
+    base_model = ChipModel(base)
+    catch_model = ChipModel(catch2)
+
+    categories = workload_categories()
+    savings_by_cat: dict[str, list[float]] = defaultdict(list)
+    traffic = {"cache": [], "interconnect": [], "dram": []}
+    for wl in workloads:
+        a_base = results[base.name][wl].activity
+        a_catch = results[catch2.name][wl].activity
+        e_base = base_model.energy(a_base)
+        e_catch = catch_model.energy(a_catch)
+        savings_by_cat[categories[wl]].append(1 - e_catch.total_j / e_base.total_j)
+        if a_base.cache_accesses:
+            traffic["cache"].append(a_catch.cache_accesses / a_base.cache_accesses)
+        if a_base.ring_flit_hops:
+            traffic["interconnect"].append(
+                a_catch.ring_flit_hops / a_base.ring_flit_hops
+            )
+        dram_base = a_base.dram_reads + a_base.dram_writes
+        if dram_base:
+            traffic["dram"].append(
+                (a_catch.dram_reads + a_catch.dram_writes) / dram_base
+            )
+    summary = {
+        cat: sum(vals) / len(vals) for cat, vals in sorted(savings_by_cat.items())
+    }
+    all_savings = [v for vals in savings_by_cat.values() for v in vals]
+    summary["GeoMean"] = sum(all_savings) / len(all_savings)
+    traffic_ratio = {k: sum(v) / len(v) for k, v in traffic.items() if v}
+    area = {
+        "baseline_mm2": base_model.area().total_mm2,
+        "two_level_mm2": catch_model.area().total_mm2,
+    }
+    return {
+        "experiment": "fig16_energy",
+        "energy_savings": summary,
+        "traffic_ratio_vs_baseline": traffic_ratio,
+        "area": area,
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 16: energy savings of two-level CATCH (noL2 + 9.5MB LLC)")
+    for cat, value in data["energy_savings"].items():
+        print(f"  {cat:10s} {value:+7.1%}")
+    print("traffic vs baseline (ratio):")
+    for kind, ratio in data["traffic_ratio_vs_baseline"].items():
+        print(f"  {kind:14s} {ratio:6.2f}x")
+    a = data["area"]
+    print(
+        f"area: baseline {a['baseline_mm2']:.1f} mm2, "
+        f"two-level {a['two_level_mm2']:.1f} mm2"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    main()

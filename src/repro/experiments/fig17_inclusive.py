@@ -1,0 +1,41 @@
+"""Figure 17: CATCH on the small-L2, inclusive-LLC (client) baseline.
+
+Baseline: 256 KB L2 + 8 MB inclusive LLC (Skylake client).  Variants: noL2,
+noL2+CATCH, noL2+CATCH with the reclaimed L2 area added to the LLC (9 MB),
+and CATCH on the three-level baseline.  Paper: -5.7%, +6.4%, +7.2%, +10.3%.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import fig17_configs, skylake_client
+from .common import (
+    format_pct_table,
+    resolve_params,
+    speedup_summary,
+    sweep,
+    workload_names,
+)
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    base = skylake_client()
+    variants = fig17_configs()
+    workloads = workload_names(quick)
+    results = sweep([base, *variants], workloads, n)
+    summary = {
+        cfg.name: speedup_summary(results[cfg.name], results[base.name])
+        for cfg in variants
+    }
+    return {"experiment": "fig17_inclusive", "summary": summary}
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    print("Figure 17: CATCH on the 256KB-L2 inclusive-LLC baseline")
+    print(format_pct_table(data["summary"]))
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Experiment registry and command-line entry point.
+
+Usage::
+
+    python -m repro.experiments <experiment> [--quick]
+    python -m repro.experiments all [--quick]
+
+``--quick`` runs the representative workload cross-section at a short trace
+length (what the benchmark suite uses); the default runs the full suite at
+the full length and reproduces the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from . import (
+    detector_comparison,
+    interconnect_scaling,
+    fig01_remove_l2,
+    fig03_latency_sensitivity,
+    fig04_criticality_oracle,
+    fig05_oracle_prefetch,
+    fig10_catch_exclusive,
+    fig11_timeliness,
+    fig12_per_workload,
+    fig13_tact_components,
+    fig14_multiprogrammed,
+    fig15_llc_latency,
+    fig16_energy,
+    fig17_inclusive,
+    table1_area,
+    table2_workloads,
+)
+
+EXPERIMENTS = {
+    "fig01": fig01_remove_l2,
+    "fig03": fig03_latency_sensitivity,
+    "fig04": fig04_criticality_oracle,
+    "fig05": fig05_oracle_prefetch,
+    "fig10": fig10_catch_exclusive,
+    "fig11": fig11_timeliness,
+    "fig12": fig12_per_workload,
+    "fig13": fig13_tact_components,
+    "fig14": fig14_multiprogrammed,
+    "fig15": fig15_llc_latency,
+    "fig16": fig16_energy,
+    "fig17": fig17_inclusive,
+    "table1": table1_area,
+    "table2": table2_workloads,
+    "detectors": detector_comparison,
+    "interconnect": interconnect_scaling,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Reproduce the paper's tables and figures",
+    )
+    parser.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    parser.add_argument("--quick", action="store_true", help="fast subset")
+    parser.add_argument("--json", metavar="PATH", help="also dump results as JSON")
+    parser.add_argument(
+        "--render", action="store_true",
+        help="additionally draw ASCII bar charts of the summaries",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    collected = {}
+    for name in names:
+        print(f"=== {name} " + "=" * (70 - len(name)))
+        collected[name] = EXPERIMENTS[name].main(quick=args.quick)
+        if args.render:
+            _render(collected[name])
+        print()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2, default=str)
+        print(f"results written to {args.json}")
+    return 0
+
+
+def _render(data: dict) -> None:
+    """Draw ASCII charts for the summary shapes an experiment returned."""
+    from .render import render_pct_bars, render_scurve
+
+    summary = data.get("summary")
+    if isinstance(summary, dict):
+        first = next(iter(summary.values()), None)
+        if isinstance(first, dict):
+            geo = {cfg: row.get("GeoMean", 0.0) for cfg, row in summary.items()}
+            print(render_pct_bars(geo, title="GeoMean vs baseline"))
+        elif isinstance(first, float):
+            print(render_pct_bars(summary, title="vs baseline"))
+    curves = data.get("curves")
+    if isinstance(curves, dict):
+        for cfg, curve in curves.items():
+            print(render_scurve(curve, title=cfg))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""ASCII rendering of experiment results (figure-like bar charts).
+
+The experiment modules return plain-data dictionaries; this module renders
+the common shapes — per-category percentage bars and per-workload S-curves —
+as terminal bar charts, so ``python -m repro.experiments fig10 --render``
+produces something visually comparable to the paper's figures without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+BAR_WIDTH = 40
+
+
+def _bar(value: float, vmin: float, vmax: float, width: int = BAR_WIDTH) -> str:
+    """A signed horizontal bar: negatives grow left of the axis, positives
+    right."""
+    span = max(vmax, 0.0) - min(vmin, 0.0)
+    if span <= 0:
+        return " " * width
+    zero = int(round(-min(vmin, 0.0) / span * width))
+    pos = int(round(value / span * width))
+    cells = [" "] * (width + 1)
+    if pos >= 0:
+        for i in range(zero, min(zero + pos, width) + 1):
+            cells[i] = "#"
+    else:
+        for i in range(max(zero + pos, 0), zero + 1):
+            cells[i] = "#"
+    cells[zero] = "|"
+    return "".join(cells)
+
+
+def render_pct_bars(
+    rows: Mapping[str, float], title: str = "", unit: str = "%"
+) -> str:
+    """Render ``{label: fraction}`` as signed percentage bars."""
+    if not rows:
+        return f"{title}\n  (no data)"
+    vmin = min(min(rows.values()), 0.0)
+    vmax = max(max(rows.values()), 0.0)
+    width = max(len(label) for label in rows)
+    lines = [title] if title else []
+    for label, value in rows.items():
+        lines.append(
+            f"  {label:{width}s} {value * 100:+7.1f}{unit} "
+            f"{_bar(value, vmin, vmax)}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped(
+    table: Mapping[str, Mapping[str, float]], title: str = ""
+) -> str:
+    """Render ``{config: {category: fraction}}`` as grouped bars."""
+    lines = [title] if title else []
+    for config, categories in table.items():
+        lines.append(render_pct_bars(dict(categories), title=config))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_scurve(
+    curve: Mapping[str, float], title: str = "", height: int = 12
+) -> str:
+    """Render a sorted per-workload ratio curve (Figure 12 style) as a
+    compact column chart: one column per workload, ``*`` at the ratio."""
+    if not curve:
+        return f"{title}\n  (no data)"
+    values = list(curve.values())
+    vmax = max(max(values), 1.0)
+    vmin = min(min(values), 1.0)
+    span = vmax - vmin or 1.0
+    grid = [[" "] * len(values) for _ in range(height)]
+    baseline_row = height - 1 - int(round((1.0 - vmin) / span * (height - 1)))
+    for col, value in enumerate(values):
+        row = height - 1 - int(round((value - vmin) / span * (height - 1)))
+        grid[row][col] = "*"
+        if 0 <= baseline_row < height and grid[baseline_row][col] == " ":
+            grid[baseline_row][col] = "-"
+    lines = [title] if title else []
+    lines.append(f"  {vmax:5.2f} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append("        |" + "".join(row))
+    lines.append(f"  {vmin:5.2f} +" + "".join(grid[-1]))
+    lines.append(f"        (workloads sorted by ratio; '-' marks 1.0)")
+    return "\n".join(lines)

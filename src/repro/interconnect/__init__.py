@@ -1,0 +1,6 @@
+"""On-die interconnect substrate: ring and mesh models with traffic accounting."""
+
+from .mesh import MeshInterconnect
+from .ring import RingInterconnect, RingStats
+
+__all__ = ["MeshInterconnect", "RingInterconnect", "RingStats"]

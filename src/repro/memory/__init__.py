@@ -1,0 +1,6 @@
+"""Main-memory substrate: DDR4 timing model and memory controller."""
+
+from .controller import MemoryController, MemTraffic
+from .dram import DRAM, DRAMConfig, DRAMStats
+
+__all__ = ["MemoryController", "MemTraffic", "DRAM", "DRAMConfig", "DRAMStats"]

@@ -1,0 +1,71 @@
+"""Memory controller: the cache hierarchy's interface to DRAM.
+
+Wraps the DDR4 timing model with request accounting and an optional
+fixed-latency mode (useful for unit tests and analytic studies where DRAM
+queueing effects would be noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dram import DRAM, DRAMConfig
+
+
+@dataclass(slots=True)
+class MemTraffic:
+    """Byte-level traffic counters (feeds the DRAM power model)."""
+
+    read_lines: int = 0
+    write_lines: int = 0
+
+    @property
+    def read_bytes(self) -> int:
+        return self.read_lines * 64
+
+    @property
+    def write_bytes(self) -> int:
+        return self.write_lines * 64
+
+
+class MemoryController:
+    """Schedules reads and write-backs onto the DRAM model.
+
+    Args:
+        config: DRAM parameters; defaults to the paper's DDR4-2400 setup.
+        fixed_latency: if not ``None``, every read costs exactly this many CPU
+            cycles and the DRAM model is bypassed (deterministic test mode).
+    """
+
+    def __init__(
+        self,
+        config: DRAMConfig | None = None,
+        fixed_latency: int | None = None,
+    ) -> None:
+        self.dram = DRAM(config)
+        self.fixed_latency = fixed_latency
+        self.traffic = MemTraffic()
+
+    def read(self, line_addr: int, now: float) -> float:
+        """Read one line; returns latency in CPU cycles."""
+        self.traffic.read_lines += 1
+        if self.fixed_latency is not None:
+            return float(self.fixed_latency)
+        return self.dram.read(line_addr, now)
+
+    def write(self, line_addr: int, now: float) -> None:
+        """Write back one dirty line (posted; no latency to the core)."""
+        self.traffic.write_lines += 1
+        if self.fixed_latency is None:
+            self.dram.write(line_addr, now)
+
+    def backlog(self, now: float) -> float:
+        """DRAM congestion in CPU cycles (0 in fixed-latency test mode)."""
+        if self.fixed_latency is not None:
+            return 0.0
+        return self.dram.backlog(now)
+
+    def finish(self, now: float) -> None:
+        """Drain pending writes at end of simulation."""
+        if self.fixed_latency is None:
+            self.dram.flush_writes(now)

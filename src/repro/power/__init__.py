@@ -1,0 +1,16 @@
+"""Power/area substrate: CACTI-, Orion- and Micron-style analytical models."""
+
+from .cacti import CacheEnergyModel, snoop_filter_area_mm2
+from .dram_power import DRAMEnergyModel
+from .energy import AreaBreakdown, ChipModel, EnergyBreakdown
+from .orion import RingEnergyModel
+
+__all__ = [
+    "CacheEnergyModel",
+    "snoop_filter_area_mm2",
+    "DRAMEnergyModel",
+    "AreaBreakdown",
+    "ChipModel",
+    "EnergyBreakdown",
+    "RingEnergyModel",
+]

@@ -1,0 +1,39 @@
+"""Micron-style DDR4 DRAM power model (Micron TN-41-01 methodology [28]).
+
+Energy per operation is derived from IDD currents: activate/precharge pairs,
+read/write bursts, and background (standby + refresh) power proportional to
+time.  Constants approximate DDR4-2400 x8 devices; as with the cache model,
+the paper's conclusions rest on traffic *ratios*, which the simulator counts
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_ACT_PRE_NJ = 2.2        #: one activate+precharge pair (whole rank)
+_READ_BURST_NJ = 1.4     #: one 64B read burst incl. I/O
+_WRITE_BURST_NJ = 1.5    #: one 64B write burst incl. ODT
+_BACKGROUND_MW = 190.0   #: standby + refresh for a 2-channel, 4-rank system
+
+
+@dataclass(frozen=True)
+class DRAMEnergyModel:
+    """System-level DRAM energy from command counts."""
+
+    def energy_j(
+        self,
+        reads: int,
+        writes: int,
+        activations: int,
+        cycles: float,
+        freq_ghz: float = 3.2,
+    ) -> float:
+        dynamic = (
+            reads * _READ_BURST_NJ
+            + writes * _WRITE_BURST_NJ
+            + activations * _ACT_PRE_NJ
+        ) * 1e-9
+        seconds = cycles / (freq_ghz * 1e9)
+        background = _BACKGROUND_MW * 1e-3 * seconds
+        return dynamic + background

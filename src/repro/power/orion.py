@@ -1,0 +1,29 @@
+"""Orion-style ring interconnect energy model.
+
+The paper estimates interconnect power with Orion 2.0 [43], [44].  The ring
+energy is dominated by link traversal and router crossings per flit; our
+simulator counts flit-hops directly, so the model is a per-flit-hop energy
+plus router leakage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Energy to move one flit (16B) across one hop (link + router), ~22nm ring.
+_FLIT_HOP_PJ = 2.8
+_ROUTER_LEAK_MW = 1.5
+
+
+@dataclass(frozen=True)
+class RingEnergyModel:
+    """Energy figures for a bidirectional ring with ``n_stops`` stops."""
+
+    n_stops: int
+
+    def energy_j(self, flit_hops: int, cycles: float, freq_ghz: float = 3.2) -> float:
+        """Dynamic (flit-hop) plus router leakage energy over a run."""
+        dynamic = flit_hops * _FLIT_HOP_PJ * 1e-12
+        seconds = cycles / (freq_ghz * 1e9)
+        leakage = self.n_stops * _ROUTER_LEAK_MW * 1e-3 * seconds
+        return dynamic + leakage

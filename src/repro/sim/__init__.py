@@ -1,0 +1,56 @@
+"""Simulation drivers: configurations, single-core and multi-core runners."""
+
+from .config import (
+    DEFAULT_CAPACITY_SCALE,
+    SimConfig,
+    fig10_configs,
+    fig17_configs,
+    no_l2,
+    skylake_client,
+    skylake_server,
+    with_catch,
+    with_extra_latency,
+)
+from .metrics import (
+    ActivitySnapshot,
+    RunResult,
+    category_geomeans,
+    geomean,
+    weighted_speedup,
+)
+from .multicore import MPResult, MultiCoreSimulator, alone_ipcs, relocate_trace
+from .prefetch_metrics import PrefetchQuality, l1_prefetch_quality, quality_from_stats
+from .simulator import (
+    DEFAULT_TRACE_LENGTH,
+    Simulator,
+    run_config_suite,
+    speedups_vs_baseline,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY_SCALE",
+    "SimConfig",
+    "fig10_configs",
+    "fig17_configs",
+    "no_l2",
+    "skylake_client",
+    "skylake_server",
+    "with_catch",
+    "with_extra_latency",
+    "ActivitySnapshot",
+    "RunResult",
+    "category_geomeans",
+    "geomean",
+    "weighted_speedup",
+    "PrefetchQuality",
+    "l1_prefetch_quality",
+    "quality_from_stats",
+    "MPResult",
+    "MultiCoreSimulator",
+    "alone_ipcs",
+    "relocate_trace",
+    "DEFAULT_TRACE_LENGTH",
+    "Simulator",
+    "run_config_suite",
+    "speedups_vs_baseline",
+]

@@ -1,0 +1,86 @@
+"""Simulation CLI: inspect configurations and run one-off simulations.
+
+Usage::
+
+    python -m repro.sim list
+    python -m repro.sim describe CATCH --out catch.json
+    python -m repro.sim run baseline_server hmmer_like --n 40000
+    python -m repro.sim run catch.json mcf_like
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .config import fig10_configs, fig17_configs, skylake_client, skylake_server
+from .serialization import load_config, save_config
+from .simulator import Simulator
+
+
+def _named_configs():
+    configs = {
+        "baseline_server": skylake_server(),
+        "baseline_client": skylake_client(),
+    }
+    for cfg in (*fig10_configs(), *fig17_configs()):
+        configs[cfg.name] = cfg
+    return configs
+
+
+def _resolve(name_or_path: str):
+    configs = _named_configs()
+    if name_or_path in configs:
+        return configs[name_or_path]
+    if Path(name_or_path).exists():
+        return load_config(name_or_path)
+    raise SystemExit(
+        f"unknown config {name_or_path!r}; known: {sorted(configs)} "
+        f"(or a JSON file path)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.sim")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the named machine configurations")
+
+    describe = sub.add_parser("describe", help="show or export a configuration")
+    describe.add_argument("config")
+    describe.add_argument("--out", help="write the configuration as JSON")
+
+    run = sub.add_parser("run", help="simulate one workload on one config")
+    run.add_argument("config", help="named config or JSON file")
+    run.add_argument("workload")
+    run.add_argument("--n", type=int, default=40_000)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name, cfg in _named_configs().items():
+            print(f"  {name:22s} {cfg.describe()}")
+    elif args.command == "describe":
+        cfg = _resolve(args.config)
+        print(cfg.describe())
+        if args.out:
+            save_config(cfg, args.out)
+            print(f"written to {args.out}")
+    elif args.command == "run":
+        cfg = _resolve(args.config)
+        result = Simulator(cfg).run(args.workload, args.n)
+        served = {
+            lvl.name: count for lvl, count in result.load_served.items() if count
+        }
+        print(f"{result.workload} on {cfg.name}:")
+        print(f"  IPC              {result.ipc:.3f}")
+        print(f"  cycles           {result.cycles:.0f}")
+        print(f"  loads served     {served}")
+        print(f"  avg load latency {result.avg_load_latency:.1f} cycles")
+        print(f"  mispredicts      {result.mispredicts}")
+        print(f"  code stalls      {result.code_stall_cycles:.0f} cycles")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

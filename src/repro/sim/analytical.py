@@ -1,0 +1,101 @@
+"""Analytical performance bounds for simulator validation.
+
+A cycle-level simulator should agree with closed-form first-order models on
+kernels simple enough to solve by hand.  This module provides those models —
+the classic bounds from interval analysis:
+
+* **width bound** — IPC <= dispatch width;
+* **chain bound** — a loop whose iterations are linked by a dependence chain
+  of total latency L and contains N instructions runs at IPC = N/L when the
+  chain is the bottleneck;
+* **window (ROB) bound** — a chain of length C cycles per iteration with N
+  instructions per iteration overlaps at most ``ROB/N`` iterations, giving
+  IPC = min(width, ROB/C);
+* **bandwidth bound** — a memory-bound stream moving B bytes per instruction
+  cannot exceed IPC = peak_bw / (B * f).
+
+``tests/test_analytical.py`` pins the simulator against each bound; the
+models are also useful on their own for quick what-if estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cpu.core import CoreParams
+from ..memory.dram import DRAMConfig
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """A steady-state loop for analytical evaluation.
+
+    Attributes:
+        instructions: dynamic instructions per iteration.
+        chain_latency: total latency (cycles) of the loop-carried dependence
+            chain per iteration (0 = fully parallel iterations).
+        body_latency: latency of the longest intra-iteration dependence path
+            that is NOT loop carried (bounds nothing once overlapped, but
+            matters for the window bound).
+        bytes_per_iter: unique memory traffic per iteration (bandwidth bound).
+    """
+
+    instructions: int
+    chain_latency: float = 0.0
+    body_latency: float = 0.0
+    bytes_per_iter: float = 0.0
+
+
+def width_bound(core: CoreParams) -> float:
+    """Dispatch/commit width ceiling."""
+    return float(core.width)
+
+
+def chain_bound(shape: LoopShape) -> float:
+    """IPC limit from the loop-carried dependence chain."""
+    if shape.chain_latency <= 0:
+        return float("inf")
+    return shape.instructions / shape.chain_latency
+
+
+def window_bound(shape: LoopShape, core: CoreParams) -> float:
+    """IPC limit from the ROB: iterations in flight x instrs / critical path.
+
+    With ``W = ROB/instructions`` iterations resident and each needing
+    ``body_latency`` cycles of serial work, retirement advances one iteration
+    per ``body_latency / W`` cycles.
+    """
+    if shape.body_latency <= 0:
+        return float("inf")
+    iterations_in_window = max(1.0, core.rob_size / shape.instructions)
+    return shape.instructions * iterations_in_window / shape.body_latency
+
+
+def bandwidth_bound(
+    shape: LoopShape, dram: DRAMConfig | None = None, cpu_ghz: float = 3.2
+) -> float:
+    """IPC limit from DRAM bandwidth for a streaming loop."""
+    if shape.bytes_per_iter <= 0:
+        return float("inf")
+    cfg = dram or DRAMConfig()
+    # Peak: one 64B burst per channel per burst_cycles DRAM clocks.
+    bytes_per_cpu_cycle = (
+        cfg.channels * 64 / (cfg.burst_cycles * cfg.cycle_ratio)
+    )
+    cycles_per_iter = shape.bytes_per_iter / bytes_per_cpu_cycle
+    return shape.instructions / cycles_per_iter
+
+
+def predicted_ipc(
+    shape: LoopShape,
+    core: CoreParams | None = None,
+    dram: DRAMConfig | None = None,
+) -> float:
+    """The binding bound: min of width, chain, window and bandwidth."""
+    core = core or CoreParams()
+    return min(
+        width_bound(core),
+        chain_bound(shape),
+        window_bound(shape, core),
+        bandwidth_bound(shape, dram),
+    )

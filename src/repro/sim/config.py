@@ -1,0 +1,158 @@
+"""Named machine configurations for every experiment in the paper.
+
+Sizes below are the *paper's* sizes (Section V).  Because Python-speed traces
+are 3-4 orders of magnitude shorter than the paper's 100M-instruction runs,
+configurations carry a ``capacity_scale`` that divides every cache capacity
+(latencies, ROB, widths and DRAM timing are untouched): workload working sets
+in ``repro.workloads.suites`` are sized against the scaled hierarchy so the
+hit/miss regimes — which loads hit L1 vs L2 vs LLC vs memory — match the
+paper's.  ``capacity_scale=1`` gives the paper-exact machine.
+
+Factory summary (the figures each configuration serves):
+
+========================  =====================================================
+``skylake_server()``      1 MB L2 + 5.5 MB exclusive LLC baseline (Figs 1-16)
+``skylake_client()``      256 KB L2 + 8 MB inclusive LLC baseline (Fig 17)
+``no_l2(cfg, llc_mb)``    two-level variants (6.5 / 9.5 MB, 9 MB inclusive)
+``with_catch(cfg, ...)``  adds the CATCH engine (detector + TACT)
+``with_extra_latency``    Figure 3 / Figure 15 latency sensitivity knobs
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..caches.hierarchy import Level, LevelSpec
+from ..core.catch_engine import CatchConfig
+from ..core.tact.coordinator import TACTConfig
+from ..cpu.core import CoreParams
+from ..memory.dram import DRAMConfig
+
+#: Default capacity divisor (see module docstring).
+DEFAULT_CAPACITY_SCALE = 4
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """A complete machine description.
+
+    Cache specs are in paper-scale KB; ``capacity_scale`` is applied when the
+    hierarchy is built.
+    """
+
+    name: str
+    core: CoreParams = field(default_factory=CoreParams)
+    l1i: LevelSpec = LevelSpec(32, 8, 5)
+    l1d: LevelSpec = LevelSpec(32, 8, 5)
+    l2: LevelSpec | None = LevelSpec(1024, 16, 15)
+    llc: LevelSpec | None = LevelSpec(5632, 11, 40, hashed_index=True)
+    llc_policy: str = "exclusive"
+    n_cores: int = 1
+    capacity_scale: int = DEFAULT_CAPACITY_SCALE
+    extra_latency: tuple[tuple[Level, int], ...] = ()
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    fixed_memory_latency: int | None = None
+    catch: CatchConfig | None = None
+
+    def scaled(self, spec: LevelSpec | None) -> LevelSpec | None:
+        """Apply the capacity scale to one level spec."""
+        if spec is None:
+            return None
+        return replace(spec, size_kb=max(1, spec.size_kb / self.capacity_scale))
+
+    @property
+    def is_catch(self) -> bool:
+        return self.catch is not None
+
+    def describe(self) -> str:
+        l2 = f"{self.l2.size_kb:.0f}KB L2" if self.l2 else "noL2"
+        llc = (
+            f"{self.llc.size_kb / 1024:.2f}MB {self.llc_policy} LLC"
+            if self.llc
+            else "noLLC"
+        )
+        catch = " +CATCH" if self.is_catch else ""
+        return f"{self.name}: {l2}, {llc}{catch}"
+
+
+# ---------------------------------------------------------------- factories
+
+
+def skylake_server(name: str = "baseline_server", **overrides) -> SimConfig:
+    """Section V baseline: Skylake-server-like, large L2, exclusive LLC."""
+    return SimConfig(
+        name=name,
+        l2=LevelSpec(1024, 16, 15),
+        llc=LevelSpec(5632, 11, 40, hashed_index=True),
+        llc_policy="exclusive",
+        **overrides,
+    )
+
+
+def skylake_client(name: str = "baseline_client", **overrides) -> SimConfig:
+    """Section VI-F baseline: 256 KB L2, 8 MB inclusive LLC."""
+    return SimConfig(
+        name=name,
+        l2=LevelSpec(256, 16, 13),
+        llc=LevelSpec(8192, 16, 36, hashed_index=True),
+        llc_policy="inclusive",
+        **overrides,
+    )
+
+
+def no_l2(base: SimConfig, llc_mb: float, name: str | None = None) -> SimConfig:
+    """Remove the L2 and resize the LLC (Figure 1 / Figure 10 variants)."""
+    assert base.llc is not None
+    llc = replace(base.llc, size_kb=llc_mb * 1024)
+    return replace(
+        base,
+        name=name or f"noL2_{llc_mb:g}MB",
+        l2=None,
+        llc=llc,
+    )
+
+
+def with_catch(
+    base: SimConfig,
+    name: str | None = None,
+    tact: TACTConfig | None = None,
+    table_entries: int = 32,
+) -> SimConfig:
+    """Attach the CATCH engine to a configuration."""
+    catch = CatchConfig(tact=tact or TACTConfig(), table_entries=table_entries)
+    return replace(base, name=name or f"{base.name}+CATCH", catch=catch)
+
+
+def with_extra_latency(base: SimConfig, level: Level, cycles: int, name: str | None = None) -> SimConfig:
+    """Add cycles to one level's hit latency (Figures 3 and 15)."""
+    extra = dict(base.extra_latency)
+    extra[level] = extra.get(level, 0) + cycles
+    return replace(
+        base,
+        name=name or f"{base.name}+{level.name.lower()}+{cycles}cyc",
+        extra_latency=tuple(sorted(extra.items())),
+    )
+
+
+def fig10_configs(scale: int = DEFAULT_CAPACITY_SCALE) -> list[SimConfig]:
+    """The five configurations of Figure 10, baseline excluded."""
+    base = skylake_server(capacity_scale=scale)
+    return [
+        no_l2(base, 6.5),
+        no_l2(base, 9.5),
+        with_catch(no_l2(base, 6.5), name="noL2_6.5MB+CATCH"),
+        with_catch(no_l2(base, 9.5), name="noL2_9.5MB+CATCH"),
+        with_catch(base, name="CATCH"),
+    ]
+
+
+def fig17_configs(scale: int = DEFAULT_CAPACITY_SCALE) -> list[SimConfig]:
+    """The four configurations of Figure 17, baseline excluded."""
+    base = skylake_client(capacity_scale=scale)
+    return [
+        no_l2(base, 8.0, name="noL2_incl"),
+        with_catch(no_l2(base, 8.0), name="noL2+CATCH"),
+        with_catch(no_l2(base, 9.0), name="noL2+CATCH+9MB_L3"),
+        with_catch(base, name="CATCH_incl"),
+    ]

@@ -1,0 +1,133 @@
+"""Result records, activity snapshots and speedup/geomean helpers."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..caches.hierarchy import CacheHierarchy, Level
+
+
+@dataclass(frozen=True)
+class ActivitySnapshot:
+    """Traffic counters captured after a measured run (power model input).
+
+    All counts cover the measurement window only (post-warmup).
+    """
+
+    cycles: float
+    l1_reads: int
+    l1_writes: int
+    l2_reads: int
+    l2_writes: int
+    llc_reads: int
+    llc_writes: int
+    ring_messages: int
+    ring_data_messages: int
+    ring_flit_hops: int
+    dram_reads: int
+    dram_writes: int
+    dram_activations: int
+
+    @classmethod
+    def capture(cls, hierarchy: CacheHierarchy, cycles: float) -> "ActivitySnapshot":
+        l1_reads = sum(c.stats.reads for c in hierarchy.l1d) + sum(
+            c.stats.reads for c in hierarchy.l1i
+        )
+        l1_writes = sum(c.stats.writes for c in hierarchy.l1d) + sum(
+            c.stats.writes for c in hierarchy.l1i
+        )
+        l2_reads = sum(c.stats.reads for c in hierarchy.l2) if hierarchy.l2 else 0
+        l2_writes = sum(c.stats.writes for c in hierarchy.l2) if hierarchy.l2 else 0
+        llc = hierarchy.llc
+        dram = hierarchy.memory.dram.stats
+        ring = hierarchy.ring.stats
+        return cls(
+            cycles=cycles,
+            l1_reads=l1_reads,
+            l1_writes=l1_writes,
+            l2_reads=l2_reads,
+            l2_writes=l2_writes,
+            llc_reads=llc.stats.reads if llc else 0,
+            llc_writes=llc.stats.writes if llc else 0,
+            ring_messages=ring.messages,
+            ring_data_messages=ring.data_messages,
+            ring_flit_hops=ring.flit_hops,
+            dram_reads=hierarchy.memory.traffic.read_lines,
+            dram_writes=hierarchy.memory.traffic.write_lines,
+            dram_activations=dram.activations,
+        )
+
+    @property
+    def cache_accesses(self) -> int:
+        """L2 + LLC traffic (the paper's "cache traffic" in Section VI-E)."""
+        return self.l2_reads + self.l2_writes + self.llc_reads + self.llc_writes
+
+
+@dataclass
+class RunResult:
+    """One (workload, configuration) measured simulation."""
+
+    workload: str
+    category: str
+    config_name: str
+    instructions: int
+    cycles: float
+    load_served: dict[Level, int] = field(default_factory=dict)
+    code_served: dict[Level, int] = field(default_factory=dict)
+    avg_load_latency: float = 0.0
+    mispredicts: int = 0
+    code_stall_cycles: float = 0.0
+    critical_pcs: int = 0
+    tact_stats: object | None = None
+    activity: ActivitySnapshot | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """IPC ratio vs a baseline run of the same workload."""
+        if baseline.workload != self.workload:
+            raise ValueError(
+                f"speedup across different workloads: "
+                f"{self.workload} vs {baseline.workload}"
+            )
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; the paper reports GeoMean across workloads."""
+    vals = [v for v in values]
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def category_geomeans(
+    speedups: Mapping[str, float], categories: Mapping[str, str]
+) -> dict[str, float]:
+    """Per-category and overall geomean of per-workload speedups.
+
+    Args:
+        speedups: workload name -> speedup.
+        categories: workload name -> category.
+    """
+    by_cat: dict[str, list[float]] = {}
+    for name, value in speedups.items():
+        by_cat.setdefault(categories[name], []).append(value)
+    out = {cat: geomean(vals) for cat, vals in sorted(by_cat.items())}
+    out["GeoMean"] = geomean(speedups.values())
+    return out
+
+
+def weighted_speedup(
+    together_ipc: Mapping[str, float], alone_ipc: Mapping[str, float]
+) -> float:
+    """MP metric (Section V): sum of per-core IPC_together / IPC_alone."""
+    return sum(
+        together_ipc[key] / alone_ipc[key] for key in together_ipc
+    )

@@ -1,0 +1,66 @@
+"""Prefetch quality metrics: accuracy, coverage, timeliness, pollution.
+
+The paper's prefetching argument is quantitative: TACT must be *accurate*
+(Section IV-B: "direct these prefetches to only a select list of critical
+loads... Overfetching into the L1 can cause L1 thrashing"), *covering* (the
+oracle converts ~17% of L1 misses) and *timely* (Figure 11).  This module
+derives the standard prefetcher-quality metrics from cache statistics so any
+configuration can be audited:
+
+* **accuracy** — fraction of prefetch fills that saw a demand hit before
+  eviction;
+* **coverage** — fraction of would-be demand misses eliminated by prefetching
+  (approximated as useful prefetches / (useful prefetches + misses));
+* **pollution** — prefetched-but-unused fills per demand access (each one
+  displaced a line something might have needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..caches.cache import Cache, CacheStats
+
+
+@dataclass(frozen=True)
+class PrefetchQuality:
+    """Derived prefetcher-quality figures for one cache."""
+
+    fills: int
+    useful: int
+    unused: int
+    demand_misses: int
+    demand_accesses: int
+
+    @property
+    def accuracy(self) -> float:
+        """useful / resolved prefetches (hit-before-eviction rate)."""
+        resolved = self.useful + self.unused
+        return self.useful / resolved if resolved else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of potential demand misses the prefetcher absorbed."""
+        potential = self.useful + self.demand_misses
+        return self.useful / potential if potential else 0.0
+
+    @property
+    def pollution(self) -> float:
+        """Unused prefetch fills per demand access."""
+        return self.unused / self.demand_accesses if self.demand_accesses else 0.0
+
+
+def quality_from_stats(stats: CacheStats) -> PrefetchQuality:
+    """Build the quality record from one cache's counters."""
+    return PrefetchQuality(
+        fills=stats.prefetch_fills,
+        useful=stats.prefetch_useful,
+        unused=stats.prefetch_unused,
+        demand_misses=stats.misses,
+        demand_accesses=stats.accesses,
+    )
+
+
+def l1_prefetch_quality(cache: Cache) -> PrefetchQuality:
+    """Convenience wrapper for the usual L1D audit."""
+    return quality_from_stats(cache.stats)

@@ -1,0 +1,99 @@
+"""Configuration serialization: SimConfig <-> JSON.
+
+Experiment campaigns need reproducible machine descriptions: this module
+round-trips :class:`~repro.sim.config.SimConfig` (including nested core,
+cache, DRAM and CATCH/TACT settings) through plain JSON, and backs the
+``python -m repro.sim`` CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from ..caches.hierarchy import Level, LevelSpec
+from ..core.catch_engine import CatchConfig
+from ..core.tact.coordinator import TACTConfig
+from ..cpu.core import CoreParams
+from ..memory.dram import DRAMConfig
+from .config import SimConfig
+
+
+def config_to_dict(config: SimConfig) -> dict:
+    """Plain-data representation of a machine configuration."""
+
+    def spec(level: LevelSpec | None) -> dict | None:
+        return dataclasses.asdict(level) if level is not None else None
+
+    payload = {
+        "name": config.name,
+        "core": dataclasses.asdict(config.core),
+        "l1i": spec(config.l1i),
+        "l1d": spec(config.l1d),
+        "l2": spec(config.l2),
+        "llc": spec(config.llc),
+        "llc_policy": config.llc_policy,
+        "n_cores": config.n_cores,
+        "capacity_scale": config.capacity_scale,
+        "extra_latency": [[int(level), cycles] for level, cycles in config.extra_latency],
+        "dram": dataclasses.asdict(config.dram),
+        "fixed_memory_latency": config.fixed_memory_latency,
+        "catch": None,
+    }
+    if config.catch is not None:
+        payload["catch"] = {
+            "tact": dataclasses.asdict(config.catch.tact),
+            "table_entries": config.catch.table_entries,
+            "epoch_instructions": config.catch.epoch_instructions,
+            "detector_only": config.catch.detector_only,
+            "detector": config.catch.detector,
+            "table_policy": config.catch.table_policy,
+        }
+    return payload
+
+
+def config_from_dict(payload: dict) -> SimConfig:
+    """Inverse of :func:`config_to_dict`."""
+
+    def spec(data: dict | None) -> LevelSpec | None:
+        return LevelSpec(**data) if data is not None else None
+
+    catch = None
+    if payload.get("catch") is not None:
+        c = payload["catch"]
+        catch = CatchConfig(
+            tact=TACTConfig(**c["tact"]),
+            table_entries=c["table_entries"],
+            epoch_instructions=c["epoch_instructions"],
+            detector_only=c["detector_only"],
+            detector=c.get("detector", "ddg"),
+            table_policy=c.get("table_policy", "lru"),
+        )
+    return SimConfig(
+        name=payload["name"],
+        core=CoreParams(**payload["core"]),
+        l1i=spec(payload["l1i"]),
+        l1d=spec(payload["l1d"]),
+        l2=spec(payload["l2"]),
+        llc=spec(payload["llc"]),
+        llc_policy=payload["llc_policy"],
+        n_cores=payload["n_cores"],
+        capacity_scale=payload["capacity_scale"],
+        extra_latency=tuple(
+            (Level(level), cycles) for level, cycles in payload["extra_latency"]
+        ),
+        dram=DRAMConfig(**payload["dram"]),
+        fixed_memory_latency=payload["fixed_memory_latency"],
+        catch=catch,
+    )
+
+
+def save_config(config: SimConfig, path: str | Path) -> None:
+    """Write a configuration as indented JSON."""
+    Path(path).write_text(json.dumps(config_to_dict(config), indent=2) + "\n")
+
+
+def load_config(path: str | Path) -> SimConfig:
+    """Read a configuration written by :func:`save_config`."""
+    return config_from_dict(json.loads(Path(path).read_text()))

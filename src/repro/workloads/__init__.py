@@ -1,0 +1,33 @@
+"""Workload substrate: instruction model, synthetic kernels, Table-II suites."""
+
+from .trace import CATEGORIES, EXEC_LATENCY, LINE_SIZE, NUM_ARCH_REGS, Instr, Op, Trace
+from .serialization import describe_trace, load_trace, save_trace
+from .suites import (
+    QUICK_SUITE_NAMES,
+    ST_SUITE,
+    WorkloadSpec,
+    build_trace,
+    get_spec,
+    mp_mixes,
+    suite,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "EXEC_LATENCY",
+    "LINE_SIZE",
+    "NUM_ARCH_REGS",
+    "Instr",
+    "Op",
+    "Trace",
+    "describe_trace",
+    "load_trace",
+    "save_trace",
+    "QUICK_SUITE_NAMES",
+    "ST_SUITE",
+    "WorkloadSpec",
+    "build_trace",
+    "get_spec",
+    "mp_mixes",
+    "suite",
+]

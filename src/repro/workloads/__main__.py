@@ -1,0 +1,54 @@
+"""Workload CLI: list the suite, dump traces to disk, inspect trace files.
+
+Usage::
+
+    python -m repro.workloads list
+    python -m repro.workloads dump mcf_like --n 20000 --out mcf.trace.gz
+    python -m repro.workloads info mcf.trace.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .serialization import describe_trace, load_trace, save_trace
+from .suites import ST_SUITE, build_trace, get_spec
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.workloads")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-II workload suite")
+
+    dump = sub.add_parser("dump", help="generate a workload and save its trace")
+    dump.add_argument("workload")
+    dump.add_argument("--n", type=int, default=40_000, help="instruction count")
+    dump.add_argument("--out", required=True, help="output .trace.gz path")
+
+    info = sub.add_parser("info", help="summarise a saved trace file")
+    info.add_argument("path")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        print(f"{'name':22s}{'category':10s}{'kernel':18s}{'multiplier':>11s}")
+        for spec in ST_SUITE:
+            print(
+                f"{spec.name:22s}{spec.category:10s}"
+                f"{spec.kernel.__name__:18s}{spec.length_multiplier:>11d}"
+            )
+    elif args.command == "dump":
+        spec = get_spec(args.workload)
+        trace = build_trace(args.workload, args.n * spec.length_multiplier)
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} instructions to {args.out}")
+    elif args.command == "info":
+        summary = describe_trace(load_trace(args.path))
+        for key, value in summary.items():
+            print(f"  {key:22s} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,604 @@
+"""Synthetic workload kernels.
+
+The paper drives its simulator with 100M-instruction traces of SPEC CPU2006,
+HPC, server and client applications (Table II).  Offline we cannot run those
+binaries, so each kernel below synthesises the *program property* that the
+paper's analysis attributes to a workload class:
+
+=====================  ==========================================================
+Kernel                 Property exercised
+=====================  ==========================================================
+``streaming``          sequential/strided sweeps; stream prefetcher territory
+``hot_loop``           working set parked at a chosen cache level; the critical
+                       loads hit L2/LLC (the paper's central L2-hit scenario)
+``indexed_gather``     ``A[B[i]]`` indirection: the B-stream *feeds* the A
+                       address — the TACT-Feeder pattern (mcf-like)
+``pointer_chase``      true linked-list dependence; not prefetchable by any
+                       address association (namd/gromacs-like hard case)
+``struct_walk``        multiple fields at fixed offsets off one advancing base
+                       pointer — the TACT-Cross trigger/target pattern
+``server_app``         code footprint far beyond the 32 KB code L1; front-end
+                       stalls dominated by code misses (TACT-Code territory)
+``branchy``            data-dependent unpredictable branches (client-like)
+``fp_compute``         FP dependence chains + strided loads (FSPEC-like)
+``many_critical_pcs``  more simultaneously-critical load PCs than the 32-entry
+                       critical table can track (povray-like pathology)
+=====================  ==========================================================
+
+Every kernel emits explicit register dependences so the DDG timing model and
+criticality detector see realistic chains, and populates the trace's memory
+image wherever load *data* determines future addresses.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .trace import Instr, Op, Trace
+
+# Register conventions used by the kernels.
+R_PTR, R_IDX, R_BASE, R_LIMIT = 0, 1, 2, 3
+R_DATA = (4, 5, 6, 7, 8, 9, 10, 11)
+R_TMP = (12, 13, 14, 15)
+
+
+class TraceBuilder:
+    """Helper for emitting instruction streams with static PCs.
+
+    A kernel lays out static code starting at ``code_base``; each *static
+    slot* keeps a fixed PC across loop iterations so PC-indexed hardware
+    (stride tables, the critical-load table, TACT) behaves as it would on a
+    real loop.
+    """
+
+    def __init__(self, name: str, category: str, seed: int, code_base: int = 0x400000):
+        self.name = name
+        self.category = category
+        self.rng = random.Random(seed)
+        self.instrs: list[Instr] = []
+        self.memory_image: dict[int, int] = {}
+        self.code_base = code_base
+        self._next_region = 0x10000000
+
+    # -- memory regions ------------------------------------------------------
+
+    def alloc(self, size_bytes: int, align: int = 4096) -> int:
+        """Reserve a data region; returns its base address."""
+        base = (self._next_region + align - 1) // align * align
+        self._next_region = base + size_bytes
+        return base
+
+    # -- emit helpers ---------------------------------------------------------
+
+    def load(self, pc: int, dst: int, addr: int, *, srcs: tuple[int, ...] = (),
+             data: int | None = None) -> None:
+        if data is None:
+            data = self.memory_image.get(addr, 0)
+        self.instrs.append(Instr(pc, Op.LOAD, srcs=srcs, dst=dst, addr=addr, data=data))
+
+    def store(self, pc: int, addr: int, src: int) -> None:
+        self.instrs.append(Instr(pc, Op.STORE, srcs=(src,), addr=addr))
+
+    def alu(self, pc: int, dst: int, srcs: tuple[int, ...]) -> None:
+        self.instrs.append(Instr(pc, Op.ALU, srcs=srcs, dst=dst))
+
+    def mul(self, pc: int, dst: int, srcs: tuple[int, ...]) -> None:
+        self.instrs.append(Instr(pc, Op.MUL, srcs=srcs, dst=dst))
+
+    def fp(self, pc: int, dst: int, srcs: tuple[int, ...]) -> None:
+        self.instrs.append(Instr(pc, Op.FP, srcs=srcs, dst=dst))
+
+    def branch(self, pc: int, taken: bool, target: int, *, srcs: tuple[int, ...] = ()) -> None:
+        self.instrs.append(Instr(pc, Op.BRANCH, srcs=srcs, taken=taken, target=target))
+
+    def build(self) -> Trace:
+        trace = Trace(self.name, self.category, self.instrs, self.memory_image)
+        trace.validate()
+        return trace
+
+
+# --------------------------------------------------------------------------
+# Kernels.  Each returns a Trace of ~n_instrs dynamic instructions.
+# --------------------------------------------------------------------------
+
+
+def streaming(
+    name: str, category: str, n_instrs: int, *,
+    ws_bytes: int = 8 << 20, stride: int = 64, alu_per_load: int = 2,
+    store_every: int = 8, seed: int = 1,
+) -> Trace:
+    """Strided sweep over a working set (memory-bandwidth style)."""
+    b = TraceBuilder(name, category, seed)
+    base = b.alloc(ws_bytes)
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        addr = base + (i * stride) % ws_bytes
+        slot = pc
+        b.load(slot, R_DATA[0], addr, srcs=(R_PTR,))
+        slot += 4
+        prev = R_DATA[0]
+        for k in range(alu_per_load):
+            dst = R_DATA[1 + k % 3]
+            b.alu(slot, dst, (prev,))
+            prev = dst
+            slot += 4
+        if i % store_every == store_every - 1:
+            b.store(slot, addr, prev)
+        slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))  # pointer bump
+        slot += 4
+        b.branch(slot, True, pc)
+        i += 1
+    return b.build()
+
+
+def hot_loop(
+    name: str, category: str, n_instrs: int, *,
+    ws_bytes: int = 512 << 10, stride: int = 64, chain_loads: int = 4,
+    alu_between: int = 1, l1_lanes: int = 0, seed: int = 2,
+) -> Trace:
+    """Loop whose loads hit at the level that holds ``ws_bytes``.
+
+    The loads form a dependence chain per iteration, so with the working set
+    in the L2/LLC they are exactly the paper's "critical loads hitting outer
+    levels".  Strided addressing makes them TACT-Deep-Self prefetchable.
+
+    ``l1_lanes`` of the chain's loads use a tiny (4 KB) always-L1-resident
+    region: real hot loops mix cache-resident and L1-resident accesses on
+    their chains, which dilutes how much outer-level latency shows on the
+    critical path.
+    """
+    b = TraceBuilder(name, category, seed)
+    lane_sizes = [4096] * l1_lanes + [ws_bytes] * (chain_loads - l1_lanes)
+    lane_bases = [b.alloc(size) for size in lane_sizes]
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        prev = R_PTR
+        for lane, (lane_base, lane_size) in enumerate(zip(lane_bases, lane_sizes)):
+            offset = (i * stride) % lane_size
+            reg = R_DATA[lane % len(R_DATA)]
+            b.load(slot, reg, lane_base + offset, srcs=(prev,))
+            slot += 4
+            for _ in range(alu_between):
+                b.alu(slot, reg, (reg,))
+                slot += 4
+            prev = reg
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc, srcs=(prev,))
+        i += 1
+    return b.build()
+
+
+def indexed_gather(
+    name: str, category: str, n_instrs: int, *,
+    data_ws_bytes: int = 4 << 20,
+    alu_per_iter: int = 3, scale: int = 1, seed: int = 3,
+) -> Trace:
+    """``A[B[i]]`` indirection: streaming index array feeding a gather.
+
+    ``B`` is sequential (the hardware can run ahead on it);
+    ``A[scale*B[i] + base]`` is the critical, otherwise-unprefetchable load.
+    This is the TACT-Feeder pattern and our stand-in for mcf.
+    """
+    b = TraceBuilder(name, category, seed)
+    data_lines = data_ws_bytes // 64
+    # The index array is a permutation of the data pool (mcf-style arc
+    # ordering): every pass over B touches every line of A exactly once, so
+    # after warmup the gather pool is resident at whatever level holds it —
+    # no fresh-line leakage from random draws.
+    index_entries = data_lines
+    index_base = b.alloc(index_entries * 8)
+    data_base = b.alloc(data_ws_bytes)
+    perm = list(range(data_lines))
+    b.rng.shuffle(perm)
+    for i in range(index_entries):
+        b.memory_image[index_base + i * 8] = (perm[i] * 64) // scale
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        idx_addr = index_base + (i % index_entries) * 8
+        b.load(slot, R_IDX, idx_addr, srcs=(R_PTR,))  # feeder: B[i]
+        slot += 4
+        value = b.memory_image[idx_addr]
+        b.alu(slot, R_TMP[0], (R_IDX,))  # address arithmetic
+        slot += 4
+        b.load(slot, R_DATA[0], data_base + scale * value, srcs=(R_TMP[0],))
+        slot += 4
+        prev = R_DATA[0]
+        for k in range(alu_per_iter):
+            dst = R_DATA[1 + k % 3]
+            b.alu(slot, dst, (prev,))
+            prev = dst
+            slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc, srcs=(prev,))
+        i += 1
+    return b.build()
+
+
+def pointer_chase(
+    name: str, category: str, n_instrs: int, *,
+    nodes: int = 65536, alu_per_hop: int = 2, chains: int = 1,
+    ptr_work: int = 0, seed: int = 4,
+) -> Trace:
+    """Random linked-list traversal: serial loads, no address association.
+
+    ``chains`` independent lists are walked round-robin (real pointer-heavy
+    codes usually have a few concurrent traversals, giving the OOO some
+    memory-level parallelism across chains while each chain stays serial).
+
+    ``ptr_work`` ALU ops process the loaded pointer before the next hop
+    (node work on the loop-carried path), diluting the load-latency share of
+    the critical path; ``alu_per_hop`` ops hang *off* the chain (payload
+    work the OOO overlaps freely).
+    """
+    b = TraceBuilder(name, category, seed)
+    region = b.alloc(nodes * 64)
+    order = list(range(nodes))
+    b.rng.shuffle(order)
+    addr_of = [region + slot * 64 for slot in order]
+    per_chain = nodes // chains
+    cursors = []
+    for c in range(chains):
+        lo = c * per_chain
+        for i in range(per_chain):
+            b.memory_image[addr_of[lo + i]] = addr_of[lo + (i + 1) % per_chain]
+        cursors.append(addr_of[lo])
+    chain_regs = [R_PTR, R_IDX, R_BASE, R_LIMIT][:chains]
+    pc = b.code_base
+    c = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc + c * 128
+        reg = chain_regs[c]
+        b.load(slot, reg, cursors[c], srcs=(reg,))  # next = node->next
+        slot += 4
+        for _ in range(ptr_work):
+            b.alu(slot, reg, (reg,))  # node work on the pointer path
+            slot += 4
+        prev = reg
+        for k in range(alu_per_hop):
+            dst = R_DATA[(c * 2 + k) % len(R_DATA)]
+            b.alu(slot, dst, (prev,))
+            prev = dst
+            slot += 4
+        b.branch(slot, True, pc, srcs=(prev,))
+        cursors[c] = b.memory_image[cursors[c]]
+        c = (c + 1) % chains
+    return b.build()
+
+
+def struct_walk(
+    name: str, category: str, n_instrs: int, *,
+    n_structs: int = 16384, struct_bytes: int = 256, fields: int = 3,
+    linked: bool = False, seed: int = 5,
+) -> Trace:
+    """Walk structs reading several fields at fixed offsets per element.
+
+    Field 0 is the *trigger* load; fields 1..k sit at fixed offsets from the
+    same base — the TACT-Cross association (same ``RegSrcBase``, different
+    ``Offset``).
+
+    With ``linked=True`` the walk is a linked list: field 0 holds the pointer
+    to the next struct, so field 0 forms a serial load chain (latency
+    critical) and the remaining fields are cross-prefetchable off it —
+    the classic data structure CATCH accelerates.
+    """
+    b = TraceBuilder(name, category, seed)
+    region = b.alloc(n_structs * struct_bytes)
+    offsets = [0] + [64 * (1 + f) for f in range(fields - 1)]
+    offsets = [o for o in offsets if o < struct_bytes]
+    bases = [region + k * struct_bytes for k in range(n_structs)]
+    if linked:
+        order = list(range(n_structs))
+        b.rng.shuffle(order)
+        chain = [bases[k] for k in order]
+        for i in range(n_structs):
+            b.memory_image[chain[i]] = chain[(i + 1) % n_structs]
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        struct_base = chain[i % n_structs] if linked else bases[i % n_structs]
+        prev = R_PTR
+        for f, off in enumerate(offsets):
+            reg = R_PTR if (linked and f == 0) else R_DATA[f % len(R_DATA)]
+            b.load(slot, reg, struct_base + off, srcs=(R_PTR,))
+            slot += 4
+            b.alu(slot, R_TMP[f % len(R_TMP)], (reg, prev))
+            prev = R_TMP[f % len(R_TMP)]
+            slot += 4
+        if not linked:
+            b.alu(slot, R_PTR, (R_PTR,))
+            slot += 4
+        b.branch(slot, True, pc, srcs=(prev,))
+        i += 1
+    return b.build()
+
+
+def skewed_gather(
+    name: str, category: str, n_instrs: int, *,
+    hot_bytes: int = 512 << 10, band_bytes: int = 1536 << 10,
+    hot_fraction: float = 0.5, loads_per_iter: int = 4, alu_per_load: int = 0,
+    seed: int = 12,
+) -> Trace:
+    """Independent gathers over a hot set plus a capacity-transition band.
+
+    Real capacity-sensitive applications do not fall off a cliff when their
+    working set crosses a cache size: only a *band* of their footprint
+    transitions.  Here ``hot_fraction`` of loads hit a small always-resident
+    hot region; the rest cycle through a ``band_bytes`` region laid just
+    across the LLC-size range under study (a pseudo-permutation sweep, so
+    every band line is re-referenced each pass).  Growing the LLC smoothly
+    converts band misses into hits, and the independent loads (high MLP) keep
+    the per-miss cost moderate — yielding the gentle capacity curves behind
+    Figure 1's LLC-size comparisons.
+    """
+    b = TraceBuilder(name, category, seed)
+    hot_lines = hot_bytes // 64
+    band_lines = band_bytes // 64
+    hot_base = b.alloc(hot_bytes)
+    band_base = b.alloc(band_bytes)
+    pc = b.code_base
+    band_i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        for lane in range(loads_per_iter):
+            if b.rng.random() < hot_fraction:
+                addr = hot_base + b.rng.randrange(hot_lines) * 64
+            else:
+                # Uniform random within the band: geometric reuse distances,
+                # so the hit ratio scales smoothly with LLC capacity (a
+                # cyclic sweep would be all-or-nothing under LRU).
+                addr = band_base + b.rng.randrange(band_lines) * 64
+                band_i += 1
+            reg = R_DATA[lane % 4]
+            b.load(slot, reg, addr, srcs=(R_PTR,))
+            slot += 4
+            prev = reg
+            for _ in range(alu_per_load):
+                dst = R_DATA[4 + lane % 4]
+                b.alu(slot, dst, (prev,))
+                prev = dst
+                slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc)
+    return b.build()
+
+
+def cross_gather(
+    name: str, category: str, n_instrs: int, *,
+    data_ws_bytes: int = 416 << 10, chain_muls: int = 6, seed: int = 10,
+) -> Trace:
+    """Permuted gather of line *pairs* with a slow computed offset.
+
+    Each iteration reads a pair index from a permutation array, loads the
+    *trigger* line of the pair through a short address chain, and the
+    *target* line (trigger + 64) through a long multiply chain.  The target
+    is therefore demanded ``~3*chain_muls`` cycles after the trigger executes
+    even though their addresses differ by a constant 64 — exactly the
+    cross-PC association TACT-Cross exploits.  The permutation defeats stride
+    prefetching, and the index-to-address scale (128) falls outside Feeder's
+    {1,2,4,8} scale set, so Cross is the only mechanism that can help.
+    """
+    b = TraceBuilder(name, category, seed)
+    pairs = data_ws_bytes // 128
+    index_base = b.alloc(pairs * 8)
+    data_base = b.alloc(data_ws_bytes)
+    perm = list(range(pairs))
+    b.rng.shuffle(perm)
+    for i in range(pairs):
+        b.memory_image[index_base + i * 8] = perm[i]
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        idx_addr = index_base + (i % pairs) * 8
+        b.load(slot, R_IDX, idx_addr, srcs=(R_PTR,))
+        slot += 4
+        k = b.memory_image[idx_addr]
+        b.mul(slot, R_TMP[0], (R_IDX,))  # fast trigger-address path
+        slot += 4
+        b.load(slot, R_DATA[0], data_base + k * 128, srcs=(R_TMP[0],))  # trigger
+        slot += 4
+        prev = R_IDX
+        for m in range(chain_muls):  # slow target-address path
+            dst = R_TMP[1 + m % 3]
+            b.mul(slot, dst, (prev,))
+            prev = dst
+            slot += 4
+        b.load(slot, R_DATA[1], data_base + k * 128 + 64, srcs=(prev,))  # target
+        slot += 4
+        # Only the *target* gates the loop-carried accumulator (so the
+        # detector unambiguously flags it); the trigger's value is consumed
+        # off the critical path.
+        b.alu(slot, R_LIMIT, (R_LIMIT, R_DATA[1]))
+        slot += 4
+        b.alu(slot, R_TMP[0], (R_DATA[0],))
+        slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc, srcs=(R_LIMIT,))
+        i += 1
+    return b.build()
+
+
+def server_app(
+    name: str, category: str, n_instrs: int, *,
+    code_kb: int = 256, block_instrs: int = 12, data_ws_bytes: int = 6 << 20,
+    seed: int = 6,
+) -> Trace:
+    """Large-code-footprint transaction loop (server class).
+
+    The static code spans ``code_kb`` of basic blocks visited in a repeating
+    (hence BTB-predictable) but L1I-thrashing order; each block does a little
+    work on an LLC-resident heap.  Front-end code misses dominate — the
+    TACT-Code runahead target.
+    """
+    b = TraceBuilder(name, category, seed)
+    heap = b.alloc(data_ws_bytes)
+    block_bytes = block_instrs * 4 + 8  # body + loop branch + exit branch
+    n_blocks = (code_kb * 1024) // block_bytes
+    # Cap the tour so it wraps at least ~3 times within the trace; a tour
+    # longer than the trace would be pure cold misses with nothing to learn.
+    executed_blocks = max(1, n_instrs // (2 * block_instrs))
+    n_blocks = max(8, min(n_blocks, executed_blocks // 3))
+    block_pcs = [b.code_base + blk * block_bytes for blk in range(n_blocks)]
+    # Fixed permutation tour (every block has one static successor, so block
+    # exits are BTB-learnable after one tour).  Hot/cold locality comes from
+    # per-block repeat counts: a fifth of the blocks are hot inner loops that
+    # iterate several times per visit, amortising their code misses, while
+    # cold blocks run once and thrash the L1I.
+    tour = list(range(n_blocks))
+    b.rng.shuffle(tour)
+    reps_of = [
+        b.rng.randint(6, 10) if b.rng.random() < 0.35 else 1
+        for _ in range(n_blocks)
+    ]
+    # Transaction heap: a pseudo-permutation sweep sized so the trace revisits
+    # every heap line a few times (resident after warmup, not fresh misses).
+    expected_visits = max(1, n_instrs // (block_instrs * 2))
+    pool_lines = min(data_ws_bytes // 64, max(256, expected_visits // 2))
+    i = 0
+    while len(b.instrs) < n_instrs:
+        blk = tour[i % n_blocks]
+        nxt = tour[(i + 1) % n_blocks]
+        base_pc = block_pcs[blk]
+        reps = reps_of[blk]
+        for rep in range(reps):
+            slot = base_pc
+            addr = heap + ((i * 97 + rep * 31) % pool_lines) * 64
+            b.load(slot, R_DATA[0], addr, srcs=(R_PTR,))
+            slot += 4
+            prev = R_DATA[0]
+            for k in range(block_instrs - 4):
+                dst = R_DATA[(1 + k) % len(R_DATA)]
+                b.alu(slot, dst, (prev,))
+                prev = dst
+                slot += 4
+            b.store(slot, addr, prev)
+            slot += 4
+            b.branch(slot, rep < reps - 1, base_pc, srcs=(prev,))
+            slot += 4
+        b.branch(slot, True, block_pcs[nxt])
+        i += 1
+    return b.build()
+
+
+def branchy(
+    name: str, category: str, n_instrs: int, *,
+    ws_bytes: int = 64 << 10, p_taken: float = 0.5, work_per_branch: int = 4,
+    seed: int = 7,
+) -> Trace:
+    """Data-dependent unpredictable branches over an L1/L2-resident set."""
+    b = TraceBuilder(name, category, seed)
+    base = b.alloc(ws_bytes)
+    ws_lines = ws_bytes // 64
+    pc = b.code_base
+    exit_pc = pc + 0x1000
+    i = 0
+    while len(b.instrs) < n_instrs:
+        # Alternate a strided load PC over the full working set (the
+        # prefetchable branch feed CATCH accelerates) with a random load PC
+        # over a small L1-resident hot region (table lookups).  Distinct
+        # static PCs keep the stride learnable per PC.
+        if i % 2 == 0:
+            slot = pc
+            addr = base + ((i // 2) * 64) % ws_bytes
+        else:
+            slot = pc + 0x200
+            addr = base + b.rng.randrange(min(ws_lines, 96)) * 64
+        b.load(slot, R_DATA[0], addr, srcs=(R_PTR,))
+        slot += 4
+        prev = R_DATA[0]
+        for k in range(work_per_branch):
+            dst = R_DATA[1 + k % 3]
+            b.alu(slot, dst, (prev,))
+            prev = dst
+            slot += 4
+        taken = b.rng.random() < p_taken  # data-dependent: unlearnable
+        b.branch(slot, taken, exit_pc if taken else pc, srcs=(prev,))
+        slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc)
+        i += 1
+    return b.build()
+
+
+def fp_compute(
+    name: str, category: str, n_instrs: int, *,
+    ws_bytes: int = 2 << 20, stride: int = 64, fp_chain: int = 3,
+    seed: int = 8,
+) -> Trace:
+    """FP dependence chains fed by strided loads (FSPEC/HPC class)."""
+    b = TraceBuilder(name, category, seed)
+    a = b.alloc(ws_bytes)
+    c = b.alloc(ws_bytes)
+    pc = b.code_base
+    i = 0
+    while len(b.instrs) < n_instrs:
+        slot = pc
+        off = (i * stride) % ws_bytes
+        b.load(slot, R_DATA[0], a + off, srcs=(R_PTR,))
+        slot += 4
+        b.load(slot, R_DATA[1], c + off, srcs=(R_PTR,))
+        slot += 4
+        prev = R_DATA[0]
+        for k in range(fp_chain):
+            dst = R_DATA[2 + k % 4]
+            b.fp(slot, dst, (prev, R_DATA[1]))
+            prev = dst
+            slot += 4
+        b.store(slot, a + off, prev)
+        slot += 4
+        b.alu(slot, R_PTR, (R_PTR,))
+        slot += 4
+        b.branch(slot, True, pc)
+        i += 1
+    return b.build()
+
+
+def many_critical_pcs(
+    name: str, category: str, n_instrs: int, *,
+    n_load_pcs: int = 96, ws_bytes: int = 2 << 20, chain_every: int = 2,
+    seed: int = 9,
+) -> Trace:
+    """Many distinct load PCs take turns on the critical path (povray-like).
+
+    Static code contains ``n_load_pcs`` separate load slots visited round
+    robin; each is critical when visited, overflowing a 32-entry critical
+    table.  Every ``chain_every``-th iteration feeds the loop-carried pointer
+    (serialising), the rest overlap — mirroring real code where only a
+    fraction of each PC's instances sit on the critical path.
+    """
+    b = TraceBuilder(name, category, seed)
+    base = b.alloc(ws_bytes)
+    pcs = [b.code_base + k * 48 for k in range(n_load_pcs)]
+    i = 0
+    while len(b.instrs) < n_instrs:
+        k = i % n_load_pcs
+        slot = pcs[k]
+        addr = base + ((i * 17) * 64) % ws_bytes
+        b.load(slot, R_DATA[0], addr, srcs=(R_PTR,))
+        b.alu(slot + 4, R_DATA[1], (R_DATA[0],))
+        if i % chain_every == 0:
+            # Serialising link, diluted by fixed ALU work so the critical
+            # path is not purely load latency (as in real code).
+            prev = R_DATA[1]
+            for w in range(6):
+                dst = R_DATA[2 + w % 4]
+                b.alu(slot + 8 + w * 4, dst, (prev,))
+                prev = dst
+            b.alu(slot + 32, R_PTR, (R_PTR, prev))
+        else:
+            b.alu(slot + 8, R_PTR, (R_PTR,))
+        b.branch(slot + 36, True, pcs[(k + 1) % n_load_pcs], srcs=(R_DATA[1],))
+        i += 1
+    return b.build()

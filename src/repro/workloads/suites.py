@@ -1,0 +1,199 @@
+"""Named workload suites mirroring the paper's Table II.
+
+The paper evaluates 70 single-thread applications over five categories
+(SPEC INT, SPEC FP, HPC, server, client) plus 60 four-way multi-programmed
+mixes.  We reproduce the *structure* at laptop scale: 35 named synthetic
+workloads whose kernels exercise the behaviours the paper attributes to each
+application, and parameterised MP mixes.
+
+Workloads the paper calls out individually are modeled explicitly:
+
+* ``hmmer_like`` — L2-resident dependent loads (loses heavily without an L2,
+  recovered by TACT-Deep-Self);
+* ``mcf_like`` — index-feeding-gather (lifted by TACT-Feeder);
+* ``povray_like`` — more critical load PCs than the 32-entry table tracks;
+* ``namd_like`` / ``gromacs_like`` — pointer chases no prefetcher can help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Callable
+
+from . import generator as g
+from .trace import CATEGORIES, Trace
+
+KB = 1024
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named workload: kernel + parameters + category."""
+
+    name: str
+    category: str
+    kernel: Callable[..., Trace]
+    params: tuple[tuple[str, object], ...] = ()
+    #: Trace-length multiplier.  LLC-boundary working sets (1.6-2.4 MB on the
+    #: scaled hierarchy) need more instructions than the default to both
+    #: build and re-reference their footprint; the simulator honours this.
+    length_multiplier: int = 1
+
+    def build(self, n_instrs: int = 30_000) -> Trace:
+        """Materialise the trace with ``n_instrs`` dynamic instructions."""
+        return self.kernel(self.name, self.category, n_instrs, **dict(self.params))
+
+
+def _spec(
+    name: str,
+    category: str,
+    kernel: Callable[..., Trace],
+    length_multiplier: int = 1,
+    **params,
+) -> WorkloadSpec:
+    return WorkloadSpec(
+        name, category, kernel, tuple(sorted(params.items())), length_multiplier
+    )
+
+
+# Working sets below are tuned for the default capacity-scaled hierarchy
+# (L1 8 KB, L2 256 KB, LLC 1.375 MB; noL2 variants 1.625 / 2.375 MB) at the
+# default 40K-instruction trace length, targeting four regimes:
+# L1-resident, L2-resident (the CATCH sweet spot), LLC-resident, and
+# streaming-past-LLC (memory bound).
+ST_SUITE: list[WorkloadSpec] = [
+    # ---- ISPEC ------------------------------------------------------------
+    _spec("mcf_like", "ISPEC", g.indexed_gather, data_ws_bytes=288 * KB,
+          length_multiplier=2, seed=11),
+    _spec("omnetpp_like", "ISPEC", g.pointer_chase, nodes=4096, chains=2,
+          alu_per_hop=4, ptr_work=8, seed=12),
+    _spec("xalancbmk_like", "ISPEC", g.cross_gather, data_ws_bytes=416 * KB,
+          chain_muls=6, seed=13),
+    _spec("astar_like", "ISPEC", g.pointer_chase, nodes=1024, chains=3,
+          alu_per_hop=4, ptr_work=12, seed=14),
+    _spec("gobmk_like", "ISPEC", g.branchy, ws_bytes=48 * KB, p_taken=0.35, seed=15),
+    _spec("perlbench_like", "ISPEC", g.server_app, code_kb=48, block_instrs=16,
+          data_ws_bytes=512 * KB, seed=16),
+    _spec("bzip2_like", "ISPEC", g.hot_loop, ws_bytes=64 * KB, chain_loads=3,
+          l1_lanes=2, alu_between=8, seed=17),
+    _spec("libquantum_like", "ISPEC", g.streaming, ws_bytes=7 * MB,
+          stride=448, seed=18),
+    _spec("h264ref_like", "ISPEC", g.cross_gather, data_ws_bytes=192 * KB,
+          chain_muls=5, seed=19),
+    _spec("sjeng_like", "ISPEC", g.branchy, ws_bytes=64 * KB, p_taken=0.45, seed=20),
+    _spec("gcc_like", "ISPEC", g.many_critical_pcs, n_load_pcs=64,
+          ws_bytes=384 * KB, seed=21),
+    _spec("hmmer_like", "ISPEC", g.hot_loop, ws_bytes=48 * KB, chain_loads=4,
+          alu_between=2, seed=22),
+    # ---- FSPEC ------------------------------------------------------------
+    _spec("bwaves_like", "FSPEC", g.streaming, ws_bytes=8 * MB, stride=512, seed=31),
+    _spec("milc_like", "FSPEC", g.skewed_gather, hot_bytes=384 * KB,
+          band_bytes=1600 * KB, hot_fraction=0.7, length_multiplier=3, seed=32),
+    _spec("zeusmp_like", "FSPEC", g.skewed_gather, hot_bytes=512 * KB,
+          band_bytes=1920 * KB, hot_fraction=0.7, length_multiplier=3, seed=33),
+    _spec("soplex_like", "FSPEC", g.indexed_gather, data_ws_bytes=320 * KB, seed=34),
+    _spec("povray_like", "FSPEC", g.many_critical_pcs, n_load_pcs=96,
+          ws_bytes=256 * KB, seed=35),
+    _spec("calculix_like", "FSPEC", g.fp_compute, ws_bytes=48 * KB, seed=36),
+    _spec("gemsfdtd_like", "FSPEC", g.streaming, ws_bytes=10 * MB,
+          stride=640, seed=37),
+    _spec("lbm_like", "FSPEC", g.streaming, ws_bytes=8 * MB, stride=512,
+          store_every=2, seed=38),
+    _spec("namd_like", "FSPEC", g.pointer_chase, nodes=8192, chains=2, seed=39),
+    _spec("gromacs_like", "FSPEC", g.pointer_chase, nodes=12288, chains=2, seed=40),
+    _spec("sphinx3_like", "FSPEC", g.skewed_gather, hot_bytes=512 * KB,
+          band_bytes=1792 * KB, hot_fraction=0.7, length_multiplier=3, seed=41),
+    _spec("leslie3d_like", "FSPEC", g.fp_compute, ws_bytes=5 * MB,
+          stride=448, seed=42),
+    # ---- HPC ----------------------------------------------------------------
+    _spec("hplinpack_like", "HPC", g.fp_compute, ws_bytes=32 * KB, seed=51),
+    _spec("blackscholes_like", "HPC", g.fp_compute, ws_bytes=16 * KB,
+          fp_chain=5, seed=52),
+    _spec("bioinformatics_like", "HPC", g.indexed_gather, data_ws_bytes=224 * KB, seed=53),
+    _spec("hpcapp_like", "HPC", g.streaming, ws_bytes=12 * MB, stride=768, seed=54),
+    # ---- server -------------------------------------------------------------
+    _spec("tpcc_like", "server", g.server_app, code_kb=56, block_instrs=16,
+          data_ws_bytes=512 * KB, seed=61),
+    _spec("tpce_like", "server", g.server_app, code_kb=48, block_instrs=16,
+          data_ws_bytes=384 * KB, seed=62),
+    _spec("specjbb_like", "server", g.server_app, code_kb=40, block_instrs=16,
+          data_ws_bytes=320 * KB, seed=63),
+    _spec("oracle_like", "server", g.server_app, code_kb=56, block_instrs=16,
+          data_ws_bytes=448 * KB, seed=64),
+    _spec("hadoop_like", "server", g.server_app, code_kb=32, block_instrs=16,
+          data_ws_bytes=768 * KB, seed=65),
+    _spec("specpower_like", "server", g.server_app, code_kb=24, block_instrs=16,
+          data_ws_bytes=256 * KB, seed=66),
+    # ---- client -------------------------------------------------------------
+    _spec("excel_like", "client", g.branchy, ws_bytes=96 * KB, p_taken=0.4, seed=71),
+    _spec("facedet_like", "client", g.cross_gather, data_ws_bytes=384 * KB,
+          chain_muls=7, seed=72),
+    _spec("h264enc_like", "client", g.hot_loop, ws_bytes=40 * KB, chain_loads=2,
+          l1_lanes=1, alu_between=8, seed=73),
+]
+
+_BY_NAME = {spec.name: spec for spec in ST_SUITE}
+
+#: A small representative cross-section used by fast tests and benchmarks.
+QUICK_SUITE_NAMES = (
+    "hmmer_like", "mcf_like", "sphinx3_like", "tpcc_like",
+    "excel_like", "bwaves_like", "hplinpack_like", "namd_like",
+)
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload by name; raises ``KeyError`` with suggestions."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown workload {name!r}; known: {sorted(_BY_NAME)}") from None
+
+
+def suite(categories: tuple[str, ...] | None = None, quick: bool = False) -> list[WorkloadSpec]:
+    """The ST workload list, optionally restricted.
+
+    Args:
+        categories: keep only these Table-II categories.
+        quick: restrict to :data:`QUICK_SUITE_NAMES` (fast CI runs).
+    """
+    specs = ST_SUITE
+    if quick:
+        specs = [s for s in specs if s.name in QUICK_SUITE_NAMES]
+    if categories:
+        unknown = set(categories) - set(CATEGORIES)
+        if unknown:
+            raise ValueError(f"unknown categories: {sorted(unknown)}")
+        specs = [s for s in specs if s.category in categories]
+    return list(specs)
+
+
+@lru_cache(maxsize=256)
+def build_trace(name: str, n_instrs: int = 30_000) -> Trace:
+    """Build (and memoise) the trace for a named workload."""
+    return get_spec(name).build(n_instrs)
+
+
+def mp_mixes(count: int = 12, *, rate4: int | None = None, seed: int = 99) -> list[tuple[str, ...]]:
+    """Four-way multi-programmed mixes (paper Section V: half RATE-4 copies
+    of one application, half random mixes).
+
+    Args:
+        count: total number of mixes.
+        rate4: how many are homogeneous 4-copy mixes (default: half).
+        seed: RNG seed for the random mixes.
+    """
+    import random
+
+    rng = random.Random(seed)
+    if rate4 is None:
+        rate4 = count // 2
+    names = [s.name for s in ST_SUITE]
+    mixes: list[tuple[str, ...]] = []
+    rate_pool = rng.sample(names, min(rate4, len(names)))
+    for name in rate_pool:
+        mixes.append((name,) * 4)
+    while len(mixes) < count:
+        mixes.append(tuple(rng.sample(names, 4)))
+    return mixes

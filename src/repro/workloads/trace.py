@@ -1,0 +1,149 @@
+"""Instruction and trace model shared by the workload generators and the core.
+
+The simulator is trace driven: a workload is a sequence of :class:`Instr`
+records with explicit architectural register dependencies, memory addresses,
+load data values and branch outcomes.  This is the information the paper's
+in-house simulator extracts from x86 execution; carrying it in the trace lets
+the DDG timing model (``repro.cpu``) and the criticality/TACT hardware
+(``repro.core``) observe exactly what real hardware would.
+
+Traces also carry a *memory image* — a sparse ``addr -> int`` map holding the
+contents of pointer/index arrays.  The TACT-Feeder prefetcher reads prefetched
+lines' data from this image, exactly as the hardware reads data out of a
+fetched cache line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Iterator
+
+#: Number of architectural integer registers modeled (x86-64 GPR count).
+NUM_ARCH_REGS = 16
+
+#: Cache line size in bytes, fixed across the hierarchy (Skylake uses 64B).
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+
+class Op(IntEnum):
+    """Instruction classes distinguished by the timing model."""
+
+    ALU = 0      #: single-cycle integer op
+    MUL = 1      #: 3-cycle integer multiply
+    FP = 2       #: 4-cycle floating point op
+    LOAD = 3     #: memory load (latency from the cache hierarchy)
+    STORE = 4    #: memory store (retire-time write, no consumer latency)
+    BRANCH = 5   #: conditional/unconditional branch
+    NOP = 6      #: no-op / fence placeholder
+
+
+#: Fixed execution latencies (cycles) for non-load operations.
+EXEC_LATENCY = {
+    Op.ALU: 1,
+    Op.MUL: 3,
+    Op.FP: 4,
+    Op.LOAD: 0,   # filled in by the cache hierarchy at execute time
+    Op.STORE: 1,
+    Op.BRANCH: 1,
+    Op.NOP: 1,
+}
+
+
+@dataclass(slots=True)
+class Instr:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: byte address of the instruction (static PC; loop iterations
+            revisit the same PC).
+        op: instruction class.
+        srcs: architectural source register ids (empty tuple if none).
+        dst: destination register id, or ``-1`` when the instruction does not
+            write a register (stores, branches).
+        addr: memory byte address for LOAD/STORE, else ``-1``.
+        data: value loaded/stored for LOAD/STORE, else ``0``.  Load values
+            feed the TACT-Feeder data association.
+        taken: branch outcome (meaningful only for ``Op.BRANCH``).
+        target: branch target PC (meaningful only for ``Op.BRANCH``).
+    """
+
+    pc: int
+    op: Op
+    srcs: tuple[int, ...] = ()
+    dst: int = -1
+    addr: int = -1
+    data: int = 0
+    taken: bool = False
+    target: int = -1
+
+    @property
+    def is_mem(self) -> bool:
+        return self.op is Op.LOAD or self.op is Op.STORE
+
+    @property
+    def line(self) -> int:
+        """Cache-line address of the memory access (``-1`` for non-memory)."""
+        return self.addr >> LINE_SHIFT if self.addr >= 0 else -1
+
+    @property
+    def code_line(self) -> int:
+        """Cache-line address of the instruction bytes."""
+        return self.pc >> LINE_SHIFT
+
+
+@dataclass
+class Trace:
+    """A complete workload trace.
+
+    Attributes:
+        name: workload name (e.g. ``"mcf_like"``).
+        category: one of ``client/FSPEC/HPC/ISPEC/server`` (Table II).
+        instrs: dynamic instruction stream.
+        memory_image: sparse memory contents for data-dependent address
+            streams (pointer chains, index arrays).
+    """
+
+    name: str
+    category: str
+    instrs: list[Instr]
+    memory_image: dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def __iter__(self) -> Iterator[Instr]:
+        return iter(self.instrs)
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for i in self.instrs if i.op is Op.LOAD)
+
+    @property
+    def branch_count(self) -> int:
+        return sum(1 for i in self.instrs if i.op is Op.BRANCH)
+
+    def footprint_lines(self) -> int:
+        """Number of distinct data cache lines touched."""
+        return len({i.line for i in self.instrs if i.is_mem})
+
+    def code_lines(self) -> int:
+        """Number of distinct code cache lines touched."""
+        return len({i.code_line for i in self.instrs})
+
+    def validate(self) -> None:
+        """Sanity-check structural invariants; raises ``ValueError``."""
+        for idx, ins in enumerate(self.instrs):
+            if ins.op is Op.LOAD or ins.op is Op.STORE:
+                if ins.addr < 0:
+                    raise ValueError(f"instr {idx}: memory op without address")
+            if ins.dst >= NUM_ARCH_REGS or any(
+                s >= NUM_ARCH_REGS or s < 0 for s in ins.srcs
+            ):
+                raise ValueError(f"instr {idx}: register id out of range")
+            if ins.pc < 0:
+                raise ValueError(f"instr {idx}: negative pc")
+
+
+CATEGORIES = ("client", "FSPEC", "HPC", "ISPEC", "server")

@@ -1,0 +1,148 @@
+"""Simulator validation against the analytical bounds."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy, LevelSpec
+from repro.cpu.core import CoreParams, OOOCore
+from repro.memory.controller import MemoryController
+from repro.sim.analytical import (
+    LoopShape,
+    bandwidth_bound,
+    chain_bound,
+    predicted_ipc,
+    width_bound,
+    window_bound,
+)
+from repro.workloads.trace import Instr, Op, Trace
+
+
+def make_hierarchy():
+    return CacheHierarchy(
+        1,
+        l1i=LevelSpec(8, 8, 5),
+        l1d=LevelSpec(8, 8, 5),
+        l2=LevelSpec(64, 8, 15),
+        llc=LevelSpec(256, 8, 40),
+        memory=MemoryController(fixed_latency=160),
+    )
+
+
+def simulate(instrs, params=None):
+    core = OOOCore(0, make_hierarchy(), params or CoreParams())
+    result = core.run(Trace("t", "ISPEC", instrs))
+    return result.ipc
+
+
+class TestBoundsAlgebra:
+    def test_width(self):
+        assert width_bound(CoreParams(width=4)) == 4.0
+
+    def test_chain(self):
+        assert chain_bound(LoopShape(instructions=10, chain_latency=5)) == 2.0
+
+    def test_chain_unbounded(self):
+        assert chain_bound(LoopShape(instructions=10)) == float("inf")
+
+    def test_window(self):
+        shape = LoopShape(instructions=14, body_latency=70)
+        # 224/14 = 16 iterations in flight, 70-cycle serial body each.
+        assert window_bound(shape, CoreParams()) == pytest.approx(14 * 16 / 70)
+
+    def test_bandwidth(self):
+        shape = LoopShape(instructions=6, bytes_per_iter=64)
+        bw = bandwidth_bound(shape)
+        assert 0 < bw < 6
+
+    def test_predicted_takes_min(self):
+        shape = LoopShape(instructions=8, chain_latency=100)
+        assert predicted_ipc(shape) == chain_bound(shape)
+
+
+class TestSimulatorAgreement:
+    def test_width_bound_kernel(self):
+        """Independent ALUs: the simulator must sit at the width bound."""
+        instrs = [Instr(0x400000, Op.ALU, srcs=(2,), dst=3) for _ in range(20_000)]
+        ipc = simulate(instrs)
+        bound = predicted_ipc(LoopShape(instructions=1))
+        assert ipc == pytest.approx(bound, rel=0.1)
+
+    def test_chain_bound_kernel(self):
+        """A 1-cycle loop-carried ALU chain: IPC = instrs/chain = 1.0."""
+        instrs = [Instr(0x400000, Op.ALU, srcs=(1,), dst=1) for _ in range(10_000)]
+        ipc = simulate(instrs)
+        bound = predicted_ipc(LoopShape(instructions=1, chain_latency=1))
+        assert ipc == pytest.approx(bound, rel=0.06)
+
+    def test_chain_bound_with_load(self):
+        """Chain of L1 loads (5 cycles): IPC = 1/5."""
+        instrs = [
+            Instr(0x400000, Op.LOAD, srcs=(1,), dst=1, addr=0x1000)
+            for _ in range(6000)
+        ]
+        ipc = simulate(instrs)
+        bound = predicted_ipc(LoopShape(instructions=1, chain_latency=5))
+        assert ipc == pytest.approx(bound, rel=0.1)
+
+    def test_mixed_chain_kernel(self):
+        """Loop: chained load + 3 dependent ALUs + 4 independent fillers.
+
+        Chain = 5 (load) + 3 (alus) = 8 cycles for 8 instructions -> IPC 1.
+        """
+        instrs = []
+        for _ in range(2000):
+            instrs.append(Instr(0x400000, Op.LOAD, srcs=(1,), dst=1, addr=0x40))
+            prev = 1
+            for k in range(3):
+                instrs.append(Instr(0x400004, Op.ALU, srcs=(prev,), dst=1))
+            for k in range(4):
+                instrs.append(Instr(0x400008, Op.ALU, srcs=(8,), dst=9))
+        ipc = simulate(instrs)
+        bound = predicted_ipc(LoopShape(instructions=8, chain_latency=8))
+        assert ipc == pytest.approx(min(bound, 4.0), rel=0.15)
+
+    def test_window_bound_kernel(self):
+        """Iterations with a long internal (non-carried) chain overlap only
+        up to the ROB: IPC = ROB / body_latency."""
+        instrs = []
+        for i in range(3000):
+            # 60-cycle serial body (independent across iterations), 4 instrs
+            instrs.append(Instr(0x400000, Op.LOAD, srcs=(2,), dst=4, addr=0x40))
+            instrs.append(Instr(0x400004, Op.MUL, srcs=(4,), dst=4))
+            instrs.append(Instr(0x400008, Op.FP, srcs=(4,), dst=4))
+            instrs.append(Instr(0x40000C, Op.FP, srcs=(4,), dst=5))
+        body = 5 + 3 + 4 + 4  # load + mul + fp + fp
+        shape = LoopShape(instructions=4, body_latency=body)
+        params = CoreParams(rob_size=32)
+        ipc = simulate(instrs, params)
+        bound = predicted_ipc(shape, params)
+        assert ipc == pytest.approx(bound, rel=0.25)
+
+    def test_bandwidth_bound_kernel(self):
+        """A never-reused line-per-iteration stream is DRAM-bandwidth-bound
+        within 2x (queueing/row effects are not in the analytical model)."""
+        instrs = []
+        for i in range(30_000):
+            instrs.append(
+                Instr(0x400000, Op.LOAD, srcs=(2,), dst=4, addr=i * 64)
+            )
+            instrs.append(Instr(0x400004, Op.ALU, srcs=(4,), dst=5))
+        core = OOOCore(
+            0,
+            make_hierarchy_real(),
+            CoreParams(enable_l1_stride=False, enable_l2_stream=False),
+        )
+        ipc = core.run(Trace("t", "ISPEC", instrs)).ipc
+        bound = bandwidth_bound(LoopShape(instructions=2, bytes_per_iter=64))
+        assert ipc <= bound * 1.05
+        assert ipc >= bound / 4  # within the expected queueing factor
+
+
+def make_hierarchy_real():
+    return CacheHierarchy(
+        1,
+        l1i=LevelSpec(8, 8, 5),
+        l1d=LevelSpec(8, 8, 5),
+        l2=LevelSpec(64, 8, 15),
+        llc=LevelSpec(256, 8, 40),
+        memory=MemoryController(),  # real DRAM for the bandwidth test
+    )

@@ -1,0 +1,97 @@
+"""Unit tests for the gshare branch predictor and BTB."""
+
+from repro.cpu.branch import GshareBranchPredictor
+
+
+def run_pattern(pred, pc, pattern, target=0x5000, repeats=1):
+    """Feed a taken/not-taken pattern; returns mispredicts per round."""
+    results = []
+    for _ in range(repeats):
+        mis = 0
+        for taken in pattern:
+            mis += pred.predict_and_update(pc, taken, target if taken else -1)
+        results.append(mis)
+    return results
+
+
+class TestDirection:
+    def test_always_taken_learned(self):
+        p = GshareBranchPredictor()
+        rounds = run_pattern(p, 0x400, [True] * 8, repeats=4)
+        assert rounds[-1] == 0
+
+    def test_always_not_taken_learned(self):
+        p = GshareBranchPredictor()
+        rounds = run_pattern(p, 0x400, [False] * 8, repeats=4)
+        assert rounds[-1] == 0
+
+    def test_loop_pattern_learned(self):
+        p = GshareBranchPredictor()
+        pattern = [True] * 7 + [False]  # 8-iteration loop
+        rounds = run_pattern(p, 0x400, pattern, repeats=12)
+        assert rounds[-1] <= 1  # history captures the loop exit
+
+    def test_random_pattern_mispredicts(self):
+        import random
+
+        rng = random.Random(1)
+        p = GshareBranchPredictor()
+        mis = 0
+        total = 400
+        for _ in range(total):
+            mis += p.predict_and_update(0x400, rng.random() < 0.5, 0x5000)
+        assert mis > total // 4  # can't learn randomness
+
+    def test_stats_tracked(self):
+        p = GshareBranchPredictor()
+        run_pattern(p, 0x400, [True, False] * 4)
+        assert p.stats.branches == 8
+        assert 0 <= p.stats.mispredict_rate <= 1
+
+
+class TestBTB:
+    def test_unknown_target_is_mispredict(self):
+        p = GshareBranchPredictor()
+        # Saturate direction first via another alias-free training...
+        run_pattern(p, 0x400, [True] * 8, target=0x5000, repeats=2)
+        # New taken branch with unseen target: direction may be right but
+        # the BTB entry is missing.
+        mis = p.predict_and_update(0x99999, True, 0xABCD)
+        assert mis  # first encounter always mispredicts somehow
+
+    def test_target_learned(self):
+        p = GshareBranchPredictor()
+        # Enough rounds for the global history register to saturate.
+        rounds = run_pattern(p, 0x400, [True] * 8, target=0x1234, repeats=8)
+        assert rounds[-1] == 0
+        assert p.btb_target(0x400) == 0x1234
+
+    def test_target_change_mispredicts(self):
+        p = GshareBranchPredictor()
+        run_pattern(p, 0x400, [True] * 8, target=0x1000, repeats=2)
+        assert p.predict_and_update(0x400, True, 0x2000)  # stale target
+
+    def test_capacity_eviction(self):
+        p = GshareBranchPredictor(btb_entries=4)
+        for i in range(8):
+            p.predict_and_update(0x400 + i * 4, True, 0x1000 + i)
+        assert len(p._btb) <= 4
+
+
+class TestRunaheadInterface:
+    def test_peek_matches_would_predict_at_current_history(self):
+        p = GshareBranchPredictor()
+        run_pattern(p, 0x400, [True] * 8, repeats=2)
+        assert p.peek(0x400, p.history) == p.would_predict(0x400)
+
+    def test_fold_history(self):
+        p = GshareBranchPredictor(history_bits=4)
+        h = 0b0101
+        assert p.fold_history(h, True) == 0b1011
+        assert p.fold_history(h, False) == 0b1010
+
+    def test_peek_does_not_mutate(self):
+        p = GshareBranchPredictor()
+        before = bytes(p._counters)
+        p.peek(0x400, 123)
+        assert bytes(p._counters) == before

@@ -1,0 +1,207 @@
+"""Unit tests for the set-associative cache array."""
+
+import pytest
+
+from repro.caches.cache import Cache
+
+
+def make_cache(size_kb=8, assoc=4, latency=5, **kw):
+    return Cache("T", size_kb * 1024, assoc, latency, **kw)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        c = make_cache(8, 4)
+        assert c.num_sets == 8 * 1024 // (4 * 64)
+
+    def test_non_power_of_two_sets_allowed(self):
+        c = Cache("LLC", int(6.5 * 1024 * 1024), 11, 40)
+        assert c.num_sets == int(6.5 * 1024 * 1024) // (11 * 64)
+
+    def test_effective_size_rounds_down(self):
+        c = Cache("odd", 1000 * 64, 3, 1)
+        assert c.size_bytes == c.num_sets * 3 * 64
+
+    def test_set_index_plain_modulo(self):
+        c = make_cache()
+        assert c.set_index(5) == 5 % c.num_sets
+
+    def test_set_index_hashed_differs_from_modulo(self):
+        plain = make_cache()
+        hashed = make_cache(hashed_index=True)
+        indices_plain = {plain.set_index(8 * k) for k in range(256)}
+        indices_hashed = {hashed.set_index(8 * k) for k in range(256)}
+        # Stride-8 lines hit few sets with modulo indexing, most with hashing.
+        assert len(indices_hashed) > len(indices_plain)
+
+
+class TestAccess:
+    def test_miss_on_empty(self):
+        c = make_cache()
+        assert c.access(0x100, 0.0) is None
+        assert c.stats.misses == 1
+
+    def test_hit_after_fill(self):
+        c = make_cache()
+        c.fill(0x100, ready=0.0)
+        assert c.access(0x100, 10.0) is not None
+        assert c.stats.hits == 1
+
+    def test_inflight_hit_counted(self):
+        c = make_cache()
+        c.fill(0x100, ready=100.0)
+        line = c.access(0x100, 10.0)
+        assert line is not None and line.ready == 100.0
+        assert c.stats.inflight_hits == 1
+
+    def test_write_sets_dirty(self):
+        c = make_cache()
+        c.fill(0x100, ready=0.0)
+        c.access(0x100, 1.0, write=True)
+        assert c.peek(0x100).dirty
+
+    def test_peek_does_not_update_stats(self):
+        c = make_cache()
+        c.fill(0x100, ready=0.0)
+        before = (c.stats.hits, c.stats.misses)
+        c.peek(0x100)
+        c.peek(0x999)
+        assert (c.stats.hits, c.stats.misses) == before
+
+    def test_contains(self):
+        c = make_cache()
+        c.fill(0x100, ready=0.0)
+        assert c.contains(0x100)
+        assert not c.contains(0x101)
+
+
+class TestFillEvict:
+    def test_fill_returns_none_when_space(self):
+        c = make_cache()
+        assert c.fill(0x100, 0.0) is None
+
+    def test_eviction_when_set_full(self):
+        c = make_cache(assoc=2)
+        sets = c.num_sets
+        c.fill(0 * sets, 0.0)
+        c.fill(1 * sets, 0.0)
+        victim = c.fill(2 * sets, 0.0)
+        assert victim is not None
+        assert victim[0] == 0  # LRU: oldest untouched line
+
+    def test_lru_respects_access_order(self):
+        c = make_cache(assoc=2)
+        sets = c.num_sets
+        c.fill(0 * sets, 0.0)
+        c.fill(1 * sets, 0.0)
+        c.access(0 * sets, 1.0)  # make line 0 MRU
+        victim = c.fill(2 * sets, 0.0)
+        assert victim[0] == 1 * sets
+
+    def test_refill_refreshes_ready_earlier_only(self):
+        c = make_cache()
+        c.fill(0x100, ready=100.0)
+        c.fill(0x100, ready=50.0)
+        assert c.peek(0x100).ready == 50.0
+        c.fill(0x100, ready=200.0)
+        assert c.peek(0x100).ready == 50.0
+
+    def test_refill_merges_dirty(self):
+        c = make_cache()
+        c.fill(0x100, ready=0.0, dirty=True)
+        c.fill(0x100, ready=0.0, dirty=False)
+        assert c.peek(0x100).dirty
+
+    def test_dirty_eviction_counted(self):
+        c = make_cache(assoc=1)
+        sets = c.num_sets
+        c.fill(0 * sets, 0.0, dirty=True)
+        c.fill(1 * sets, 0.0)
+        assert c.stats.dirty_evictions == 1
+
+    def test_invalidate_removes(self):
+        c = make_cache()
+        c.fill(0x100, 0.0)
+        line = c.invalidate(0x100)
+        assert line is not None
+        assert not c.contains(0x100)
+        assert c.stats.invalidations == 1
+
+    def test_invalidate_absent_returns_none(self):
+        c = make_cache()
+        assert c.invalidate(0x100) is None
+        assert c.stats.invalidations == 0
+
+    def test_occupancy(self):
+        c = make_cache()
+        for i in range(10):
+            c.fill(i, 0.0)
+        assert c.occupancy() == 10
+
+    def test_occupancy_never_exceeds_capacity(self):
+        c = make_cache(size_kb=1, assoc=2)
+        for i in range(1000):
+            c.fill(i, 0.0)
+        assert c.occupancy() <= c.num_sets * c.assoc
+
+    def test_resident_lines(self):
+        c = make_cache()
+        c.fill(0x100, 0.0)
+        c.fill(0x200, 0.0)
+        assert set(c.resident_lines()) == {0x100, 0x200}
+
+
+class TestPrefetchTracking:
+    def test_prefetch_fill_counted(self):
+        c = make_cache()
+        c.fill(0x100, 0.0, prefetched=True)
+        assert c.stats.prefetch_fills == 1
+
+    def test_prefetch_useful_on_demand_hit(self):
+        c = make_cache()
+        c.fill(0x100, 0.0, prefetched=True)
+        c.access(0x100, 1.0)
+        assert c.stats.prefetch_useful == 1
+        assert not c.peek(0x100).prefetched  # counted once
+
+    def test_prefetch_unused_on_eviction(self):
+        c = make_cache(assoc=1)
+        sets = c.num_sets
+        c.fill(0, 0.0, prefetched=True)
+        c.fill(sets, 0.0)
+        assert c.stats.prefetch_unused == 1
+
+    def test_src_level_stored(self):
+        c = make_cache()
+        c.fill(0x100, 0.0, src=2)
+        assert c.peek(0x100).src == 2
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make_cache()
+        c.fill(0x100, 0.0)
+        c.access(0x100, 1.0)
+        c.access(0x200, 1.0)
+        assert c.stats.hit_rate == 0.5
+
+    def test_hit_rate_empty(self):
+        assert make_cache().stats.hit_rate == 0.0
+
+    def test_reset(self):
+        c = make_cache()
+        c.fill(0x100, 0.0)
+        c.access(0x100, 1.0)
+        c.stats.reset()
+        assert c.stats.hits == 0 and c.stats.fills == 0
+        assert c.contains(0x100)  # state survives a stats reset
+
+
+@pytest.mark.parametrize("policy", ["lru", "lip", "random", "srrip", "nru"])
+def test_all_policies_bound_occupancy(policy):
+    c = make_cache(size_kb=1, assoc=2, replacement=policy)
+    for i in range(500):
+        c.fill(i, 0.0)
+        if i % 3 == 0:
+            c.access(i, 0.0)
+    assert c.occupancy() <= c.num_sets * c.assoc

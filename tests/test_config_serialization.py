@@ -1,0 +1,110 @@
+"""Tests for SimConfig JSON round-tripping and the sim CLI."""
+
+import io
+import sys
+
+import pytest
+
+from repro.caches.hierarchy import Level
+from repro.sim.config import (
+    no_l2,
+    skylake_client,
+    skylake_server,
+    with_catch,
+    with_extra_latency,
+)
+from repro.sim.serialization import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+CONFIGS = [
+    skylake_server(),
+    skylake_client(),
+    no_l2(skylake_server(), 9.5),
+    with_catch(skylake_server()),
+    with_extra_latency(skylake_server(), Level.LLC, 6),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: c.name)
+def test_round_trip_equality(cfg):
+    assert config_from_dict(config_to_dict(cfg)) == cfg
+
+
+def test_round_trip_through_file(tmp_path):
+    cfg = with_catch(no_l2(skylake_server(), 6.5))
+    path = tmp_path / "cfg.json"
+    save_config(cfg, path)
+    assert load_config(path) == cfg
+
+
+def test_round_trip_preserves_detector_options(tmp_path):
+    import dataclasses
+
+    cfg = with_catch(skylake_server())
+    cfg = dataclasses.replace(
+        cfg,
+        catch=dataclasses.replace(
+            cfg.catch, detector="oldest_in_rob", table_policy="lfu"
+        ),
+    )
+    restored = config_from_dict(config_to_dict(cfg))
+    assert restored.catch.detector == "oldest_in_rob"
+    assert restored.catch.table_policy == "lfu"
+
+
+def test_loaded_config_simulates_identically(tmp_path):
+    from repro.sim.simulator import Simulator
+
+    cfg = skylake_server()
+    path = tmp_path / "cfg.json"
+    save_config(cfg, path)
+    a = Simulator(cfg).run("hplinpack_like", 6000)
+    b = Simulator(load_config(path)).run("hplinpack_like", 6000)
+    assert a.cycles == b.cycles
+
+
+class TestSimCLI:
+    def _run(self, argv):
+        from repro.sim.__main__ import main
+
+        out = io.StringIO()
+        old = sys.stdout
+        sys.stdout = out
+        try:
+            code = main(argv)
+        finally:
+            sys.stdout = old
+        return code, out.getvalue()
+
+    def test_list(self):
+        code, out = self._run(["list"])
+        assert code == 0
+        assert "baseline_server" in out and "CATCH" in out
+
+    def test_describe_and_export(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        code, out = self._run(["describe", "CATCH", "--out", path])
+        assert code == 0 and "CATCH" in out
+        restored = load_config(path)
+        assert restored.is_catch
+
+    def test_run_named(self):
+        code, out = self._run(["run", "baseline_server", "hplinpack_like",
+                               "--n", "4000"])
+        assert code == 0
+        assert "IPC" in out
+
+    def test_run_from_file(self, tmp_path):
+        path = str(tmp_path / "c.json")
+        save_config(skylake_server(), path)
+        code, out = self._run(["run", path, "hplinpack_like", "--n", "4000"])
+        assert code == 0
+
+    def test_unknown_config(self):
+        with pytest.raises(SystemExit, match="unknown config"):
+            self._run(["describe", "pentium4"])

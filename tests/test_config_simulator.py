@@ -1,0 +1,149 @@
+"""Tests for configurations and the single-core simulation driver."""
+
+import dataclasses
+
+import pytest
+
+from repro.caches.hierarchy import Level
+from repro.sim.config import (
+    SimConfig,
+    fig10_configs,
+    fig17_configs,
+    no_l2,
+    skylake_client,
+    skylake_server,
+    with_catch,
+    with_extra_latency,
+)
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import hot_loop
+
+FAST = dict(n_instrs=8000)
+
+
+class TestConfigFactories:
+    def test_server_baseline_paper_values(self):
+        cfg = skylake_server()
+        assert cfg.l2.size_kb == 1024 and cfg.l2.latency == 15
+        assert cfg.llc.size_kb == 5632 and cfg.llc.latency == 40
+        assert cfg.llc_policy == "exclusive"
+        assert cfg.core.rob_size == 224 and cfg.core.width == 4
+
+    def test_client_baseline(self):
+        cfg = skylake_client()
+        assert cfg.l2.size_kb == 256
+        assert cfg.llc_policy == "inclusive"
+
+    def test_no_l2(self):
+        cfg = no_l2(skylake_server(), 9.5)
+        assert cfg.l2 is None
+        assert cfg.llc.size_kb == 9.5 * 1024
+
+    def test_with_catch(self):
+        cfg = with_catch(skylake_server())
+        assert cfg.is_catch
+        assert cfg.catch.table_entries == 32
+
+    def test_with_extra_latency_accumulates(self):
+        cfg = with_extra_latency(skylake_server(), Level.LLC, 6)
+        cfg = with_extra_latency(cfg, Level.LLC, 6)
+        assert dict(cfg.extra_latency)[Level.LLC] == 12
+
+    def test_scaled_divides_capacity(self):
+        cfg = skylake_server(capacity_scale=4)
+        assert cfg.scaled(cfg.l2).size_kb == 256
+        assert cfg.scaled(None) is None
+
+    def test_describe_mentions_pieces(self):
+        text = with_catch(skylake_server()).describe()
+        assert "L2" in text and "CATCH" in text
+
+    def test_config_hashable(self):
+        assert hash(skylake_server()) == hash(skylake_server())
+        assert skylake_server() == skylake_server()
+
+    def test_fig_config_lists(self):
+        assert len(fig10_configs()) == 5
+        assert len(fig17_configs()) == 4
+
+
+class TestSimulator:
+    def test_build_hierarchy_scaled(self):
+        sim = Simulator(skylake_server())
+        h = sim.build_hierarchy(1)
+        assert h.l2[0].size_bytes == 256 * 1024
+        assert h.llc.latency == 40
+
+    def test_run_by_name(self):
+        r = Simulator(skylake_server()).run("hmmer_like", **FAST)
+        assert r.workload == "hmmer_like"
+        assert r.category == "ISPEC"
+        assert 0 < r.ipc <= 4.0
+        assert r.instructions > 0
+        assert r.activity is not None
+
+    def test_run_by_trace(self):
+        trace = hot_loop("custom", "ISPEC", 4000, ws_bytes=16 << 10)
+        r = Simulator(skylake_server()).run(trace, warmup=False)
+        assert r.workload == "custom"
+        assert r.instructions == len(trace)
+
+    def test_trace_warmup_halves(self):
+        trace = hot_loop("custom", "ISPEC", 4000, ws_bytes=16 << 10)
+        r = Simulator(skylake_server()).run(trace, warmup=True)
+        assert r.instructions == len(trace) - len(trace) // 2
+
+    def test_determinism(self):
+        a = Simulator(skylake_server()).run("hmmer_like", **FAST)
+        b = Simulator(skylake_server()).run("hmmer_like", **FAST)
+        assert a.cycles == b.cycles
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            Simulator(skylake_server()).run("quake_like", **FAST)
+
+    def test_catch_config_builds_engine(self):
+        from repro.core.catch_engine import CatchEngine
+
+        sim = Simulator(with_catch(skylake_server()))
+        assert isinstance(sim.make_engine(), CatchEngine)
+
+    def test_speedup_over_same_workload_only(self):
+        sim = Simulator(skylake_server())
+        a = sim.run("hmmer_like", **FAST)
+        b = sim.run("mcf_like", **FAST)
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+
+class TestPaperShapes:
+    """Slow-ish end-to-end assertions of the paper's headline directions."""
+
+    def test_removing_l2_hurts_l2_resident_workload(self):
+        base = Simulator(skylake_server()).run("hmmer_like", n_instrs=20_000)
+        nol2 = Simulator(no_l2(skylake_server(), 6.5)).run(
+            "hmmer_like", n_instrs=20_000
+        )
+        assert nol2.ipc < base.ipc * 0.7
+
+    def test_catch_recovers_most_of_the_loss(self):
+        base = Simulator(skylake_server()).run("hmmer_like", n_instrs=20_000)
+        cfg = with_catch(no_l2(skylake_server(), 6.5))
+        rec = Simulator(cfg).run("hmmer_like", n_instrs=20_000)
+        assert rec.ipc > base.ipc * 0.85
+
+    def test_feeder_lifts_gather_workload(self):
+        # mcf's gather pool is sized for the default 40K trace length: the
+        # permutation must wrap so the pool is resident in the measured half.
+        base = Simulator(skylake_server()).run("mcf_like", n_instrs=40_000)
+        catch = Simulator(with_catch(skylake_server())).run(
+            "mcf_like", n_instrs=40_000
+        )
+        assert catch.ipc > base.ipc * 1.05
+
+    def test_pointer_chase_unhelped(self):
+        base = Simulator(skylake_server()).run("namd_like", n_instrs=20_000)
+        catch = Simulator(with_catch(skylake_server())).run(
+            "namd_like", n_instrs=20_000
+        )
+        assert catch.ipc == pytest.approx(base.ipc, rel=0.03)

@@ -1,0 +1,108 @@
+"""Tests for the 32-entry critical load table."""
+
+import pytest
+
+from repro.core.critical_table import (
+    CONFIDENCE_MAX,
+    CriticalLoadTable,
+    hash_pc,
+    table_area_bytes,
+)
+
+
+class TestHash:
+    def test_ten_bits(self):
+        for pc in (0, 0x400000, 0xFFFFFFFF, 12345):
+            assert 0 <= hash_pc(pc) < 1024
+
+    def test_deterministic(self):
+        assert hash_pc(0x400123) == hash_pc(0x400123)
+
+
+class TestConfidence:
+    def test_not_critical_until_saturated(self):
+        t = CriticalLoadTable()
+        t.observe_critical(0x400)
+        assert not t.is_critical(0x400)
+        t.observe_critical(0x400)
+        assert not t.is_critical(0x400)
+        t.observe_critical(0x400)
+        assert t.is_critical(0x400)
+
+    def test_tracked_immediately(self):
+        t = CriticalLoadTable()
+        t.observe_critical(0x400)
+        assert t.is_tracked(0x400)
+
+    def test_unknown_pc_not_critical(self):
+        t = CriticalLoadTable()
+        assert not t.is_critical(0x999)
+        assert not t.is_tracked(0x999)
+
+    def test_promotion_counted(self):
+        t = CriticalLoadTable()
+        for _ in range(CONFIDENCE_MAX):
+            t.observe_critical(0x400)
+        assert t.stats.promotions == 1
+
+
+class TestCapacity:
+    def test_entries_divisible_by_ways(self):
+        with pytest.raises(ValueError):
+            CriticalLoadTable(entries=30, ways=8)
+
+    def test_lru_eviction_within_set(self):
+        t = CriticalLoadTable(entries=8, ways=8)  # one set
+        pcs = [0x1000 + i * 4 for i in range(9)]
+        for pc in pcs:
+            t.observe_critical(pc)
+        assert t.resident_count() <= 8
+        assert t.stats.evictions >= 1
+
+    def test_reobservation_refreshes_lru(self):
+        t = CriticalLoadTable(entries=8, ways=8)
+        pcs = [0x1000 + i * 4 for i in range(8)]
+        for pc in pcs:
+            t.observe_critical(pc)
+        t.observe_critical(pcs[0])  # refresh the oldest
+        t.observe_critical(0x9000)  # evicts pcs[1], not pcs[0]
+        assert t.is_tracked(pcs[0])
+
+    def test_thrash_with_many_pcs(self):
+        """The povray pathology: far more critical PCs than entries means
+        none reaches saturated confidence."""
+        t = CriticalLoadTable(entries=32, ways=8)
+        for round_ in range(20):
+            for i in range(96):
+                t.observe_critical(0x1000 + i * 48)
+        assert t.critical_count() <= 4  # essentially nothing saturates
+
+
+class TestEpoch:
+    def test_unsaturated_reset_after_epoch(self):
+        t = CriticalLoadTable(epoch_instructions=100)
+        t.observe_critical(0x400)  # confidence 1
+        t.tick_retire(100)
+        t.observe_critical(0x400)  # was reset to 0, now 1
+        t.observe_critical(0x400)  # 2
+        assert not t.is_critical(0x400)
+
+    def test_saturated_survive_epoch(self):
+        t = CriticalLoadTable(epoch_instructions=100)
+        for _ in range(3):
+            t.observe_critical(0x400)
+        t.tick_retire(100)
+        assert t.is_critical(0x400)
+        assert t.stats.epoch_resets == 1
+
+    def test_partial_ticks_accumulate(self):
+        t = CriticalLoadTable(epoch_instructions=100)
+        for _ in range(99):
+            t.tick_retire(1)
+        assert t.stats.epoch_resets == 0
+        t.tick_retire(1)
+        assert t.stats.epoch_resets == 1
+
+
+def test_area_small():
+    assert table_area_bytes(32) < 100  # a few dozen bytes

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken example is a broken repo.
+Each is executed in-process with a tiny workload budget where possible.
+"""
+
+import runpy
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "criticality_analysis.py", "design_space.py",
+            "multiprogrammed.py"} <= names
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=1200,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,211 @@
+"""Tests for the front end, baseline prefetchers and TACT coordinator glue."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy, Level, LevelSpec
+from repro.caches.prefetchers import L1StridePrefetcher, L2StreamPrefetcher
+from repro.core.catch_engine import CatchEngine
+from repro.core.tact.coordinator import TACTConfig, TACTCoordinator
+from repro.cpu.core import CoreParams, OOOCore
+from repro.cpu.frontend import FrontEnd
+from repro.memory.controller import MemoryController
+from repro.workloads.generator import cross_gather, indexed_gather, server_app
+from repro.workloads.trace import Instr, Op, Trace
+
+
+def make_hierarchy(**kw):
+    defaults = dict(
+        l1i=LevelSpec(1, 2, 5),
+        l1d=LevelSpec(1, 2, 5),
+        l2=LevelSpec(16, 4, 15),
+        llc=LevelSpec(64, 4, 40),
+        memory=MemoryController(fixed_latency=100),
+    )
+    defaults.update(kw)
+    return CacheHierarchy(1, **defaults)
+
+
+class TestFrontEnd:
+    def test_first_fetch_misses(self):
+        h = make_hierarchy()
+        fe = FrontEnd(0, h)
+        t = fe.fetch_time(0, Instr(0x400000, Op.ALU), 0.0)
+        assert t > 0
+        assert fe.code_misses == 1
+
+    def test_same_line_free(self):
+        h = make_hierarchy()
+        fe = FrontEnd(0, h)
+        t0 = fe.fetch_time(0, Instr(0x400000, Op.ALU), 0.0)
+        t1 = fe.fetch_time(1, Instr(0x400004, Op.ALU), t0)
+        assert t1 == t0
+
+    def test_next_line_prefetch_reduces_stall(self):
+        h = make_hierarchy()
+        fe = FrontEnd(0, h)
+        t0 = fe.fetch_time(0, Instr(0x400000, Op.ALU), 0.0)
+        # Next line was prefetched at t0; a later fetch pays at most residual.
+        t1 = fe.fetch_time(1, Instr(0x400040, Op.ALU), t0 + 1000.0)
+        assert t1 - (t0 + 1000.0) < 155  # less than a fresh memory miss
+
+    def test_redirect_delays_fetch(self):
+        h = make_hierarchy()
+        fe = FrontEnd(0, h)
+        fe.fetch_time(0, Instr(0x400000, Op.ALU), 0.0)
+        fe.redirect(5000.0)
+        t = fe.fetch_time(1, Instr(0x400004, Op.ALU), 0.0)
+        assert t >= 5000.0
+
+    def test_on_code_miss_hook_fires(self):
+        h = make_hierarchy()
+        fe = FrontEnd(0, h)
+        calls = []
+        fe.on_code_miss = lambda idx, now, stall: calls.append((idx, stall))
+        fe.fetch_time(7, Instr(0x500000, Op.ALU), 0.0)
+        assert calls and calls[0][0] == 7 and calls[0][1] > 0
+
+
+class TestL1StridePrefetcher:
+    def test_prefetches_after_stable_stride(self):
+        h = make_hierarchy()
+        pf = L1StridePrefetcher(0, h)
+        for i in range(6):
+            pf.train(0x400, 0x10000 + i * 128, float(i))
+        assert pf.issued > 0
+        assert h.l1d[0].contains((0x10000 + 6 * 128) >> 6)
+
+    def test_no_prefetch_for_random(self):
+        import random
+
+        rng = random.Random(0)
+        h = make_hierarchy()
+        pf = L1StridePrefetcher(0, h)
+        for i in range(30):
+            pf.train(0x400, rng.randrange(1 << 24), float(i))
+        assert pf.issued == 0
+
+    def test_sub_line_stride_prefetches_only_at_boundaries(self):
+        h = make_hierarchy()
+        pf = L1StridePrefetcher(0, h)
+        for i in range(8):
+            pf.train(0x400, 0x10000 + i * 8, float(i))  # 8B stride in a line
+        # Only the access approaching the line boundary prefetches ahead.
+        assert pf.issued <= 1
+
+    def test_table_capacity(self):
+        h = make_hierarchy()
+        pf = L1StridePrefetcher(0, h, table_size=4)
+        for pc in range(16):
+            pf.train(0x400 + pc * 4, pc * 1 << 12, 0.0)
+        assert len(pf._table) <= 4
+
+
+class TestL2StreamPrefetcher:
+    def test_sequential_stream_prefetches(self):
+        h = make_hierarchy()
+        pf = L2StreamPrefetcher(0, h)
+        base = 0x40000 >> 6
+        for i in range(6):
+            pf.train(base + i, float(i))
+        assert pf.issued > 0
+
+    def test_non_unit_stride_ignored(self):
+        h = make_hierarchy()
+        pf = L2StreamPrefetcher(0, h)
+        base = 0x40000 >> 6
+        for i in range(10):
+            pf.train(base + i * 8, float(i))
+        assert pf.issued == 0
+
+    def test_descending_stream(self):
+        h = make_hierarchy()
+        pf = L2StreamPrefetcher(0, h)
+        base = (0x40000 >> 6) + 32
+        for i in range(6):
+            pf.train(base - i, float(i))
+        assert pf.issued > 0
+
+    def test_prefetch_lands_in_l2_not_l1(self):
+        h = make_hierarchy()
+        pf = L2StreamPrefetcher(0, h, degree=1)
+        base = 0x80000 >> 6
+        for i in range(6):
+            pf.train(base + i, float(i))
+        assert h.l2[0].contains(base + 6) or h.l2[0].contains(base + 5)
+        assert not h.l1d[0].contains(base + 6)
+
+
+def run_catch(trace, n=2):
+    engine = CatchEngine()
+    h = CacheHierarchy(
+        1,
+        l1i=LevelSpec(8, 8, 5),
+        l1d=LevelSpec(8, 8, 5),
+        l2=LevelSpec(128, 8, 15),
+        llc=LevelSpec(512, 8, 40),
+        memory=MemoryController(fixed_latency=160),
+    )
+    core = OOOCore(0, h, CoreParams(), engine)
+    for _ in range(n):
+        core.run(trace)
+    return engine
+
+
+class TestTACTIntegration:
+    def test_feeder_fires_on_gather(self):
+        trace = indexed_gather("g", "ISPEC", 30_000, data_ws_bytes=96 << 10)
+        engine = run_catch(trace)
+        assert engine.tact.stats.feeder_prefetches > 50
+
+    def test_cross_fires_on_cross_gather(self):
+        trace = cross_gather("c", "ISPEC", 30_000, data_ws_bytes=96 << 10)
+        engine = run_catch(trace)
+        assert engine.tact.stats.cross_prefetches > 50
+
+    def test_code_runahead_on_server(self):
+        trace = server_app("s", "server", 30_000, code_kb=48)
+        engine = run_catch(trace)
+        assert engine.tact.code.stats.activations > 0
+        assert engine.tact.code.stats.lines_prefetched > 0
+
+    def test_timeliness_stats_populated(self):
+        from repro.workloads.generator import hot_loop
+
+        trace = hot_loop("h", "ISPEC", 30_000, ws_bytes=48 << 10, chain_loads=3)
+        engine = run_catch(trace)
+        ts = engine.tact.stats
+        assert ts.demand_covered > 0
+        frac = ts.timeliness_fractions()
+        assert sum(frac.values()) == pytest.approx(1.0)
+
+    def test_disabled_components_stay_quiet(self):
+        trace = indexed_gather("g", "ISPEC", 20_000, data_ws_bytes=96 << 10)
+        from repro.core.catch_engine import CatchConfig
+
+        engine = CatchEngine(
+            CatchConfig(tact=TACTConfig(enable_feeder=False, enable_cross=False,
+                                        enable_deep_self=False))
+        )
+        h = make_hierarchy(
+            l1i=LevelSpec(8, 8, 5), l1d=LevelSpec(8, 8, 5),
+            l2=LevelSpec(128, 8, 15), llc=LevelSpec(512, 8, 40),
+        )
+        core = OOOCore(0, h, CoreParams(), engine)
+        core.run(trace)
+        core.run(trace)
+        ts = engine.tact.stats
+        assert ts.feeder_prefetches == 0
+        assert ts.cross_prefetches == 0
+        assert ts.deep_prefetches == 0
+
+    def test_target_table_capped(self):
+        from repro.workloads.generator import many_critical_pcs
+
+        trace = many_critical_pcs("m", "FSPEC", 30_000, n_load_pcs=96,
+                                  ws_bytes=96 << 10)
+        engine = run_catch(trace)
+        assert len(engine.tact._targets) <= engine.tact.config.max_targets
+
+    def test_area_budget(self):
+        total = sum(TACTCoordinator.area_bytes().values())
+        assert total <= 1.3 * 1024  # the paper's ~1.2 KB

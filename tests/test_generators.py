@@ -1,0 +1,206 @@
+"""Tests for the synthetic workload kernels."""
+
+import pytest
+
+from repro.workloads import generator as g
+from repro.workloads.trace import Op
+
+N = 6000
+
+
+def loads_of(trace):
+    return [i for i in trace.instrs if i.op is Op.LOAD]
+
+
+class TestStreaming:
+    def test_length(self):
+        t = g.streaming("s", "FSPEC", N, ws_bytes=1 << 20)
+        assert N <= len(t) <= N + 20
+
+    def test_strided_addresses(self):
+        t = g.streaming("s", "FSPEC", N, ws_bytes=1 << 20, stride=128)
+        loads = loads_of(t)
+        deltas = {b.addr - a.addr for a, b in zip(loads, loads[1:])}
+        assert deltas == {128}
+
+    def test_stores_emitted(self):
+        t = g.streaming("s", "FSPEC", N, store_every=2)
+        assert any(i.op is Op.STORE for i in t.instrs)
+
+    def test_validates(self):
+        g.streaming("s", "FSPEC", N).validate()
+
+
+class TestHotLoop:
+    def test_chain_loads_per_iteration(self):
+        t = g.hot_loop("h", "ISPEC", N, chain_loads=3, ws_bytes=32 << 10)
+        branches = t.branch_count
+        assert t.load_count == pytest.approx(3 * branches, abs=3)
+
+    def test_loads_are_chained(self):
+        t = g.hot_loop("h", "ISPEC", 100, chain_loads=2, ws_bytes=32 << 10)
+        loads = loads_of(t)
+        # second load of an iteration sources the first's destination
+        assert loads[1].srcs[0] == loads[0].dst
+
+    def test_l1_lanes_use_small_region(self):
+        t = g.hot_loop("h", "ISPEC", N, chain_loads=3, l1_lanes=2,
+                       ws_bytes=256 << 10)
+        loads = loads_of(t)
+        lanes = {}
+        for ld in loads[: 3 * 50]:
+            lanes.setdefault(ld.pc, set()).add(ld.addr)
+        spans = sorted(max(a) - min(a) for a in lanes.values())
+        assert spans[0] <= 4096  # L1 lanes stay within 4 KB
+
+
+class TestIndexedGather:
+    def test_index_is_permutation_of_pool(self):
+        t = g.indexed_gather("m", "ISPEC", N, data_ws_bytes=64 << 10)
+        lines = 64 << 10 >> 6
+        values = sorted(t.memory_image.values())
+        assert len(values) == lines
+        assert values == sorted((k * 64) for k in range(lines))
+
+    def test_gather_address_matches_index_data(self):
+        t = g.indexed_gather("m", "ISPEC", 200, data_ws_bytes=64 << 10)
+        loads = loads_of(t)
+        idx_load, gather = loads[0], loads[1]
+        assert gather.addr - idx_load.data in range(0, 1 << 40, 1)  # base offset
+
+    def test_scale_divides_stored_values(self):
+        t = g.indexed_gather("m", "ISPEC", 200, data_ws_bytes=64 << 10, scale=4)
+        t.validate()
+
+
+class TestPointerChase:
+    def test_chain_closed_cycle(self):
+        t = g.pointer_chase("p", "FSPEC", 100, nodes=64)
+        # Follow the image from any node; must come back without escaping.
+        start = next(iter(t.memory_image))
+        cur, seen = start, set()
+        for _ in range(200):
+            assert cur in t.memory_image
+            if cur in seen:
+                break
+            seen.add(cur)
+            cur = t.memory_image[cur]
+        assert len(seen) <= 64
+
+    def test_load_addresses_follow_chain(self):
+        t = g.pointer_chase("p", "FSPEC", 50, nodes=64)
+        loads = loads_of(t)
+        for a, b in zip(loads, loads[1:]):
+            assert b.addr == a.data  # next address is the loaded pointer
+
+    def test_multiple_chains_disjoint(self):
+        t = g.pointer_chase("p", "FSPEC", 400, nodes=64, chains=2)
+        loads = loads_of(t)
+        chain0 = {l.addr for i, l in enumerate(loads) if i % 2 == 0}
+        chain1 = {l.addr for i, l in enumerate(loads) if i % 2 == 1}
+        assert not (chain0 & chain1)
+
+    def test_ptr_work_on_chain(self):
+        t = g.pointer_chase("p", "FSPEC", 100, nodes=64, ptr_work=4)
+        ops = [i.op for i in t.instrs[:12]]
+        assert ops.count(Op.ALU) >= 4
+
+
+class TestStructWalk:
+    def test_fields_at_fixed_offsets(self):
+        t = g.struct_walk("x", "ISPEC", 200, n_structs=32, struct_bytes=256,
+                          fields=3)
+        loads = loads_of(t)
+        base = loads[0].addr
+        assert loads[1].addr == base + 64
+        assert loads[2].addr == base + 128
+
+    def test_linked_mode_follows_image(self):
+        t = g.struct_walk("x", "ISPEC", 400, n_structs=32, struct_bytes=256,
+                          fields=2, linked=True)
+        loads = loads_of(t)
+        field0s = [l for l in loads if l.dst == 0]  # R_PTR loads
+        for a, b in zip(field0s, field0s[1:]):
+            assert b.addr == a.data
+
+
+class TestCrossGather:
+    def test_trigger_target_delta(self):
+        t = g.cross_gather("c", "ISPEC", 300, data_ws_bytes=64 << 10)
+        loads = loads_of(t)
+        # per iteration: index, trigger, target
+        trigger, target = loads[1], loads[2]
+        assert target.addr == trigger.addr + 64
+
+    def test_target_behind_mul_chain(self):
+        t = g.cross_gather("c", "ISPEC", 60, chain_muls=5)
+        ops = [i.op for i in t.instrs[:14]]
+        assert ops.count(Op.MUL) >= 5
+
+
+class TestServerApp:
+    def test_code_footprint_capped_by_trace_length(self):
+        t = g.server_app("srv", "server", 4000, code_kb=512)
+        # tour capped so the code wraps; footprint far below 512KB
+        assert t.code_lines() * 64 < 128 << 10
+
+    def test_branches_learnable_targets(self):
+        """Each block's exit branch always jumps to the same successor."""
+        t = g.server_app("srv", "server", 8000, code_kb=48)
+        targets = {}
+        for i in t.instrs:
+            if i.op is Op.BRANCH and i.taken:
+                targets.setdefault(i.pc, set()).add(i.target)
+        assert all(len(ts) == 1 for ts in targets.values())
+
+
+class TestBranchy:
+    def test_mix_of_outcomes(self):
+        t = g.branchy("b", "client", N, p_taken=0.5)
+        taken = [i.taken for i in t.instrs if i.op is Op.BRANCH]
+        frac = sum(taken) / len(taken)
+        assert 0.5 < frac < 0.9  # loop-back branches are always taken
+
+    def test_deterministic_by_seed(self):
+        a = g.branchy("b", "client", 2000, seed=3)
+        b = g.branchy("b", "client", 2000, seed=3)
+        assert [i.addr for i in a.instrs] == [i.addr for i in b.instrs]
+
+    def test_different_seeds_differ(self):
+        a = g.branchy("b", "client", 2000, seed=3)
+        b = g.branchy("b", "client", 2000, seed=4)
+        assert [i.taken for i in a.instrs] != [i.taken for i in b.instrs]
+
+
+class TestSkewedGather:
+    def test_two_regions(self):
+        t = g.skewed_gather("z", "FSPEC", N, hot_bytes=32 << 10,
+                            band_bytes=128 << 10)
+        addrs = [l.addr for l in loads_of(t)]
+        span = max(addrs) - min(addrs)
+        assert span > 32 << 10
+
+    def test_hot_fraction_respected(self):
+        t = g.skewed_gather("z", "FSPEC", N, hot_bytes=32 << 10,
+                            band_bytes=128 << 10, hot_fraction=0.9)
+        loads = loads_of(t)
+        hot = sum(1 for l in loads if l.addr < min(x.addr for x in loads) + (32 << 10))
+        assert hot / len(loads) > 0.7
+
+
+class TestManyCriticalPCs:
+    def test_distinct_load_pcs(self):
+        t = g.many_critical_pcs("p", "FSPEC", N, n_load_pcs=48)
+        pcs = {i.pc for i in t.instrs if i.op is Op.LOAD}
+        assert len(pcs) == 48
+
+
+class TestFpCompute:
+    def test_fp_ops_present(self):
+        t = g.fp_compute("f", "FSPEC", N)
+        assert any(i.op is Op.FP for i in t.instrs)
+
+    def test_two_arrays(self):
+        t = g.fp_compute("f", "FSPEC", 200, ws_bytes=64 << 10)
+        loads = loads_of(t)
+        assert loads[1].addr - loads[0].addr >= 64 << 10  # distinct regions

@@ -1,0 +1,252 @@
+"""Integration tests for the multi-level cache hierarchy."""
+
+import pytest
+
+from repro.caches.hierarchy import CacheHierarchy, Level, LevelSpec
+from repro.memory.controller import MemoryController
+
+
+def make_hierarchy(
+    l2=True,
+    llc=True,
+    policy="exclusive",
+    n_cores=1,
+    mem_latency=160,
+    extra=None,
+):
+    return CacheHierarchy(
+        n_cores,
+        l1i=LevelSpec(1, 2, 5),
+        l1d=LevelSpec(1, 2, 5),
+        l2=LevelSpec(8, 4, 15) if l2 else None,
+        llc=LevelSpec(32, 4, 40) if llc else None,
+        llc_policy=policy,
+        memory=MemoryController(fixed_latency=mem_latency),
+        extra_latency=extra,
+    )
+
+
+class TestBasicPaths:
+    def test_cold_load_from_memory(self):
+        h = make_hierarchy()
+        r = h.load(0, pc=0x400, line_addr=100, now=0.0)
+        assert r.level is Level.MEM
+        assert r.latency == 40 + 160
+
+    def test_second_load_hits_l1(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        r = h.load(0, 0x400, 100, 1000.0)
+        assert r.level is Level.L1
+        assert r.latency == 5
+
+    def test_inflight_hit_attributed_to_source(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)  # fill completes at t=200
+        r = h.load(0, 0x400, 100, 10.0)
+        assert r.inflight
+        assert r.level is Level.MEM
+        assert r.latency == pytest.approx(190.0)
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        # Thrash the 16-line L1 so line 100 is evicted but stays in L2.
+        for i in range(1000, 1064):
+            h.load(0, 0x400, i, 500.0 + i)
+        r = h.load(0, 0x400, 100, 10_000.0)
+        assert r.level in (Level.L2, Level.LLC)
+
+    def test_code_fetch_separate_from_data(self):
+        h = make_hierarchy()
+        h.code_fetch(0, 100, 0.0)
+        r = h.load(0, 0x400, 100, 1000.0)
+        # Data L1 does not contain the line, but the L2 does.
+        assert r.level is Level.L2
+
+    def test_extra_latency_applied(self):
+        h = make_hierarchy(extra={Level.L1: 3})
+        h.load(0, 0x400, 100, 0.0)
+        r = h.load(0, 0x400, 100, 1000.0)
+        assert r.latency == 8
+
+
+class TestExclusiveLLC:
+    def test_llc_hit_moves_line_to_l2(self):
+        h = make_hierarchy(policy="exclusive")
+        h.load(0, 0x400, 100, 0.0)
+        # Evict line 100 from L1 and L2 (L2 has 128 lines).
+        for i in range(1000, 1200):
+            h.load(0, 0x400, i, 1000.0 + i * 10)
+        assert h.llc.contains(100)
+        assert not h.l2[0].contains(100)
+        r = h.load(0, 0x400, 100, 100_000.0)
+        assert r.level is Level.LLC
+        assert not h.llc.contains(100)  # exclusive: deallocated on hit
+        assert h.l2[0].contains(100)
+
+    def test_memory_fill_bypasses_llc(self):
+        h = make_hierarchy(policy="exclusive")
+        h.load(0, 0x400, 100, 0.0)
+        assert not h.llc.contains(100)
+        assert h.l2[0].contains(100)
+
+    def test_no_l2_llc_duplication(self):
+        h = make_hierarchy(policy="exclusive")
+        for i in range(400):
+            h.load(0, 0x400, i, float(i) * 300)
+        assert h.check_inclusion() == []
+
+
+class TestInclusiveLLC:
+    def test_memory_fill_allocates_llc(self):
+        h = make_hierarchy(policy="inclusive")
+        h.load(0, 0x400, 100, 0.0)
+        assert h.llc.contains(100)
+        assert h.l2[0].contains(100)
+
+    def test_llc_hit_keeps_copy(self):
+        h = make_hierarchy(policy="inclusive")
+        h.load(0, 0x400, 100, 0.0)
+        for i in range(1000, 1200):  # push out of L1/L2
+            h.load(0, 0x400, i, 1000.0 + i * 10)
+        if h.llc.contains(100):
+            h.load(0, 0x400, 100, 100_000.0)
+            assert h.llc.contains(100)
+
+    def test_back_invalidation(self):
+        h = make_hierarchy(policy="inclusive")
+        h.load(0, 0x400, 100, 0.0)
+        assert h.l2[0].contains(100)
+        # Fill conflicting LLC lines (LLC: 128 sets... 32KB/4way = 128 sets)
+        sets = h.llc.num_sets
+        conflicts = [
+            line for line in range(100 + 1, 100 + 40000)
+            if h.llc.set_index(line) == h.llc.set_index(100)
+        ][: h.llc.assoc + 1]
+        for j, line in enumerate(conflicts):
+            h.load(0, 0x400, line, 1000.0 + j * 300)
+        assert not h.llc.contains(100)
+        assert not h.l2[0].contains(100)  # back-invalidated
+        assert not h.l1d[0].contains(100)
+
+    def test_inclusion_invariant_holds(self):
+        h = make_hierarchy(policy="inclusive")
+        for i in range(600):
+            h.load(0, 0x400, i * 7 % 500, float(i) * 250)
+        assert h.check_inclusion() == []
+
+
+class TestStores:
+    def test_store_allocates_dirty(self):
+        h = make_hierarchy()
+        h.store(0, 0x400, 100, 0.0)
+        assert h.l1d[0].peek(100).dirty
+
+    def test_dirty_writeback_reaches_l2(self):
+        h = make_hierarchy()
+        h.store(0, 0x400, 100, 0.0)
+        for i in range(1000, 1064):  # evict from L1
+            h.load(0, 0x400, i, 1000.0 + i)
+        line = h.l2[0].peek(100)
+        assert line is not None and line.dirty
+
+    def test_dirty_writeback_no_l2_reaches_llc(self):
+        h = make_hierarchy(l2=False)
+        h.store(0, 0x400, 100, 0.0)
+        for i in range(1000, 1064):
+            h.load(0, 0x400, i, 1000.0 + i)
+        line = h.llc.peek(100)
+        assert line is not None and line.dirty
+
+
+class TestTwoLevel:
+    def test_memory_fill_allocates_llc(self):
+        h = make_hierarchy(l2=False)
+        h.load(0, 0x400, 100, 0.0)
+        assert h.llc.contains(100)
+
+    def test_llc_hit_latency(self):
+        h = make_hierarchy(l2=False)
+        h.load(0, 0x400, 100, 0.0)
+        for i in range(1000, 1064):
+            h.load(0, 0x400, i, 1000.0 + i)
+        r = h.load(0, 0x400, 100, 100_000.0)
+        assert r.level is Level.LLC
+        assert r.latency == 40
+
+
+class TestPrefetch:
+    def test_prefetch_l1_noop_when_resident(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        assert h.prefetch_l1(0, 100, 1000.0) is None
+
+    def test_prefetch_l1_reports_source(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        for i in range(1000, 1064):
+            h.load(0, 0x400, i, 1000.0 + i)
+        outcome = h.prefetch_l1(0, 100, 100_000.0)
+        assert outcome is not None
+        level, latency = outcome
+        assert level in (Level.L2, Level.LLC)
+        assert latency in (15, 40)
+
+    def test_prefetched_line_hits_later(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 200, 0.0)
+        h.l1d[0].invalidate(200)
+        h.prefetch_l1(0, 200, 1000.0)
+        r = h.load(0, 0x400, 200, 2000.0)
+        assert r.level is Level.L1
+
+    def test_prefetch_l2_fills_l2(self):
+        h = make_hierarchy()
+        h.prefetch_l2(0, 300, 0.0)
+        assert h.l2[0].contains(300)
+        assert not h.l1d[0].contains(300)
+
+    def test_prefetch_l2_two_level_fills_llc(self):
+        h = make_hierarchy(l2=False)
+        h.prefetch_l2(0, 300, 0.0)
+        assert h.llc.contains(300)
+
+
+class TestLatencyPolicy:
+    def test_policy_can_demote_l2_hits(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        h.l1d[0].invalidate(100)
+        h.latency_policy = lambda pc, level, lat: 40.0 if level is Level.L2 else lat
+        r = h.load(0, 0x400, 100, 1000.0)
+        assert r.level is Level.L2
+        assert r.latency == 40.0
+
+
+class TestWhereAndServeLatency:
+    def test_where_l1(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        assert h.where(0, 100) is Level.L1
+
+    def test_where_absent(self):
+        h = make_hierarchy()
+        assert h.where(0, 100) is None
+
+    def test_serve_latency_levels(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        assert h.serve_latency(0, 100) == 5
+
+    def test_reset_stats_keeps_state(self):
+        h = make_hierarchy()
+        h.load(0, 0x400, 100, 0.0)
+        h.reset_stats()
+        assert h.stats[0].loads == 0
+        assert h.l1d[0].contains(100)
+
+
+def test_invalid_policy_rejected():
+    with pytest.raises(ValueError, match="llc_policy"):
+        make_hierarchy(policy="weird")

@@ -1,0 +1,81 @@
+"""Tests for the 2D mesh interconnect and the scaling experiment."""
+
+import pytest
+
+from repro.interconnect.mesh import MeshInterconnect
+from repro.interconnect.ring import RingInterconnect
+
+
+class TestTopology:
+    def test_square_side(self):
+        assert MeshInterconnect(8).side == 4   # 16 stops -> 4x4
+        assert MeshInterconnect(4).side == 3   # 8 stops -> 3x3 (rounded up)
+
+    def test_manhattan_distance(self):
+        mesh = MeshInterconnect(8)  # 4x4 grid
+        # core 0 at (0,0); slice 7 is stop 15 at (3,3)
+        assert mesh.hops(0, 7) == 6
+
+    def test_hops_nonnegative_and_bounded(self):
+        mesh = MeshInterconnect(16)
+        for c in range(16):
+            for s in range(16):
+                h = mesh.hops(c, s)
+                assert 0 <= h <= 2 * (mesh.side - 1)
+
+    def test_mean_hops_grows_with_cores(self):
+        small = MeshInterconnect(4).mean_hops()
+        large = MeshInterconnect(64).mean_hops()
+        assert large > 2 * small
+
+    def test_mesh_beats_ring_at_scale(self):
+        """At high core counts the mesh's sqrt scaling beats the ring's
+        linear scaling — the reason big parts use meshes at all."""
+        ring64 = RingInterconnect(64)
+        mesh64 = MeshInterconnect(64)
+        ring_mean = sum(
+            ring64.hops(c, s) for c in range(64) for s in range(64)
+        ) / (64 * 64)
+        assert mesh64.mean_hops() < ring_mean
+
+
+class TestTraffic:
+    def test_data_counts_flits(self):
+        mesh = MeshInterconnect(8)
+        lat = mesh.data(0, 7)
+        assert lat == mesh.hops(0, mesh.slice_for(7)) * mesh.hop_cycles
+        assert mesh.stats.flit_hops == mesh.hops(0, mesh.slice_for(7)) * 4
+
+    def test_round_trip(self):
+        mesh = MeshInterconnect(8)
+        lat = mesh.round_trip(1, 3)
+        assert lat == 2 * mesh.hops(1, mesh.slice_for(3)) * mesh.hop_cycles
+        assert mesh.stats.messages == 2
+
+    def test_api_compatible_with_ring(self):
+        """Either interconnect can back a hierarchy."""
+        from repro.caches.hierarchy import CacheHierarchy, LevelSpec
+        from repro.memory.controller import MemoryController
+
+        h = CacheHierarchy(
+            1,
+            l1i=LevelSpec(1, 2, 5),
+            l1d=LevelSpec(1, 2, 5),
+            l2=LevelSpec(4, 4, 15),
+            llc=LevelSpec(16, 4, 40),
+            memory=MemoryController(fixed_latency=100),
+            ring=MeshInterconnect(4),
+        )
+        h.load(0, 0x400, 123, 0.0)
+        assert h.ring.stats.messages > 0
+
+
+@pytest.mark.slow
+def test_interconnect_scaling_monotone():
+    """The two-level interconnect premium must grow with core count."""
+    from repro.experiments import interconnect_scaling
+
+    data = interconnect_scaling.run(quick=True, n_instrs=6000)
+    premiums = [row["interconnect_premium"] for row in data["rows"].values()]
+    assert premiums == sorted(premiums)
+    assert premiums[-1] > premiums[0] * 2

@@ -1,0 +1,143 @@
+"""Tests for metrics helpers and the power/area models."""
+
+import pytest
+
+from repro.caches.hierarchy import Level
+from repro.power.cacti import CacheEnergyModel, snoop_filter_area_mm2
+from repro.power.dram_power import DRAMEnergyModel
+from repro.power.energy import ChipModel
+from repro.power.orion import RingEnergyModel
+from repro.sim.config import no_l2, skylake_server
+from repro.sim.metrics import (
+    ActivitySnapshot,
+    RunResult,
+    category_geomeans,
+    geomean,
+    weighted_speedup,
+)
+
+
+class TestGeomean:
+    def test_identity(self):
+        assert geomean([2.0, 2.0]) == pytest.approx(2.0)
+
+    def test_mixed(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_category_geomeans(self):
+        sp = {"a": 1.1, "b": 1.1, "c": 0.9}
+        cats = {"a": "X", "b": "X", "c": "Y"}
+        gm = category_geomeans(sp, cats)
+        assert gm["X"] == pytest.approx(1.1)
+        assert gm["Y"] == pytest.approx(0.9)
+        assert "GeoMean" in gm
+
+    def test_weighted_speedup(self):
+        together = {"a": 1.0, "b": 2.0}
+        alone = {"a": 2.0, "b": 2.0}
+        assert weighted_speedup(together, alone) == pytest.approx(1.5)
+
+
+class TestRunResult:
+    def test_ipc(self):
+        r = RunResult("w", "ISPEC", "cfg", instructions=100, cycles=50.0)
+        assert r.ipc == 2.0
+
+    def test_zero_cycles(self):
+        r = RunResult("w", "ISPEC", "cfg", instructions=100, cycles=0.0)
+        assert r.ipc == 0.0
+
+
+class TestCacheEnergyModel:
+    def test_energy_grows_with_size(self):
+        small = CacheEnergyModel(32).read_energy_pj
+        large = CacheEnergyModel(1024).read_energy_pj
+        assert large > small
+
+    def test_write_costs_more(self):
+        m = CacheEnergyModel(256)
+        assert m.write_energy_pj > m.read_energy_pj
+
+    def test_leakage_linear(self):
+        assert CacheEnergyModel(512).leakage_mw == pytest.approx(
+            2 * CacheEnergyModel(256).leakage_mw
+        )
+
+    def test_area_roughly_linear(self):
+        a1 = CacheEnergyModel(1024).area_mm2
+        a2 = CacheEnergyModel(2048).area_mm2
+        assert 1.7 < a2 / a1 < 2.1
+
+    def test_energy_j_combines_terms(self):
+        m = CacheEnergyModel(256)
+        active = m.energy_j(reads=10_000, writes=5000, cycles=1e6)
+        idle = m.energy_j(reads=0, writes=0, cycles=1e6)
+        assert active > idle > 0
+
+
+class TestOtherModels:
+    def test_ring_energy_scales_with_hops(self):
+        m = RingEnergyModel(8)
+        assert m.energy_j(2000, 1e6) > m.energy_j(1000, 1e6)
+
+    def test_dram_energy_scales_with_traffic(self):
+        m = DRAMEnergyModel()
+        assert m.energy_j(1000, 100, 500, 1e6) > m.energy_j(10, 1, 5, 1e6)
+
+    def test_snoop_filter_scales(self):
+        assert snoop_filter_area_mm2(8) > snoop_filter_area_mm2(4)
+
+
+def _snapshot(**overrides):
+    base = dict(
+        cycles=1e6, l1_reads=100_000, l1_writes=20_000, l2_reads=10_000,
+        l2_writes=8000, llc_reads=4000, llc_writes=3000, ring_messages=8000,
+        ring_data_messages=4000, ring_flit_hops=40_000, dram_reads=1000,
+        dram_writes=300, dram_activations=700,
+    )
+    base.update(overrides)
+    return ActivitySnapshot(**base)
+
+
+class TestChipModel:
+    def test_energy_breakdown_totals(self):
+        model = ChipModel(skylake_server())
+        e = model.energy(_snapshot())
+        assert e.total_j == pytest.approx(e.cache_j + e.ring_j + e.dram_j)
+        assert e.l2_j > 0
+
+    def test_no_l2_has_zero_l2_energy(self):
+        model = ChipModel(no_l2(skylake_server(), 6.5))
+        e = model.energy(_snapshot())
+        assert e.l2_j == 0.0
+
+    def test_paper_area_claim(self):
+        """noL2+6.5MB should be ~30% smaller; noL2+9.5MB roughly iso-area."""
+        base = ChipModel(skylake_server()).area().total_mm2
+        small = ChipModel(no_l2(skylake_server(), 6.5)).area().total_mm2
+        iso = ChipModel(no_l2(skylake_server(), 9.5)).area().total_mm2
+        assert small / base == pytest.approx(0.70, abs=0.05)
+        assert iso / base == pytest.approx(1.0, abs=0.06)
+
+    def test_inclusive_llc_needs_no_snoop_filter(self):
+        from repro.sim.config import skylake_client
+
+        area = ChipModel(skylake_client()).area()
+        assert area.snoop_filter_mm2 == 0.0
+
+    def test_activity_capture(self):
+        from repro.sim.simulator import Simulator
+
+        sim = Simulator(skylake_server())
+        r = sim.run("hmmer_like", 6000)
+        a = r.activity
+        assert a.cycles == r.cycles
+        assert a.l1_reads > 0
+        assert a.cache_accesses == a.l2_reads + a.l2_writes + a.llc_reads + a.llc_writes

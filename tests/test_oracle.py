@@ -1,0 +1,114 @@
+"""Tests for the oracle studies (Figures 4 and 5 machinery)."""
+
+import pytest
+
+from repro.caches.hierarchy import Level
+from repro.core.oracle import (
+    OraclePrefetchEngine,
+    make_latency_policy,
+    profile_critical_pcs,
+)
+from repro.cpu.core import CoreParams
+from repro.sim.config import skylake_server
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import hot_loop
+
+NO_PF = CoreParams(enable_l1_stride=False, enable_l2_stream=False)
+
+
+@pytest.fixture(scope="module")
+def l2_chain_trace():
+    # chain of 4 L2 loads (~68 cycles) exceeds the 56-cycle OOO window,
+    # so the loads are genuinely critical and the oracle has headroom.
+    return hot_loop("oracle_t", "ISPEC", 24_000, ws_bytes=24 << 10, chain_loads=4,
+                    alu_between=2)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    import dataclasses
+
+    return Simulator(dataclasses.replace(skylake_server(), core=NO_PF))
+
+
+class TestProfiling:
+    def test_returns_ranked_pcs(self, l2_chain_trace, sim):
+        pcs = profile_critical_pcs(
+            l2_chain_trace, lambda: sim.build_hierarchy(1), NO_PF
+        )
+        assert pcs
+        load_pcs = {
+            i.pc for i in l2_chain_trace.instrs if i.addr >= 0 and i.dst >= 0
+        }
+        assert set(pcs) <= load_pcs
+
+    def test_top_n_truncates(self, l2_chain_trace, sim):
+        all_pcs = profile_critical_pcs(
+            l2_chain_trace, lambda: sim.build_hierarchy(1), NO_PF
+        )
+        top1 = profile_critical_pcs(
+            l2_chain_trace, lambda: sim.build_hierarchy(1), NO_PF, top_n=1
+        )
+        assert len(top1) == 1
+        assert top1[0] == all_pcs[0]
+
+
+class TestOraclePrefetchEngine:
+    def test_oracle_converts_and_speeds_up(self, l2_chain_trace, sim):
+        baseline = sim.run(l2_chain_trace)
+        pcs = profile_critical_pcs(
+            l2_chain_trace, lambda: sim.build_hierarchy(1), NO_PF
+        )
+        engine = OraclePrefetchEngine(set(pcs[:32]))
+        oracle = sim.run(l2_chain_trace, engine=engine)
+        assert engine.stats.converted_loads > 0
+        assert oracle.ipc > baseline.ipc
+
+    def test_all_pcs_at_least_as_good(self, l2_chain_trace, sim):
+        pcs = profile_critical_pcs(
+            l2_chain_trace, lambda: sim.build_hierarchy(1), NO_PF
+        )
+        some = sim.run(l2_chain_trace, engine=OraclePrefetchEngine(set(pcs[:2])))
+        everything = sim.run(l2_chain_trace, engine=OraclePrefetchEngine(all_pcs=True))
+        assert everything.ipc >= some.ipc * 0.98
+
+    def test_perfect_code_flag(self, l2_chain_trace, sim):
+        from repro.cpu.core import OOOCore
+
+        engine = OraclePrefetchEngine(set(), perfect_code=True)
+        core = OOOCore(0, sim.build_hierarchy(1), NO_PF, engine)
+        core.run(l2_chain_trace)
+        assert core.frontend.code_stall_cycles == 0
+
+
+class TestLatencyPolicy:
+    def test_all_mode_demotes_everything(self):
+        policy = make_latency_policy("all", set(), Level.L2, 40.0)
+        assert policy(0x400, Level.L2, 15.0) == 40.0
+        assert policy.counts == {"converted": 1, "total": 1}
+
+    def test_noncritical_spares_critical_pcs(self):
+        policy = make_latency_policy("noncritical", {0x400}, Level.L2, 40.0)
+        assert policy(0x400, Level.L2, 15.0) == 15.0
+        assert policy(0x999, Level.L2, 15.0) == 40.0
+        assert policy.counts == {"converted": 1, "total": 2}
+
+    def test_other_levels_untouched(self):
+        policy = make_latency_policy("all", set(), Level.L2, 40.0)
+        assert policy(0x400, Level.L1, 5.0) == 5.0
+        assert policy.counts["total"] == 0
+
+    def test_never_reduces_latency(self):
+        policy = make_latency_policy("all", set(), Level.L2, 10.0)
+        assert policy(0x400, Level.L2, 15.0) == 15.0
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            make_latency_policy("sometimes", set(), Level.L2, 40.0)
+
+    def test_demotion_slows_simulation(self, l2_chain_trace, sim):
+        baseline = sim.run(l2_chain_trace)
+        policy = make_latency_policy("all", set(), Level.L2, 40.0)
+        demoted = sim.run(l2_chain_trace, latency_policy=policy)
+        assert demoted.ipc < baseline.ipc
+        assert policy.counts["converted"] > 0

@@ -1,0 +1,67 @@
+"""Tests for the ASCII figure renderer."""
+
+from repro.experiments.render import _bar, render_grouped, render_pct_bars, render_scurve
+
+
+class TestBar:
+    def test_positive_grows_right(self):
+        bar = _bar(0.5, 0.0, 1.0, width=10)
+        axis = bar.index("|")
+        assert "#" in bar[axis + 1 :]
+        assert "#" not in bar[:axis]
+
+    def test_negative_grows_left(self):
+        bar = _bar(-0.5, -1.0, 0.0, width=10)
+        axis = bar.index("|")
+        assert "#" in bar[:axis]
+        assert "#" not in bar[axis + 1 :]
+
+    def test_zero_span_blank(self):
+        assert _bar(0.0, 0.0, 0.0, width=8).strip() == ""
+
+    def test_clipped_to_width(self):
+        assert len(_bar(5.0, -1.0, 1.0, width=10)) == 11
+
+
+class TestPctBars:
+    def test_contains_labels_and_values(self):
+        out = render_pct_bars({"noL2": -0.078, "CATCH": 0.084}, title="t")
+        assert "t" in out
+        assert "noL2" in out and "-7.8" in out
+        assert "CATCH" in out and "+8.4" in out
+
+    def test_empty(self):
+        assert "(no data)" in render_pct_bars({}, title="t")
+
+    def test_alignment(self):
+        out = render_pct_bars({"a": 0.1, "longer_name": -0.1})
+        lines = out.splitlines()
+        assert lines[0].index("+") == lines[1].index("-")
+
+
+class TestGrouped:
+    def test_each_config_rendered(self):
+        out = render_grouped({"cfg1": {"X": 0.1}, "cfg2": {"X": -0.1}})
+        assert "cfg1" in out and "cfg2" in out
+
+
+class TestSCurve:
+    def test_monotone_curve_renders(self):
+        out = render_scurve({f"w{i}": 0.5 + i * 0.1 for i in range(10)}, "s")
+        assert out.count("*") == 10
+        assert "1.0" in out or "-" in out
+
+    def test_empty(self):
+        assert "(no data)" in render_scurve({}, "s")
+
+    def test_flat_curve(self):
+        out = render_scurve({"a": 1.0, "b": 1.0}, "flat")
+        assert out.count("*") == 2
+
+
+def test_registry_render_flag_smoke(capsys):
+    from repro.experiments.registry import main
+
+    code = main(["table1", "--render"])
+    assert code == 0
+    assert "Table I" in capsys.readouterr().out

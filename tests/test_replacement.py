@@ -1,0 +1,154 @@
+"""Unit tests for cache replacement policies."""
+
+import pytest
+
+from repro.caches.cache import CacheLine
+from repro.caches.replacement import (
+    LRUPolicy,
+    MRUInsertLRUPolicy,
+    NRUPolicy,
+    RandomPolicy,
+    SRRIPPolicy,
+    make_policy,
+)
+
+
+def _line(tag):
+    return CacheLine(tag=tag)
+
+
+def _fill(policy, cache_set, tag):
+    line = _line(tag)
+    cache_set[tag] = line
+    policy.on_fill(cache_set, line)
+    return line
+
+
+class TestLRU:
+    def test_victim_is_oldest_fill(self):
+        p = LRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        _fill(p, s, 3)
+        assert p.victim(s) == 1
+
+    def test_hit_promotes(self):
+        p = LRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        p.on_hit(s, s[1])
+        assert p.victim(s) == 2
+
+    def test_repeated_hits_keep_line_safe(self):
+        p = LRUPolicy()
+        s = {}
+        for t in (1, 2, 3):
+            _fill(p, s, t)
+        for _ in range(5):
+            p.on_hit(s, s[1])
+        assert p.victim(s) != 1
+
+
+class TestLIP:
+    def test_insert_at_lru(self):
+        p = MRUInsertLRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)  # inserted at LRU position
+        assert p.victim(s) == 2
+
+    def test_hit_promotes_to_mru(self):
+        p = MRUInsertLRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        p.on_hit(s, s[2])
+        assert p.victim(s) == 1
+
+
+class TestSRRIP:
+    def test_insert_long_rereference(self):
+        p = SRRIPPolicy(bits=2)
+        s = {}
+        line = _fill(p, s, 1)
+        assert line.repl == p.max_rrpv - 1
+
+    def test_hit_promotes_to_zero(self):
+        p = SRRIPPolicy()
+        s = {}
+        line = _fill(p, s, 1)
+        p.on_hit(s, line)
+        assert line.repl == 0
+
+    def test_victim_prefers_distant(self):
+        p = SRRIPPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        p.on_hit(s, s[1])
+        assert p.victim(s) == 2
+
+    def test_aging_terminates(self):
+        p = SRRIPPolicy()
+        s = {}
+        for t in (1, 2):
+            line = _fill(p, s, t)
+            p.on_hit(s, line)  # both at rrpv 0
+        assert p.victim(s) in (1, 2)
+
+
+class TestNRU:
+    def test_victim_unreferenced(self):
+        p = NRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        s[1].repl = 0
+        assert p.victim(s) == 1
+
+    def test_all_referenced_clears(self):
+        p = NRUPolicy()
+        s = {}
+        _fill(p, s, 1)
+        _fill(p, s, 2)
+        victim = p.victim(s)
+        assert victim in (1, 2)
+        # after clearing, remaining lines are unreferenced
+        assert any(line.repl == 0 for line in s.values())
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        s = {}
+        p1, p2 = RandomPolicy(seed=7), RandomPolicy(seed=7)
+        for t in range(8):
+            _fill(p1, s, t)
+        assert [p1.victim(s) for _ in range(5)] == [p2.victim(s) for _ in range(5)]
+
+    def test_victim_is_resident(self):
+        p = RandomPolicy()
+        s = {}
+        for t in range(4):
+            _fill(p, s, t)
+        assert p.victim(s) in s
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("lru", LRUPolicy),
+            ("lip", MRUInsertLRUPolicy),
+            ("random", RandomPolicy),
+            ("srrip", SRRIPPolicy),
+            ("nru", NRUPolicy),
+        ],
+    )
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="unknown replacement"):
+            make_policy("belady")

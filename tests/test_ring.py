@@ -1,0 +1,58 @@
+"""Unit tests for the ring interconnect model."""
+
+from repro.interconnect.ring import RingInterconnect
+
+
+class TestTopology:
+    def test_stop_count(self):
+        ring = RingInterconnect(4)
+        assert ring.n_stops == 8
+
+    def test_slice_hashing_in_range(self):
+        ring = RingInterconnect(4)
+        for line in range(100):
+            assert 0 <= ring.slice_for(line) < 4
+
+    def test_hops_shorter_direction(self):
+        ring = RingInterconnect(4)
+        for core in range(4):
+            for s in range(4):
+                h = ring.hops(core, s)
+                assert 0 <= h <= ring.n_stops // 2
+
+    def test_hops_symmetric_distance(self):
+        ring = RingInterconnect(4)
+        # core 0 to slice 3 (stop 7): distance min(7, 1) = 1
+        assert ring.hops(0, 3) == 1
+
+
+class TestTraffic:
+    def test_request_counts_control(self):
+        ring = RingInterconnect(4)
+        ring.request(0, 123)
+        assert ring.stats.control_messages == 1
+        assert ring.stats.data_messages == 0
+
+    def test_data_counts_flits(self):
+        ring = RingInterconnect(4)
+        ring.data(0, 0)  # slice 0 = stop 4, distance 4
+        assert ring.stats.data_messages == 1
+        assert ring.stats.flit_hops == ring.hops(0, 0) * ring.flits_per_data
+
+    def test_round_trip_is_request_plus_data(self):
+        ring = RingInterconnect(4)
+        lat = ring.round_trip(1, 7)
+        assert lat == 2 * ring.hops(1, ring.slice_for(7)) * ring.hop_cycles
+        assert ring.stats.messages == 2
+
+    def test_bytes_moved(self):
+        ring = RingInterconnect(4)
+        ring.request(0, 1)
+        ring.data(0, 1)
+        assert ring.stats.bytes_moved == 64 + 8
+
+    def test_latency_scales_with_hop_cycles(self):
+        slow = RingInterconnect(4, hop_cycles=3)
+        fast = RingInterconnect(4, hop_cycles=1)
+        line = 2
+        assert slow.data(0, line) == 3 * fast.data(0, line)

@@ -1,0 +1,143 @@
+"""Tests for trace serialization, the workload CLI, and prefetch metrics."""
+
+import io
+import sys
+
+import pytest
+
+from repro.caches.cache import Cache
+from repro.sim.prefetch_metrics import PrefetchQuality, l1_prefetch_quality
+from repro.workloads.serialization import (
+    describe_trace,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+from repro.workloads.suites import build_trace
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        original = build_trace("mcf_like", 3000)
+        path = tmp_path / "mcf.trace.gz"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        assert loaded.name == original.name
+        assert loaded.category == original.category
+        assert len(loaded) == len(original)
+        assert loaded.memory_image == original.memory_image
+        for a, b in zip(original.instrs, loaded.instrs):
+            assert (a.pc, a.op, a.srcs, a.dst, a.addr, a.data, a.taken,
+                    a.target) == (b.pc, b.op, b.srcs, b.dst, b.addr, b.data,
+                                  b.taken, b.target)
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.sim.config import skylake_server
+        from repro.sim.simulator import Simulator
+
+        original = build_trace("hmmer_like", 4000)
+        path = tmp_path / "h.trace.gz"
+        save_trace(original, path)
+        loaded = load_trace(path)
+        a = Simulator(skylake_server()).run(original, warmup=False)
+        b = Simulator(skylake_server()).run(loaded, warmup=False)
+        assert a.cycles == b.cycles
+
+    def test_bad_version_rejected(self):
+        payload = trace_to_dict(build_trace("hmmer_like", 500))
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            trace_from_dict(payload)
+
+    def test_corrupt_columns_rejected(self):
+        payload = trace_to_dict(build_trace("hmmer_like", 500))
+        payload["pc"] = payload["pc"][:-1]
+        with pytest.raises(ValueError, match="column lengths"):
+            trace_from_dict(payload)
+
+    def test_describe(self):
+        summary = describe_trace(build_trace("tpcc_like", 4000))
+        assert summary["instructions"] >= 4000
+        assert "LOAD" in summary["op_mix"]
+        assert summary["memory_image_entries"] == 0
+
+
+class TestWorkloadCLI:
+    def _run(self, argv):
+        from repro.workloads.__main__ import main
+
+        out = io.StringIO()
+        old = sys.stdout
+        sys.stdout = out
+        try:
+            code = main(argv)
+        finally:
+            sys.stdout = old
+        return code, out.getvalue()
+
+    def test_list(self):
+        code, out = self._run(["list"])
+        assert code == 0
+        assert "mcf_like" in out and "tpcc_like" in out
+
+    def test_dump_and_info(self, tmp_path):
+        path = str(tmp_path / "t.trace.gz")
+        code, out = self._run(["dump", "hmmer_like", "--n", "2000", "--out", path])
+        assert code == 0 and "wrote" in out
+        code, out = self._run(["info", path])
+        assert code == 0
+        assert "instructions" in out
+
+
+class TestPrefetchQuality:
+    def test_accuracy_useful_over_resolved(self):
+        q = PrefetchQuality(fills=10, useful=6, unused=2, demand_misses=20,
+                            demand_accesses=100)
+        assert q.accuracy == pytest.approx(6 / 8)
+
+    def test_coverage(self):
+        q = PrefetchQuality(fills=10, useful=5, unused=0, demand_misses=15,
+                            demand_accesses=100)
+        assert q.coverage == pytest.approx(5 / 20)
+
+    def test_pollution(self):
+        q = PrefetchQuality(fills=10, useful=0, unused=4, demand_misses=0,
+                            demand_accesses=100)
+        assert q.pollution == pytest.approx(0.04)
+
+    def test_zero_division_safe(self):
+        q = PrefetchQuality(0, 0, 0, 0, 0)
+        assert q.accuracy == q.coverage == q.pollution == 0.0
+
+    def test_from_live_cache(self):
+        c = Cache("T", 8 * 1024, 4, 5)
+        c.fill(1, 0.0, prefetched=True)
+        c.fill(2, 0.0, prefetched=True)
+        c.access(1, 1.0)     # useful
+        c.access(3, 1.0)     # demand miss
+        q = l1_prefetch_quality(c)
+        assert q.useful == 1
+        assert q.fills == 2
+        assert 0 <= q.accuracy <= 1
+
+    def test_tact_is_accurate_on_hot_loop(self):
+        """End to end: TACT's prefetches on the hmmer-class workload must be
+        overwhelmingly useful (the paper's L1-pollution discipline)."""
+        from repro.core.catch_engine import CatchEngine
+        from repro.cpu.core import OOOCore
+        from repro.sim.config import no_l2, skylake_server, with_catch
+        from repro.sim.simulator import Simulator
+        from repro.workloads.generator import hot_loop
+
+        cfg = with_catch(no_l2(skylake_server(), 6.5))
+        sim = Simulator(cfg)
+        h = sim.build_hierarchy(1)
+        trace = hot_loop("t", "ISPEC", 30_000, ws_bytes=48 << 10, chain_loads=3)
+        engine = CatchEngine(cfg.catch)
+        core = OOOCore(0, h, cfg.core, engine)
+        core.run(trace)
+        core.run(trace)
+        q = l1_prefetch_quality(h.l1d[0])
+        assert q.fills > 100
+        assert q.accuracy > 0.7

@@ -1,0 +1,169 @@
+"""Tests for the workload suites and experiment modules (quick variants)."""
+
+import pytest
+
+from repro.workloads.suites import (
+    QUICK_SUITE_NAMES,
+    ST_SUITE,
+    build_trace,
+    get_spec,
+    mp_mixes,
+    suite,
+)
+from repro.workloads.trace import CATEGORIES
+
+
+class TestSuite:
+    def test_suite_size(self):
+        assert len(ST_SUITE) >= 30
+
+    def test_all_categories_present(self):
+        assert {s.category for s in ST_SUITE} == set(CATEGORIES)
+
+    def test_names_unique(self):
+        names = [s.name for s in ST_SUITE]
+        assert len(names) == len(set(names))
+
+    def test_get_spec(self):
+        assert get_spec("hmmer_like").category == "ISPEC"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_spec("doom_like")
+
+    def test_suite_filter_by_category(self):
+        servers = suite(categories=("server",))
+        assert servers and all(s.category == "server" for s in servers)
+
+    def test_suite_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown categories"):
+            suite(categories=("games",))
+
+    def test_quick_suite(self):
+        q = suite(quick=True)
+        assert {s.name for s in q} == set(QUICK_SUITE_NAMES)
+
+    def test_build_trace_cached(self):
+        a = build_trace("hmmer_like", 3000)
+        b = build_trace("hmmer_like", 3000)
+        assert a is b
+
+    @pytest.mark.parametrize("spec", ST_SUITE, ids=lambda s: s.name)
+    def test_every_workload_builds_and_validates(self, spec):
+        trace = spec.build(2000)
+        trace.validate()
+        assert len(trace) >= 2000
+        assert trace.category == spec.category
+
+    def test_callout_workloads_exist(self):
+        for name in ("hmmer_like", "mcf_like", "povray_like", "namd_like",
+                     "gromacs_like"):
+            assert get_spec(name)
+
+
+class TestExperimentRegistry:
+    def test_all_paper_artifacts_covered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        expected = {
+            "fig01", "fig03", "fig04", "fig05", "fig10", "fig11", "fig12",
+            "fig13", "fig14", "fig15", "fig16", "fig17", "table1", "table2",
+            "detectors", "interconnect",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_table1_analytic(self):
+        from repro.experiments import table1_area
+
+        data = table1_area.run()
+        assert 2.5 <= data["detector_total_kb"] <= 4.0
+        assert 1.0 <= data["tact_total_kb"] <= 1.3
+
+    def test_table2_rows(self):
+        from repro.experiments import table2_workloads
+
+        data = table2_workloads.run(quick=True, n_instrs=2000)
+        assert len(data["rows"]) == len(ST_SUITE)
+        assert all(r["loads"] > 0 for r in data["rows"])
+
+
+@pytest.mark.slow
+class TestExperimentSmoke:
+    """Each simulation experiment runs end to end at tiny scale."""
+
+    N = 6000
+
+    def test_fig01(self):
+        from repro.experiments import fig01_remove_l2
+
+        data = fig01_remove_l2.run(quick=True, n_instrs=self.N)
+        assert "noL2_6.5MB" in data["summary"]
+        assert "GeoMean" in data["summary"]["noL2_6.5MB"]
+
+    def test_fig03(self):
+        from repro.experiments import fig03_latency_sensitivity
+
+        data = fig03_latency_sensitivity.run(quick=True, n_instrs=self.N)
+        assert len(data["summary"]) == 9
+
+    def test_fig10(self):
+        from repro.experiments import fig10_catch_exclusive
+
+        data = fig10_catch_exclusive.run(quick=True, n_instrs=self.N)
+        assert len(data["summary"]) == 5
+
+    def test_fig11(self):
+        from repro.experiments import fig11_timeliness
+
+        data = fig11_timeliness.run(quick=True, n_instrs=self.N)
+        assert "overall" in data
+
+    def test_fig12(self):
+        from repro.experiments import fig12_per_workload
+
+        data = fig12_per_workload.run(quick=True, n_instrs=self.N)
+        assert data["curves"]
+
+    def test_fig13(self):
+        from repro.experiments import fig13_tact_components
+
+        data = fig13_tact_components.run(quick=True, n_instrs=self.N)
+        assert list(data["increments"]) == ["Code", "+Cross", "+Deep", "+Feeder"]
+
+    def test_fig15(self):
+        from repro.experiments import fig15_llc_latency
+
+        data = fig15_llc_latency.run(quick=True, n_instrs=self.N)
+        assert len(data["llc_latency"]) == 6
+
+    def test_fig16(self):
+        from repro.experiments import fig16_energy
+
+        data = fig16_energy.run(quick=True, n_instrs=self.N)
+        assert "GeoMean" in data["energy_savings"]
+        assert data["traffic_ratio_vs_baseline"]["interconnect"] > 1.0
+
+    def test_fig17(self):
+        from repro.experiments import fig17_inclusive
+
+        data = fig17_inclusive.run(quick=True, n_instrs=self.N)
+        assert len(data["summary"]) == 4
+
+    def test_fig14(self):
+        from repro.experiments import fig14_multiprogrammed
+
+        data = fig14_multiprogrammed.run(quick=True, n_instrs=4000, n_mixes=2)
+        assert len(data["summary"]) == 3
+
+    def test_fig04(self):
+        from repro.experiments import fig04_criticality_oracle
+
+        data = fig04_criticality_oracle.run(quick=True, n_instrs=4000)
+        assert len(data["impact"]) == 6
+
+    def test_fig05(self):
+        from repro.experiments import fig05_oracle_prefetch
+
+        data = fig05_oracle_prefetch.run(quick=True, n_instrs=4000)
+        assert "32" in data["gain_by_budget"]
+        assert "noL2+2048" in data["gain_by_budget"]

@@ -1,0 +1,83 @@
+"""Unit tests for the TACT-Code CNPIP runahead prefetcher."""
+
+from repro.caches.hierarchy import CacheHierarchy, LevelSpec
+from repro.core.tact.code import CodePrefetcher
+from repro.cpu.branch import GshareBranchPredictor
+from repro.memory.controller import MemoryController
+from repro.workloads.trace import Instr, Op, Trace
+
+
+def make_env(max_lines=8):
+    h = CacheHierarchy(
+        1,
+        l1i=LevelSpec(1, 2, 5),
+        l1d=LevelSpec(1, 2, 5),
+        l2=LevelSpec(16, 4, 15),
+        llc=LevelSpec(64, 4, 40),
+        memory=MemoryController(fixed_latency=100),
+    )
+    predictor = GshareBranchPredictor()
+    return h, predictor, CodePrefetcher(0, h, predictor, max_lines=max_lines)
+
+
+def straight_line_trace(n_lines=20):
+    instrs = []
+    for line in range(n_lines):
+        for k in range(4):
+            instrs.append(Instr(0x400000 + line * 64 + k * 16, Op.ALU))
+    return Trace("code", "server", instrs)
+
+
+class TestRunahead:
+    def test_prefetches_future_lines(self):
+        h, pred, pf = make_env()
+        trace = straight_line_trace()
+        pf.set_trace(trace)
+        pf.on_code_miss(0, 0.0, 40.0)
+        assert pf.stats.lines_prefetched > 0
+        # the line after the missing one is now resident in the L1I
+        assert h.l1i[0].contains((0x400040) >> 6)
+
+    def test_respects_max_lines(self):
+        h, pred, pf = make_env(max_lines=3)
+        pf.set_trace(straight_line_trace(30))
+        pf.on_code_miss(0, 0.0, 40.0)
+        assert pf.stats.lines_prefetched <= 3
+
+    def test_no_trace_is_noop(self):
+        h, pred, pf = make_env()
+        pf.on_code_miss(0, 0.0, 40.0)
+        assert pf.stats.activations == 0
+
+    def test_stops_at_unpredicted_branch(self):
+        h, pred, pf = make_env()
+        # an always-taken branch the predictor has never seen -> BTB miss
+        instrs = [Instr(0x400000, Op.ALU)]
+        instrs.append(Instr(0x400040, Op.BRANCH, taken=True, target=0x500000))
+        for k in range(40):
+            instrs.append(Instr(0x500000 + k * 16, Op.ALU))
+        pf.set_trace(Trace("b", "server", instrs))
+        pf.on_code_miss(0, 0.0, 40.0)
+        assert pf.stats.stopped_by_branch == 1
+        assert not h.l1i[0].contains(0x500040 >> 6)
+
+    def test_continues_through_trained_branch(self):
+        h, pred, pf = make_env()
+        # Train the predictor+BTB on the branch first.
+        for _ in range(32):
+            pred.predict_and_update(0x400040, True, 0x500000)
+        instrs = [Instr(0x400000, Op.ALU)]
+        instrs.append(Instr(0x400040, Op.BRANCH, taken=True, target=0x500000))
+        for k in range(12):
+            instrs.append(Instr(0x500000 + k * 16, Op.ALU))
+        pf.set_trace(Trace("b", "server", instrs))
+        pf.on_code_miss(0, 0.0, 40.0)
+        assert h.l1i[0].contains(0x500000 >> 6)
+
+    def test_cyclic_position_for_mp_replay(self):
+        h, pred, pf = make_env()
+        trace = straight_line_trace(4)
+        pf.set_trace(trace)
+        # idx beyond the trace length wraps (warmup+measure indexing)
+        pf.on_code_miss(len(trace.instrs) + 1, 0.0, 40.0)
+        assert pf.stats.activations == 1

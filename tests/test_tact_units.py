@@ -1,0 +1,240 @@
+"""Unit tests for the individual TACT prefetcher mechanisms."""
+
+import pytest
+
+from repro.core.tact.cross import (
+    DELTA_CONFIDENCE_MAX,
+    INSTANCES_PER_CANDIDATE,
+    MAX_WRAPS,
+    CrossState,
+)
+from repro.core.tact.deep_self import LENGTH_CAP, MAX_DISTANCE, DeepSelfState
+from repro.core.tact.feeder import SCALES, FeederState, RegisterLoadTracker
+from repro.core.tact.trigger_cache import TriggerCache
+
+
+class TestTriggerCache:
+    def test_first_four_pcs_tracked(self):
+        tc = TriggerCache()
+        for pc in (0x10, 0x20, 0x30, 0x40, 0x50):
+            tc.observe(pc, 0x1000)
+        assert tc.candidates(0x1000) == [0x10, 0x20, 0x30, 0x40]
+
+    def test_duplicate_pc_not_repeated(self):
+        tc = TriggerCache()
+        tc.observe(0x10, 0x1000)
+        tc.observe(0x10, 0x1040)
+        assert tc.candidates(0x1000) == [0x10]
+
+    def test_distinct_pages(self):
+        tc = TriggerCache()
+        tc.observe(0x10, 0x1000)
+        tc.observe(0x20, 0x2000)
+        assert tc.candidates(0x1000) == [0x10]
+        assert tc.candidates(0x2000) == [0x20]
+
+    def test_lru_page_eviction(self):
+        tc = TriggerCache(sets=1, ways=2)
+        tc.observe(0x10, 0x1000)
+        tc.observe(0x20, 0x2000)
+        tc.observe(0x30, 0x3000)  # evicts page 0x1000
+        assert tc.candidates(0x1000) == []
+
+    def test_unknown_page_empty(self):
+        assert TriggerCache().candidates(0x9000) == []
+
+
+class TestDeepSelf:
+    def test_no_prefetch_before_confidence(self):
+        s = DeepSelfState()
+        assert s.observe(0x1000) == []
+        assert s.observe(0x1040) == []
+
+    def test_distance_one_after_stride_learned(self):
+        s = DeepSelfState()
+        addr = 0x1000
+        for _ in range(4):
+            out = s.observe(addr)
+            addr += 64
+        assert addr - 64 + 64 in out  # distance-1 prefetch present
+
+    def test_deep_prefetch_after_safe_confidence(self):
+        s = DeepSelfState()
+        addr = 0x1000
+        out = []
+        for _ in range(200):  # long stream: wraparound builds safe length
+            out = s.observe(addr)
+            addr += 64
+        last = addr - 64
+        assert last + 64 in out
+        assert last + 64 * MAX_DISTANCE in out
+
+    def test_random_addresses_never_prefetch(self):
+        import random
+
+        rng = random.Random(5)
+        s = DeepSelfState()
+        for _ in range(100):
+            assert s.observe(rng.randrange(1 << 20) * 64) == []
+
+    def test_stride_break_resets_run(self):
+        s = DeepSelfState()
+        addr = 0x1000
+        for _ in range(10):
+            s.observe(addr)
+            addr += 64
+        s.observe(0x900000)  # break
+        assert s.run_length == 0
+
+    def test_safe_length_capped(self):
+        s = DeepSelfState()
+        addr = 0
+        for _ in range(500):
+            s.observe(addr)
+            addr += 64
+        assert s.safe_length <= LENGTH_CAP
+
+    def test_short_runs_limit_deep_distance(self):
+        """A PC whose stride breaks every 4 accesses must not issue
+        distance-16 prefetches."""
+        s = DeepSelfState()
+        base = 0
+        for rep in range(60):
+            addr = rep * (1 << 20)
+            for k in range(4):
+                out = s.observe(addr + k * 64)
+        deep = [a for a in out if a > (out[0] if out else 0)]
+        for a in out:
+            assert a <= addr + 3 * 64 + 64 * 8  # nothing at full depth
+
+
+class TestCross:
+    def _learn(self, state, trigger_addr=0x1000, delta=64, rounds=4):
+        for i in range(rounds):
+            t = trigger_addr + i * 128
+            state.observe_target(t + delta, t)
+        return state
+
+    def test_learns_stable_delta(self):
+        s = CrossState()
+        s.refresh_candidates([0x111], self_pc=0x222)
+        self._learn(s)
+        assert s.learned
+        assert s.delta == 64
+        assert s.trigger_pc == 0x111
+
+    def test_prefetch_address(self):
+        s = CrossState()
+        s.refresh_candidates([0x111], 0x222)
+        self._learn(s)
+        assert s.prefetch_for_trigger(0x5000) == 0x5000 + 64
+
+    def test_no_prefetch_before_learning(self):
+        s = CrossState()
+        assert s.prefetch_for_trigger(0x5000) is None
+
+    def test_self_excluded_from_candidates(self):
+        s = CrossState()
+        s.refresh_candidates([0x222], self_pc=0x222)
+        assert s.current_candidate() == -1
+
+    def test_candidate_rotation_after_instances(self):
+        s = CrossState()
+        s.refresh_candidates([0x111, 0x333], 0x222)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(INSTANCES_PER_CANDIDATE):
+            s.observe_target(rng.randrange(1 << 20), rng.randrange(1 << 20))
+        assert s.current_candidate() == 0x333
+
+    def test_gives_up_after_wraps(self):
+        s = CrossState()
+        s.refresh_candidates([0x111], 0x222)
+        import random
+
+        rng = random.Random(9)
+        for _ in range(INSTANCES_PER_CANDIDATE * MAX_WRAPS + 1):
+            s.observe_target(rng.randrange(1 << 30), rng.randrange(1 << 30))
+        assert s.gave_up
+        assert not s.learned
+
+
+class TestRegisterTracker:
+    def test_load_sets_register(self):
+        t = RegisterLoadTracker()
+        t.on_load(0x100, idx=5, dst=3)
+        assert t.feeder_for((3,), exclude_idx=99) == 0x100
+
+    def test_propagation_through_alu(self):
+        t = RegisterLoadTracker()
+        t.on_load(0x100, idx=5, dst=3)
+        t.on_other(idx=6, srcs=(3,), dst=7)  # alu moves load's PC to r7
+        assert t.feeder_for((7,), exclude_idx=99) == 0x100
+
+    def test_youngest_wins(self):
+        t = RegisterLoadTracker()
+        t.on_load(0x100, idx=5, dst=3)
+        t.on_load(0x200, idx=8, dst=4)
+        assert t.feeder_for((3, 4), exclude_idx=99) == 0x200
+
+    def test_exclusion_of_own_index(self):
+        t = RegisterLoadTracker()
+        t.on_load(0x100, idx=5, dst=3)
+        assert t.feeder_for((3,), exclude_idx=5) == -1
+
+    def test_untracked_register(self):
+        assert RegisterLoadTracker().feeder_for((0,), exclude_idx=1) == -1
+
+
+class TestFeeder:
+    def _confirm(self, s, feeder_pc=0x100):
+        # First observation installs the candidate; three more saturate the
+        # 2-bit confidence.
+        for _ in range(4):
+            s.observe_feeder_candidate(feeder_pc)
+
+    def test_feeder_confirmation(self):
+        s = FeederState()
+        self._confirm(s)
+        assert s.confirmed
+
+    def test_unstable_feeder_not_confirmed(self):
+        s = FeederState()
+        s.observe_feeder_candidate(0x100)
+        s.observe_feeder_candidate(0x200)
+        s.observe_feeder_candidate(0x100)
+        assert not s.confirmed
+
+    @pytest.mark.parametrize("scale", SCALES)
+    def test_learns_each_scale(self, scale):
+        s = FeederState()
+        self._confirm(s)
+        base = 0x7000
+        for data in (10, 20, 30, 40):
+            s.observe_relation(scale * data + base, data)
+        assert s.learned
+        assert s.scale == scale
+        assert s.predict(50) == scale * 50 + base
+
+    def test_non_hardware_scale_rejected(self):
+        """Scale 64 is not in {1,2,4,8}: the hardware cannot learn it."""
+        s = FeederState()
+        self._confirm(s)
+        for data in (10, 20, 30, 40, 50):
+            s.observe_relation(64 * data + 0x7000, data)
+        assert not s.learned
+
+    def test_no_prediction_before_learning(self):
+        s = FeederState()
+        assert s.predict(42) is None
+
+    def test_random_relation_not_learned(self):
+        import random
+
+        rng = random.Random(2)
+        s = FeederState()
+        self._confirm(s)
+        for _ in range(50):
+            s.observe_relation(rng.randrange(1 << 30), rng.randrange(1 << 16))
+        assert not s.learned

@@ -1,0 +1,127 @@
+"""Unit tests for the instruction/trace model."""
+
+import pytest
+
+from repro.workloads.trace import (
+    CATEGORIES,
+    EXEC_LATENCY,
+    LINE_SIZE,
+    NUM_ARCH_REGS,
+    Instr,
+    Op,
+    Trace,
+)
+
+
+class TestInstr:
+    def test_load_is_mem(self):
+        ins = Instr(0x400000, Op.LOAD, srcs=(1,), dst=2, addr=0x1000)
+        assert ins.is_mem
+
+    def test_store_is_mem(self):
+        ins = Instr(0x400000, Op.STORE, srcs=(1,), addr=0x1000)
+        assert ins.is_mem
+
+    @pytest.mark.parametrize("op", [Op.ALU, Op.MUL, Op.FP, Op.BRANCH, Op.NOP])
+    def test_non_mem_ops(self, op):
+        assert not Instr(0x400000, op).is_mem
+
+    def test_line_address(self):
+        ins = Instr(0x400000, Op.LOAD, addr=0x1234)
+        assert ins.line == 0x1234 >> 6
+
+    def test_line_for_non_mem_is_negative(self):
+        assert Instr(0x400000, Op.ALU).line == -1
+
+    def test_code_line(self):
+        assert Instr(0x400040, Op.ALU).code_line == 0x400040 >> 6
+
+    def test_same_line_for_nearby_addresses(self):
+        a = Instr(0, Op.LOAD, addr=0x1000)
+        b = Instr(0, Op.LOAD, addr=0x103F)
+        assert a.line == b.line
+
+    def test_adjacent_lines_differ(self):
+        a = Instr(0, Op.LOAD, addr=0x1000)
+        b = Instr(0, Op.LOAD, addr=0x1040)
+        assert b.line == a.line + 1
+
+
+class TestExecLatency:
+    def test_alu_single_cycle(self):
+        assert EXEC_LATENCY[Op.ALU] == 1
+
+    def test_mul_longer_than_alu(self):
+        assert EXEC_LATENCY[Op.MUL] > EXEC_LATENCY[Op.ALU]
+
+    def test_fp_longer_than_mul(self):
+        assert EXEC_LATENCY[Op.FP] > EXEC_LATENCY[Op.MUL]
+
+    def test_all_ops_have_latency(self):
+        for op in Op:
+            assert op in EXEC_LATENCY
+
+
+class TestTrace:
+    def _trace(self, instrs):
+        return Trace("t", "ISPEC", instrs)
+
+    def test_len(self):
+        t = self._trace([Instr(0, Op.ALU), Instr(4, Op.ALU)])
+        assert len(t) == 2
+
+    def test_iter(self):
+        instrs = [Instr(0, Op.ALU), Instr(4, Op.NOP)]
+        assert list(self._trace(instrs)) == instrs
+
+    def test_load_count(self):
+        t = self._trace(
+            [Instr(0, Op.LOAD, addr=0), Instr(4, Op.ALU), Instr(8, Op.LOAD, addr=64)]
+        )
+        assert t.load_count == 2
+
+    def test_branch_count(self):
+        t = self._trace([Instr(0, Op.BRANCH, taken=True, target=0)])
+        assert t.branch_count == 1
+
+    def test_footprint_lines_distinct(self):
+        t = self._trace(
+            [
+                Instr(0, Op.LOAD, addr=0),
+                Instr(4, Op.LOAD, addr=32),   # same line
+                Instr(8, Op.LOAD, addr=64),   # next line
+            ]
+        )
+        assert t.footprint_lines() == 2
+
+    def test_code_lines(self):
+        t = self._trace([Instr(0, Op.ALU), Instr(64, Op.ALU), Instr(68, Op.ALU)])
+        assert t.code_lines() == 2
+
+    def test_validate_accepts_good_trace(self):
+        self._trace([Instr(0, Op.LOAD, srcs=(0,), dst=1, addr=64)]).validate()
+
+    def test_validate_rejects_mem_without_address(self):
+        with pytest.raises(ValueError, match="without address"):
+            self._trace([Instr(0, Op.LOAD)]).validate()
+
+    def test_validate_rejects_bad_register(self):
+        with pytest.raises(ValueError, match="register"):
+            self._trace([Instr(0, Op.ALU, dst=NUM_ARCH_REGS)]).validate()
+
+    def test_validate_rejects_bad_source_register(self):
+        with pytest.raises(ValueError, match="register"):
+            self._trace([Instr(0, Op.ALU, srcs=(NUM_ARCH_REGS,), dst=0)]).validate()
+
+    def test_validate_rejects_negative_pc(self):
+        with pytest.raises(ValueError, match="pc"):
+            self._trace([Instr(-4, Op.ALU)]).validate()
+
+    def test_memory_image_default_empty(self):
+        assert self._trace([]).memory_image == {}
+
+
+def test_constants():
+    assert LINE_SIZE == 64
+    assert NUM_ARCH_REGS == 16
+    assert len(CATEGORIES) == 5
