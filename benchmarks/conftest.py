@@ -13,6 +13,8 @@ Run with::
 
 import pytest
 
+from repro.experiments.common import clear_cache
+
 
 @pytest.fixture
 def once(benchmark):
@@ -22,3 +24,16 @@ def once(benchmark):
         return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)
 
     return runner
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _release_cached_results():
+    """Drop the runner's memoised results once the benchmark session ends.
+
+    Benchmarks deliberately share memoised baseline runs *within* the
+    session (experiments reuse each other's baselines); clearing at teardown
+    keeps full ``RunResult`` objects from outliving the suite when it runs
+    inside a larger process.
+    """
+    yield
+    clear_cache()

@@ -14,8 +14,9 @@ Run:  python examples/design_space.py            (quick cross-section)
 
 import sys
 
+from repro.experiments.common import cached_run
 from repro.power.energy import ChipModel
-from repro.sim import Simulator, no_l2, skylake_server, with_catch
+from repro.sim import no_l2, skylake_server, with_catch
 from repro.sim.metrics import geomean
 from repro.workloads import suite
 
@@ -23,9 +24,9 @@ N_INSTRS = 30_000
 
 
 def evaluate(config, workloads):
-    sim = Simulator(config)
-    results = [sim.run(name, N_INSTRS) for name in workloads]
-    return results
+    # Through the resilient runner: memoised in-process, and a campaign can
+    # wrap this in repro.runner.use_runner(...) for checkpointing/timeouts.
+    return [cached_run(config, name, N_INSTRS) for name in workloads]
 
 
 def main(full=False):

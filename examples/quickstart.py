@@ -10,7 +10,8 @@ were served and the resulting performance.
 Run:  python examples/quickstart.py
 """
 
-from repro import Simulator, no_l2, skylake_server, with_catch
+from repro import no_l2, skylake_server, with_catch
+from repro.experiments.common import cached_run
 
 WORKLOAD = "hmmer_like"
 N_INSTRS = 40_000
@@ -35,13 +36,15 @@ def main():
     catch_cfg = with_catch(nol2_cfg, name="noL2+CATCH")
 
     print(f"workload: {WORKLOAD} ({N_INSTRS} measured instructions)\n")
-    baseline = Simulator(baseline_cfg).run(WORKLOAD, N_INSTRS)
+    # cached_run routes through the resilient runner (repro.runner): results
+    # are memoised, validated, and checkpointable in larger campaigns.
+    baseline = cached_run(baseline_cfg, WORKLOAD, N_INSTRS)
     describe(baseline)
 
-    nol2 = Simulator(nol2_cfg).run(WORKLOAD, N_INSTRS)
+    nol2 = cached_run(nol2_cfg, WORKLOAD, N_INSTRS)
     describe(nol2, baseline.ipc)
 
-    catch = Simulator(catch_cfg).run(WORKLOAD, N_INSTRS)
+    catch = cached_run(catch_cfg, WORKLOAD, N_INSTRS)
     describe(catch, baseline.ipc)
 
     ts = catch.tact_stats

@@ -12,11 +12,15 @@ Public API tour:
   ``repro.interconnect`` — the OOO core, cache hierarchy, DDR4 and ring
   substrates.
 * ``repro.power`` — CACTI/Orion/Micron-style energy and area models.
+* ``repro.runner`` — the resilient experiment runner: checkpoint/resume
+  result store, per-run deadlines, retry, failure reports, fault injection.
+* ``repro.errors`` — the typed exception hierarchy everything above raises.
 * ``repro.experiments`` — one module per paper figure/table
   (``python -m repro.experiments all``).
 """
 
 from .core import CatchConfig, CatchEngine, CriticalityDetector
+from .errors import ConfigError, ReproError
 from .sim import (
     MultiCoreSimulator,
     SimConfig,
@@ -33,7 +37,9 @@ __version__ = "1.0.0"
 __all__ = [
     "CatchConfig",
     "CatchEngine",
+    "ConfigError",
     "CriticalityDetector",
+    "ReproError",
     "MultiCoreSimulator",
     "SimConfig",
     "Simulator",

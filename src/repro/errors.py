@@ -1,0 +1,76 @@
+"""Typed exception hierarchy for the reproduction.
+
+Everything the package raises deliberately derives from :class:`ReproError`,
+so callers (the resilient runner, the experiment CLI, tests) can distinguish
+*our* failure classes from genuine bugs:
+
+* :class:`ConfigError` — a nonsense machine description, raised eagerly by
+  :meth:`repro.sim.config.SimConfig.validate` before any simulation starts.
+* :class:`RunTimeoutError` — a run exceeded its wall-clock deadline
+  (enforced cooperatively by the runner's per-instruction check).
+* :class:`ResultIntegrityError` — a simulation completed but produced a
+  result that fails sanity checks (non-finite cycles, zero instructions).
+* :class:`InjectedFault` — raised only by the fault-injection harness
+  (:mod:`repro.runner.faultinject`); never seen in production runs.
+* :class:`CheckpointError` — a checkpoint file could not be read/decoded.
+* :class:`RunFailure` — terminal wrapper raised by the runner once retries
+  are exhausted; carries the structured context a failure report needs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every deliberate error in this package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A machine configuration fails validation (see ``SimConfig.validate``)."""
+
+
+class RunTimeoutError(ReproError):
+    """A simulation exceeded its wall-clock deadline."""
+
+    def __init__(self, message: str, *, elapsed_s: float = 0.0,
+                 timeout_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.elapsed_s = elapsed_s
+        self.timeout_s = timeout_s
+
+
+class ResultIntegrityError(ReproError):
+    """A run finished but its metrics fail sanity checks (NaN/zero)."""
+
+
+class InjectedFault(ReproError):
+    """A deterministic failure injected by the fault-injection harness."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint/result file is unreadable or has the wrong schema."""
+
+
+class RunFailure(ReproError):
+    """One ``(config, workload)`` run failed after all recovery attempts.
+
+    Raised by :class:`repro.runner.ExperimentRunner` with the context a
+    structured failure report needs; ``__cause__`` is the final underlying
+    exception.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        config_name: str,
+        workload: str,
+        n_instrs: int,
+        attempts: int,
+        elapsed_s: float,
+    ) -> None:
+        super().__init__(message)
+        self.config_name = config_name
+        self.workload = workload
+        self.n_instrs = n_instrs
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s

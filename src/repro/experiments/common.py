@@ -2,18 +2,21 @@
 
 Every experiment module exposes ``run(quick=..., n_instrs=...) -> dict`` with
 plain-data results (JSON-friendly), plus a ``main()`` that prints the same
-rows the paper's figure/table reports.  Runs are memoised per process so
-experiments sharing a baseline don't recompute it.
+rows the paper's figure/table reports.  All simulation goes through the
+active :class:`~repro.runner.ExperimentRunner` (see :mod:`repro.runner`):
+by default that memoises runs per process so experiments sharing a baseline
+don't recompute it; under the experiment CLI it adds checkpoint/resume,
+per-run deadlines, retry and structured failure reporting.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Iterable, Mapping
 
+from ..runner import get_runner
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult, category_geomeans
-from ..sim.simulator import DEFAULT_TRACE_LENGTH, Simulator
+from ..sim.simulator import DEFAULT_TRACE_LENGTH
 from ..workloads.suites import suite
 
 #: Trace length used by the quick (CI/benchmark) variants of experiments.
@@ -30,20 +33,27 @@ def workload_categories() -> dict[str, str]:
     return {s.name: s.category for s in suite()}
 
 
-@lru_cache(maxsize=4096)
 def cached_run(config: SimConfig, workload: str, n_instrs: int) -> RunResult:
-    """Memoised (config, workload, length) simulation."""
-    return Simulator(config).run(workload, n_instrs)
+    """One (config, workload, length) simulation through the active runner.
+
+    The runner's result store replaces the old unbounded ``lru_cache`` of
+    full :class:`RunResult` objects: memoisation behaviour is unchanged for
+    plain library use, but the store is clearable (:func:`clear_cache`) and,
+    under the experiment CLI, checkpointed to disk.
+    """
+    return get_runner().run(config, workload, n_instrs)
+
+
+def clear_cache() -> None:
+    """Drop the active runner's in-memory results (benchmark conftest hook)."""
+    get_runner().store.clear()
 
 
 def sweep(
     configs: Iterable[SimConfig], workloads: Iterable[str], n_instrs: int
 ) -> dict[str, dict[str, RunResult]]:
     """Run every workload on every configuration."""
-    return {
-        cfg.name: {wl: cached_run(cfg, wl, n_instrs) for wl in workloads}
-        for cfg in configs
-    }
+    return get_runner().sweep(configs, workloads, n_instrs)
 
 
 def speedup_summary(

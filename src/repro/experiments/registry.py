@@ -3,11 +3,26 @@
 Usage::
 
     python -m repro.experiments <experiment> [--quick]
-    python -m repro.experiments all [--quick]
+    python -m repro.experiments all [--quick] [--keep-going]
 
 ``--quick`` runs the representative workload cross-section at a short trace
 length (what the benchmark suite uses); the default runs the full suite at
 the full length and reproduces the paper's figures.
+
+Long campaigns run through the resilient runner (:mod:`repro.runner`):
+
+* ``--checkpoint-dir DIR`` persists every completed ``(config, workload)``
+  run as a JSON checkpoint the moment it finishes; with ``--resume`` a rerun
+  skips everything already checkpointed.
+* ``--timeout S`` aborts any single run exceeding the wall-clock deadline;
+  ``--retries N`` re-attempts transient per-run failures with backoff.
+* ``--keep-going`` isolates failures: a crashing experiment is recorded in
+  the structured failure report and the remaining experiments still run
+  (the exit code stays nonzero).  ``--failure-report PATH`` writes the
+  report as JSON; it is also embedded in ``--json`` output.
+* ``--inject-fault SPEC`` (testing) deterministically sabotages matching
+  runs — e.g. ``raise:workload=hmmer_like:at=2000`` — so the resilience
+  machinery itself is exercisable end to end.
 """
 
 from __future__ import annotations
@@ -15,7 +30,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
+from ..runner import (
+    ExperimentRunner,
+    FailureRecord,
+    FaultInjector,
+    ResultStore,
+    use_runner,
+)
+from ..sim.serialization import json_default
 from . import (
     detector_comparison,
     interconnect_scaling,
@@ -55,7 +79,7 @@ EXPERIMENTS = {
 }
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.experiments",
         description="Reproduce the paper's tables and figures",
@@ -67,20 +91,149 @@ def main(argv: list[str] | None = None) -> int:
         "--render", action="store_true",
         help="additionally draw ASCII bar charts of the summaries",
     )
-    args = parser.parse_args(argv)
+    resil = parser.add_argument_group("resilience (see repro.runner)")
+    resil.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="persist each completed (config, workload) run under DIR",
+    )
+    resil.add_argument(
+        "--resume", action="store_true",
+        help="serve runs already checkpointed in --checkpoint-dir from disk",
+    )
+    resil.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="wall-clock deadline per (config, workload) run, in seconds",
+    )
+    resil.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a transiently failing run up to N times (default 0)",
+    )
+    resil.add_argument(
+        "--keep-going", action="store_true",
+        help="on failure, record it and continue with the next experiment",
+    )
+    resil.add_argument(
+        "--failure-report", metavar="PATH",
+        help="write the structured failure report as JSON to PATH",
+    )
+    resil.add_argument(
+        "--inject-fault", metavar="SPEC",
+        help="testing: deterministically fail matching runs; SPEC is "
+             "kind[:key=value...] with kind raise|corrupt-trace|nan-metrics "
+             "and keys at=, workload=, config=, times=",
+    )
+    return parser
+
+
+def make_runner(args: argparse.Namespace) -> ExperimentRunner:
+    """Build the runner an invocation's resilience flags describe."""
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir")
+    store = ResultStore(args.checkpoint_dir, resume=args.resume)
+    kwargs: dict = {}
+    if args.inject_fault:
+        try:
+            injector = FaultInjector.from_spec(args.inject_fault)
+        except ValueError as exc:
+            raise SystemExit(f"--inject-fault: {exc}")
+        kwargs["simulator_factory"] = injector.simulator_factory
+    return ExperimentRunner(
+        store,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        **kwargs,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = make_runner(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    collected = {}
-    for name in names:
-        print(f"=== {name} " + "=" * (70 - len(name)))
-        collected[name] = EXPERIMENTS[name].main(quick=args.quick)
-        if args.render:
-            _render(collected[name])
-        print()
+    collected: dict = {}
+    failed: list[FailureRecord] = []
+    with use_runner(runner):
+        for name in names:
+            print(f"=== {name} " + "=" * (70 - len(name)))
+            started = time.monotonic()
+            before = len(runner.failures)
+            try:
+                collected[name] = EXPERIMENTS[name].main(quick=args.quick)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                record = _experiment_failure(
+                    name, exc, runner.failures[before:], started
+                )
+                failed.append(record)
+                print(
+                    f"!!! {name} failed: {record.error_type}: {record.message}",
+                    file=sys.stderr,
+                )
+                if not args.keep_going:
+                    _finish(args, collected, failed, runner)
+                    return 1
+            else:
+                if args.render:
+                    _render(collected[name])
+            print()
+    return _finish(args, collected, failed, runner)
+
+
+def _experiment_failure(
+    name: str,
+    exc: Exception,
+    run_failures: list[FailureRecord],
+    started: float,
+) -> FailureRecord:
+    """The report row for one crashed experiment.
+
+    When the crash came through the runner the per-run record already names
+    the config/workload; reuse it and tag the experiment.  Anything else
+    (a crash outside the runner) still produces a structured row.
+    """
+    if run_failures:
+        record = run_failures[-1]
+    else:
+        record = FailureRecord(
+            config_name="",
+            workload="",
+            n_instrs=0,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            elapsed_s=time.monotonic() - started,
+            attempts=1,
+        )
+    record.experiment = name
+    return record
+
+
+def _finish(
+    args: argparse.Namespace,
+    collected: dict,
+    failed: list[FailureRecord],
+    runner: ExperimentRunner,
+) -> int:
+    report = {
+        "failures": [record.to_dict() for record in failed],
+        "runner": runner.failure_report(),
+    }
     if args.json:
+        payload = {"experiments": collected, "failures": report["failures"]}
         with open(args.json, "w") as fh:
-            json.dump(collected, fh, indent=2, default=str)
+            json.dump(payload, fh, indent=2, default=json_default)
         print(f"results written to {args.json}")
+    if args.failure_report:
+        with open(args.failure_report, "w") as fh:
+            json.dump(report, fh, indent=2, default=json_default)
+        print(f"failure report written to {args.failure_report}")
+    if failed:
+        print(
+            f"{len(failed)} experiment(s) failed: "
+            + ", ".join(sorted({r.experiment or '?' for r in failed})),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

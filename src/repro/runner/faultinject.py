@@ -1,0 +1,187 @@
+"""Deterministic fault injection for exercising the runner's failure paths.
+
+The isolation/retry/timeout/report machinery in :mod:`repro.runner.runner`
+would otherwise only fire on genuine bugs; this harness makes each failure
+mode reproducible on demand by wrapping the real
+:class:`~repro.sim.simulator.Simulator`:
+
+* ``raise`` — raise :class:`~repro.errors.InjectedFault` at the Nth retired
+  instruction (through the simulator's ``on_instruction`` hook, so the crash
+  happens mid-simulation, exactly where a real model bug would).
+* ``corrupt-trace`` — flip one trace record to garbage before the run (the
+  corrupted copy is private: the shared, memoised trace is never touched).
+* ``nan-metrics`` — let the simulation finish, then poison the returned
+  metrics with NaN cycles, exercising the runner's integrity validation.
+
+An injector fires at most ``times`` times (default 1) and only on runs
+matching its ``workload``/``config_substr`` filters, so "fail the first
+attempt, succeed on retry" and "fail one experiment mid-suite" are both a
+one-liner.  Use :meth:`FaultInjector.simulator_factory` as the runner's
+``simulator_factory``, or ``--inject-fault`` on the experiment CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from ..errors import InjectedFault
+from ..sim.config import SimConfig
+from ..sim.metrics import RunResult
+from ..sim.simulator import Simulator
+from ..workloads.trace import Instr, Op, Trace
+
+KINDS = ("raise", "corrupt-trace", "nan-metrics")
+
+
+@dataclass
+class FaultInjector:
+    """A deterministic fault plan shared by the wrapped simulators it builds.
+
+    Args:
+        kind: one of ``raise``, ``corrupt-trace``, ``nan-metrics``.
+        at_instruction: retired-instruction index for ``raise`` (and the
+            record index corrupted by ``corrupt-trace``).
+        workload: only fire on this workload name (``None`` = any).
+        config_substr: only fire when the config name contains this.
+        times: total number of runs this injector will sabotage.
+    """
+
+    kind: str = "raise"
+    at_instruction: int = 1000
+    workload: str | None = None
+    config_substr: str | None = None
+    times: int = 1
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of {KINDS})"
+            )
+
+    # ------------------------------------------------------------- matching
+
+    def _matches(self, config_name: str, workload: str) -> bool:
+        if self.fired >= self.times:
+            return False
+        if self.workload is not None and workload != self.workload:
+            return False
+        if self.config_substr is not None and self.config_substr not in config_name:
+            return False
+        return True
+
+    def _arm(self, config_name: str, workload: str) -> bool:
+        """Consume one firing if this run matches the plan."""
+        if not self._matches(config_name, workload):
+            return False
+        self.fired += 1
+        return True
+
+    # ------------------------------------------------------------- factory
+
+    def simulator_factory(self, config: SimConfig) -> "FaultySimulator":
+        """Drop-in ``simulator_factory`` for :class:`ExperimentRunner`."""
+        return FaultySimulator(config, self)
+
+    # ------------------------------------------------------------- CLI spec
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultInjector":
+        """Parse the CLI form ``kind[:key=value[:key=value...]]``.
+
+        Example: ``raise:workload=hmmer_like:at=2000:times=1``.
+        Keys: ``at``, ``workload``, ``config``, ``times``.
+        """
+        parts = spec.split(":")
+        kwargs: dict = {"kind": parts[0]}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"bad fault spec segment {part!r} in {spec!r}")
+            if key == "at":
+                kwargs["at_instruction"] = int(value)
+            elif key == "workload":
+                kwargs["workload"] = value
+            elif key == "config":
+                kwargs["config_substr"] = value
+            elif key == "times":
+                kwargs["times"] = int(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r} in {spec!r}")
+        return cls(**kwargs)
+
+
+class FaultySimulator(Simulator):
+    """A :class:`Simulator` that executes one injector's fault plan."""
+
+    def __init__(self, config: SimConfig, injector: FaultInjector) -> None:
+        super().__init__(config)
+        self.injector = injector
+
+    def run(self, workload, n_instrs=None, *, on_instruction=None, **kwargs):
+        from ..sim.simulator import DEFAULT_TRACE_LENGTH
+
+        if n_instrs is None:
+            n_instrs = DEFAULT_TRACE_LENGTH
+        name = workload if isinstance(workload, str) else workload.name
+        inj = self.injector
+        armed = inj._arm(self.config.name, name)
+        if not armed:
+            return super().run(
+                workload, n_instrs, on_instruction=on_instruction, **kwargs
+            )
+
+        if inj.kind == "raise":
+            target = inj.at_instruction
+
+            def tripwire(retired: int) -> None:
+                if retired >= target:
+                    raise InjectedFault(
+                        f"injected fault at instruction {retired} "
+                        f"({self.config.name}/{name})"
+                    )
+                if on_instruction is not None:
+                    on_instruction(retired)
+
+            return super().run(workload, n_instrs, on_instruction=tripwire, **kwargs)
+
+        if inj.kind == "corrupt-trace":
+            trace = self._materialize(workload, n_instrs, kwargs.get("warmup", True))
+            corrupted = _corrupt_record(trace, inj.at_instruction)
+            return super().run(
+                corrupted, n_instrs, on_instruction=on_instruction, **kwargs
+            )
+
+        # nan-metrics: the run completes, the measurement is poison.
+        result = super().run(workload, n_instrs, on_instruction=on_instruction, **kwargs)
+        return dataclasses.replace(result, cycles=float("nan"))
+
+    def _materialize(self, workload, n_instrs: int, warmup: bool) -> Trace:
+        if isinstance(workload, Trace):
+            return workload
+        from ..workloads.suites import build_trace, get_spec
+
+        spec = get_spec(workload)
+        length = n_instrs * spec.length_multiplier
+        return build_trace(workload, 2 * length if warmup else length)
+
+
+def _corrupt_record(trace: Trace, index: int) -> Trace:
+    """Copy ``trace`` with one record corrupted (the original is untouched).
+
+    The corrupted record is a load whose register metadata is gibberish —
+    the shape of a bit-flipped trace file — which the dependence-tracking
+    core cannot schedule and crashes on.
+    """
+    instrs = list(trace.instrs)
+    index = min(max(index, 0), len(instrs) - 1)
+    instrs[index] = Instr(
+        pc=-1, op=Op.LOAD, srcs=(None,), dst=-(10**9), addr=-1  # type: ignore[arg-type]
+    )
+    return Trace(
+        name=trace.name,
+        category=trace.category,
+        instrs=instrs,
+        memory_image=trace.memory_image,
+    )

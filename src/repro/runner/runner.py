@@ -1,0 +1,272 @@
+"""The resilient experiment runner: the single execution path for runs.
+
+Every ``(config, workload, n_instrs)`` simulation in the experiment suite
+goes through :meth:`ExperimentRunner.run`, which layers four behaviours over
+the bare :class:`~repro.sim.simulator.Simulator`:
+
+1. **Checkpoint/resume** — completed results are served from a
+   :class:`~repro.runner.store.ResultStore`; with a checkpoint directory,
+   each result is persisted the moment it completes, so an interrupted sweep
+   resumes where it left off.
+2. **Wall-clock deadlines** — a cooperative per-instruction check aborts
+   runs that exceed ``timeout_s`` with :class:`~repro.errors.RunTimeoutError`
+   (no threads, no signals: deterministic and test-friendly).
+3. **Bounded retry with backoff** — transient failures are retried up to
+   ``retries`` times with exponential backoff; config errors and timeouts
+   are not retried (a deterministic simulator will fail the same way again).
+4. **Result integrity checks** — a run that "succeeds" with non-finite or
+   nonsensical metrics is treated as a failure, not checkpointed.
+
+When a run is out of recovery options the runner raises
+:class:`~repro.errors.RunFailure` and appends a structured
+:class:`FailureRecord` to :attr:`ExperimentRunner.failures`; the experiment
+CLI turns those into the failure report and a nonzero exit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable
+
+from ..errors import (
+    ConfigError,
+    ResultIntegrityError,
+    RunFailure,
+    RunTimeoutError,
+)
+from ..sim.config import SimConfig
+from ..sim.metrics import RunResult
+from ..sim.simulator import Simulator
+from .store import ResultStore
+
+#: How many retired instructions between wall-clock deadline checks.
+DEADLINE_CHECK_INTERVAL = 256
+
+
+@dataclass
+class RunnerStats:
+    """Counters describing what the runner actually did (tests key off these)."""
+
+    executed: int = 0        #: simulations actually run (attempts that started)
+    completed: int = 0       #: runs that produced a valid result
+    store_hits: int = 0      #: results served from the store without simulating
+    retries: int = 0         #: re-attempts after a transient failure
+    timeouts: int = 0        #: runs aborted by the wall-clock deadline
+    failures: int = 0        #: runs abandoned after all recovery attempts
+
+
+@dataclass
+class FailureRecord:
+    """One abandoned run, in the shape the failure report serializes."""
+
+    config_name: str
+    workload: str
+    n_instrs: int
+    error_type: str
+    message: str
+    elapsed_s: float
+    attempts: int
+    experiment: str | None = None   #: filled in by the CLI loop
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class Deadline:
+    """Cooperative wall-clock deadline checked from the simulation loop."""
+
+    def __init__(self, timeout_s: float, clock: Callable[[], float]) -> None:
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._start = clock()
+        self._calls = 0
+
+    def __call__(self, _retired: int) -> None:
+        self._calls += 1
+        if self._calls % DEADLINE_CHECK_INTERVAL:
+            return
+        elapsed = self._clock() - self._start
+        if elapsed > self.timeout_s:
+            raise RunTimeoutError(
+                f"run exceeded {self.timeout_s:g}s wall-clock deadline "
+                f"({elapsed:.1f}s elapsed)",
+                elapsed_s=elapsed,
+                timeout_s=self.timeout_s,
+            )
+
+
+def _chain(*hooks):
+    hooks = tuple(h for h in hooks if h is not None)
+    if not hooks:
+        return None
+    if len(hooks) == 1:
+        return hooks[0]
+
+    def chained(retired: int) -> None:
+        for hook in hooks:
+            hook(retired)
+
+    return chained
+
+
+def validate_result(result: RunResult) -> RunResult:
+    """Sanity-check a finished run; raises :class:`ResultIntegrityError`."""
+    for label, value in (
+        ("cycles", result.cycles),
+        ("avg_load_latency", result.avg_load_latency),
+        ("code_stall_cycles", result.code_stall_cycles),
+    ):
+        if not math.isfinite(value):
+            raise ResultIntegrityError(
+                f"{result.config_name}/{result.workload}: non-finite "
+                f"{label} ({value!r})"
+            )
+    if result.cycles <= 0 or result.instructions <= 0:
+        raise ResultIntegrityError(
+            f"{result.config_name}/{result.workload}: empty measurement "
+            f"({result.instructions} instrs, {result.cycles} cycles)"
+        )
+    return result
+
+
+class ExperimentRunner:
+    """Executes simulations with checkpointing, deadlines and fault isolation.
+
+    Args:
+        store: result store (defaults to a fresh memory-only store).
+        timeout_s: per-run wall-clock deadline; ``None`` disables it.
+        retries: additional attempts after a transient failure.
+        backoff_s: base of the exponential retry backoff
+            (``backoff_s * 2**attempt`` before attempt ``attempt+1``).
+        simulator_factory: ``config -> Simulator``-like; the fault-injection
+            harness substitutes its wrapper here.
+        clock / sleep: injectable time sources (tests use fakes).
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        *,
+        timeout_s: float | None = None,
+        retries: int = 0,
+        backoff_s: float = 0.25,
+        simulator_factory: Callable[[SimConfig], Simulator] = Simulator,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.simulator_factory = simulator_factory
+        self.clock = clock
+        self.sleep = sleep
+        self.stats = RunnerStats()
+        self.failures: list[FailureRecord] = []
+
+    # ------------------------------------------------------------- running
+
+    def run(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
+        """Run (or recall) one measurement; raises ``RunFailure`` when spent.
+
+        :class:`~repro.errors.ConfigError` propagates as-is — an invalid
+        machine is a caller bug, not a run-level fault to retry or absorb.
+        """
+        config.validate()
+        cached = self.store.get(config, workload, n_instrs)
+        if cached is not None:
+            self.stats.store_hits += 1
+            return cached
+
+        start = self.clock()
+        attempts = 0
+        while True:
+            attempts += 1
+            self.stats.executed += 1
+            try:
+                result = self._attempt(config, workload, n_instrs)
+            except RunTimeoutError as exc:
+                self.stats.timeouts += 1
+                raise self._fail(config, workload, n_instrs, exc, attempts, start)
+            except ConfigError:
+                raise
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                if attempts <= self.retries:
+                    self.stats.retries += 1
+                    self.sleep(self.backoff_s * (2 ** (attempts - 1)))
+                    continue
+                raise self._fail(config, workload, n_instrs, exc, attempts, start)
+            self.stats.completed += 1
+            self.store.put(config, workload, n_instrs, result)
+            return result
+
+    def _attempt(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
+        sim = self.simulator_factory(config)
+        deadline = (
+            Deadline(self.timeout_s, self.clock)
+            if self.timeout_s is not None
+            else None
+        )
+        result = sim.run(workload, n_instrs, on_instruction=_chain(deadline))
+        return validate_result(result)
+
+    def _fail(
+        self,
+        config: SimConfig,
+        workload: str,
+        n_instrs: int,
+        cause: BaseException,
+        attempts: int,
+        start: float,
+    ) -> RunFailure:
+        elapsed = self.clock() - start
+        record = FailureRecord(
+            config_name=config.name,
+            workload=workload,
+            n_instrs=n_instrs,
+            error_type=type(cause).__name__,
+            message=str(cause),
+            elapsed_s=elapsed,
+            attempts=attempts,
+        )
+        self.failures.append(record)
+        self.stats.failures += 1
+        failure = RunFailure(
+            f"{config.name}/{workload} failed after {attempts} attempt(s) "
+            f"({record.error_type}: {record.message})",
+            config_name=config.name,
+            workload=workload,
+            n_instrs=n_instrs,
+            attempts=attempts,
+            elapsed_s=elapsed,
+        )
+        failure.__cause__ = cause
+        return failure
+
+    # ------------------------------------------------------------- sweeps
+
+    def sweep(
+        self,
+        configs: Iterable[SimConfig],
+        workloads: Iterable[str],
+        n_instrs: int,
+    ) -> dict[str, dict[str, RunResult]]:
+        """Run every workload on every configuration (checkpointed per run)."""
+        workloads = list(workloads)
+        return {
+            cfg.name: {wl: self.run(cfg, wl, n_instrs) for wl in workloads}
+            for cfg in configs
+        }
+
+    # ------------------------------------------------------------- reports
+
+    def failure_report(self) -> dict:
+        """Structured report of everything that failed under this runner."""
+        return {
+            "failures": [record.to_dict() for record in self.failures],
+            "stats": asdict(self.stats),
+        }

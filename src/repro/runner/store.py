@@ -1,0 +1,179 @@
+"""Disk-backed result store: the runner's checkpoint/resume substrate.
+
+Results are keyed by ``(config fingerprint, workload, n_instrs)``.  The
+fingerprint is a SHA-256 over the *canonical serialized configuration*
+(:func:`repro.sim.serialization.config_to_dict`), so two configurations that
+build the same machine share checkpoints even across processes, while any
+parameter change — a latency, a TACT knob, the capacity scale — invalidates
+them.  The config ``name`` participates through the payload, so two different
+machines that were merely given the same label do not collide.
+
+Layout: one JSON file per completed run under ``checkpoint_dir``, written
+atomically (``.tmp`` + ``os.replace``) so an interrupt mid-write never leaves
+a half checkpoint that a later ``--resume`` would trip over.  Unreadable or
+wrong-schema files found while resuming are *skipped and counted*, never
+fatal — a corrupt checkpoint costs one re-simulation, not the campaign.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+
+from ..errors import CheckpointError
+from ..sim.config import SimConfig
+from ..sim.metrics import RunResult
+from ..sim.serialization import (
+    RESULT_FORMAT_VERSION,
+    config_to_dict,
+    result_from_dict,
+    result_to_dict,
+)
+
+#: Schema version of the checkpoint envelope (the file around the result).
+CHECKPOINT_FORMAT_VERSION = 1
+
+_UNSAFE = re.compile(r"[^A-Za-z0-9._+-]+")
+
+
+def config_fingerprint(config: SimConfig) -> str:
+    """Stable hex digest of a configuration's canonical JSON form."""
+    canonical = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _safe(name: str) -> str:
+    return _UNSAFE.sub("_", name) or "unnamed"
+
+
+class ResultStore:
+    """In-memory result cache with an optional on-disk checkpoint layer.
+
+    Args:
+        checkpoint_dir: directory for per-run JSON checkpoints; ``None``
+            keeps the store memory-only (the default runner's behaviour,
+            equivalent to the old per-process memoisation).
+        resume: when true, previously checkpointed results are served from
+            disk; when false an existing directory is only *written* to,
+            never read (a fresh campaign that still checkpoints).
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: str | Path | None = None,
+        *,
+        resume: bool = False,
+    ) -> None:
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.resume = resume
+        self._memory: dict[tuple[str, str, int], RunResult] = {}
+        self._fingerprints: dict[SimConfig, str] = {}
+        #: Corrupt/wrong-schema checkpoint files skipped during reads.
+        self.corrupt_skipped = 0
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- keying
+
+    def fingerprint(self, config: SimConfig) -> str:
+        """Memoised :func:`config_fingerprint` (SimConfig is hashable)."""
+        fp = self._fingerprints.get(config)
+        if fp is None:
+            fp = self._fingerprints[config] = config_fingerprint(config)
+        return fp
+
+    def _key(self, config: SimConfig, workload: str, n_instrs: int):
+        return (self.fingerprint(config), workload, n_instrs)
+
+    def _path(self, config: SimConfig, workload: str, n_instrs: int) -> Path:
+        assert self.checkpoint_dir is not None
+        fp = self.fingerprint(config)
+        stem = f"{_safe(config.name)}--{_safe(workload)}--{n_instrs}--{fp[:12]}"
+        return self.checkpoint_dir / f"{stem}.json"
+
+    # ------------------------------------------------------------- access
+
+    def get(
+        self, config: SimConfig, workload: str, n_instrs: int
+    ) -> RunResult | None:
+        """Return a stored result, or ``None`` when the run must execute."""
+        key = self._key(config, workload, n_instrs)
+        hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        if self.checkpoint_dir is None or not self.resume:
+            return None
+        path = self._path(config, workload, n_instrs)
+        if not path.exists():
+            return None
+        try:
+            result = self._read_checkpoint(path, expected_fingerprint=key[0])
+        except CheckpointError:
+            self.corrupt_skipped += 1
+            return None
+        self._memory[key] = result
+        return result
+
+    def put(
+        self, config: SimConfig, workload: str, n_instrs: int, result: RunResult
+    ) -> None:
+        """Record one completed run (and checkpoint it if configured)."""
+        key = self._key(config, workload, n_instrs)
+        self._memory[key] = result
+        if self.checkpoint_dir is None:
+            return
+        payload = {
+            "checkpoint_version": CHECKPOINT_FORMAT_VERSION,
+            "fingerprint": key[0],
+            "config": config_to_dict(config),
+            "workload": workload,
+            "n_instrs": n_instrs,
+            "result": result_to_dict(result),
+        }
+        path = self._path(config, workload, n_instrs)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+
+    def _read_checkpoint(self, path: Path, expected_fingerprint: str) -> RunResult:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise CheckpointError(f"checkpoint {path} is not an object")
+        if payload.get("checkpoint_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has version "
+                f"{payload.get('checkpoint_version')!r}, expected "
+                f"{CHECKPOINT_FORMAT_VERSION}"
+            )
+        if payload.get("fingerprint") != expected_fingerprint:
+            raise CheckpointError(
+                f"checkpoint {path} fingerprint mismatch (stale file name?)"
+            )
+        result_payload = payload.get("result")
+        if (
+            not isinstance(result_payload, dict)
+            or result_payload.get("format_version") != RESULT_FORMAT_VERSION
+        ):
+            raise CheckpointError(f"checkpoint {path} has a bad result payload")
+        try:
+            return result_from_dict(result_payload)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} failed to deserialize: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------- admin
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (disk checkpoints are kept)."""
+        self._memory.clear()
+        self._fingerprints.clear()

@@ -14,6 +14,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from ..errors import ConfigError
 from .config import fig10_configs, fig17_configs, skylake_client, skylake_server
 from .serialization import load_config, save_config
 from .simulator import Simulator
@@ -68,7 +69,11 @@ def main(argv: list[str] | None = None) -> int:
             print(f"written to {args.out}")
     elif args.command == "run":
         cfg = _resolve(args.config)
-        result = Simulator(cfg).run(args.workload, args.n)
+        try:
+            sim = Simulator(cfg)
+        except ConfigError as exc:
+            raise SystemExit(f"invalid configuration: {exc}")
+        result = sim.run(args.workload, args.n)
         served = {
             lvl.name: count for lvl, count in result.load_served.items() if count
         }

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from ..caches.hierarchy import Level, LevelSpec
+from ..errors import ConfigError
 from ..core.catch_engine import CatchConfig
 from ..core.tact.coordinator import TACTConfig
 from ..cpu.core import CoreParams
@@ -56,14 +57,92 @@ class SimConfig:
     catch: CatchConfig | None = None
 
     def scaled(self, spec: LevelSpec | None) -> LevelSpec | None:
-        """Apply the capacity scale to one level spec."""
+        """Apply the capacity scale to one level spec.
+
+        Scaled sizes are rounded to an integral KB (minimum 1 KB) so the
+        built cache geometry is exact rather than silently truncated by the
+        byte-level integer division in :class:`~repro.caches.cache.Cache`.
+        """
         if spec is None:
             return None
-        return replace(spec, size_kb=max(1, spec.size_kb / self.capacity_scale))
+        return replace(spec, size_kb=max(1, round(spec.size_kb / self.capacity_scale)))
 
     @property
     def is_catch(self) -> bool:
         return self.catch is not None
+
+    def validate(self) -> "SimConfig":
+        """Eagerly reject nonsense machines with a typed :class:`ConfigError`.
+
+        Called from :class:`~repro.sim.simulator.Simulator` construction and
+        from the resilient runner, so bad configurations fail *before* any
+        trace is generated or cache built, with a message naming the exact
+        parameter — not deep inside the hierarchy (or not at all).
+        """
+        if self.capacity_scale < 1:
+            raise ConfigError(
+                f"{self.name}: capacity_scale must be >= 1, got "
+                f"{self.capacity_scale}"
+            )
+        if self.n_cores < 1:
+            raise ConfigError(f"{self.name}: n_cores must be >= 1, got {self.n_cores}")
+        if self.llc_policy not in ("exclusive", "inclusive"):
+            raise ConfigError(
+                f"{self.name}: unknown llc_policy {self.llc_policy!r} "
+                f"(expected 'exclusive' or 'inclusive')"
+            )
+        for label, spec in (
+            ("l1i", self.l1i),
+            ("l1d", self.l1d),
+            ("l2", self.l2),
+            ("llc", self.llc),
+        ):
+            if spec is None:
+                continue
+            self._validate_level(label, spec)
+        if (
+            self.llc_policy == "exclusive"
+            and self.llc is not None
+            and self.l2 is not None
+            and self.llc.size_kb < self.l2.size_kb
+        ):
+            raise ConfigError(
+                f"{self.name}: exclusive LLC ({self.llc.size_kb:g} KB) smaller "
+                f"than the L2 ({self.l2.size_kb:g} KB)"
+            )
+        for level, cycles in self.extra_latency:
+            if cycles < 0:
+                raise ConfigError(
+                    f"{self.name}: negative extra latency {cycles} at "
+                    f"{Level(level).name}"
+                )
+        return self
+
+    def _validate_level(self, label: str, spec: LevelSpec) -> None:
+        if spec.size_kb <= 0:
+            raise ConfigError(
+                f"{self.name}: {label} size must be positive, got "
+                f"{spec.size_kb!r} KB"
+            )
+        if spec.assoc <= 0:
+            raise ConfigError(
+                f"{self.name}: {label} associativity must be positive, got "
+                f"{spec.assoc!r}"
+            )
+        if spec.latency <= 0:
+            raise ConfigError(
+                f"{self.name}: {label} latency must be positive, got "
+                f"{spec.latency!r}"
+            )
+        # 64 B lines: assoc ways of one set must fit the capacity, and the
+        # associativity may not exceed the resulting set count.
+        sets = int(spec.size_kb * 1024) // (spec.assoc * 64)
+        if spec.assoc > max(sets, 0):
+            raise ConfigError(
+                f"{self.name}: {label} associativity {spec.assoc} exceeds the "
+                f"set count {sets} ({spec.size_kb:g} KB / {spec.assoc}-way / "
+                f"64 B lines)"
+            )
 
     def describe(self) -> str:
         l2 = f"{self.l2.size_kb:.0f}KB L2" if self.l2 else "noL2"
@@ -103,7 +182,10 @@ def skylake_client(name: str = "baseline_client", **overrides) -> SimConfig:
 
 def no_l2(base: SimConfig, llc_mb: float, name: str | None = None) -> SimConfig:
     """Remove the L2 and resize the LLC (Figure 1 / Figure 10 variants)."""
-    assert base.llc is not None
+    if base.llc is None:
+        raise ConfigError(
+            f"{base.name}: no_l2 requires a configuration with an LLC"
+        )
     llc = replace(base.llc, size_kb=llc_mb * 1024)
     return replace(
         base,

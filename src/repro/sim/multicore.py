@@ -67,7 +67,7 @@ class MultiCoreSimulator:
     """
 
     def __init__(self, config: SimConfig, n_cores: int = 4) -> None:
-        self.config = dc_replace(config, n_cores=n_cores)
+        self.config = dc_replace(config, n_cores=n_cores).validate()
         self.n_cores = n_cores
 
     def run_mix(

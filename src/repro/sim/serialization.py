@@ -1,23 +1,35 @@
-"""Configuration serialization: SimConfig <-> JSON.
+"""Configuration and result serialization: SimConfig / RunResult <-> JSON.
 
-Experiment campaigns need reproducible machine descriptions: this module
-round-trips :class:`~repro.sim.config.SimConfig` (including nested core,
-cache, DRAM and CATCH/TACT settings) through plain JSON, and backs the
-``python -m repro.sim`` CLI.
+Experiment campaigns need reproducible machine descriptions *and* durable
+measurements: this module round-trips :class:`~repro.sim.config.SimConfig`
+(including nested core, cache, DRAM and CATCH/TACT settings) and
+:class:`~repro.sim.metrics.RunResult` (including activity snapshots and TACT
+counters) through plain JSON.  It backs the ``python -m repro.sim`` CLI and
+the resilient runner's checkpoint store (:mod:`repro.runner.store`).
+
+``json_default`` is the *strict* encoder hook the experiment CLI uses for
+``--json``: it serializes the types we know (dataclasses, enums, sets) and
+fails loudly on anything else instead of silently stringifying.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import enum
 import json
+from collections import Counter
 from pathlib import Path
 
 from ..caches.hierarchy import Level, LevelSpec
 from ..core.catch_engine import CatchConfig
-from ..core.tact.coordinator import TACTConfig
+from ..core.tact.coordinator import TACTConfig, TACTStats
 from ..cpu.core import CoreParams
 from ..memory.dram import DRAMConfig
 from .config import SimConfig
+from .metrics import ActivitySnapshot, RunResult
+
+#: Schema version written into serialized RunResult payloads.
+RESULT_FORMAT_VERSION = 1
 
 
 def config_to_dict(config: SimConfig) -> dict:
@@ -97,3 +109,111 @@ def save_config(config: SimConfig, path: str | Path) -> None:
 def load_config(path: str | Path) -> SimConfig:
     """Read a configuration written by :func:`save_config`."""
     return config_from_dict(json.loads(Path(path).read_text()))
+
+
+# ------------------------------------------------------------- RunResult
+
+
+def _level_map_to_dict(served: dict[Level, int]) -> dict[str, int]:
+    return {Level(level).name: count for level, count in served.items()}
+
+
+def _level_map_from_dict(payload: dict[str, int]) -> dict[Level, int]:
+    return {Level[name]: count for name, count in payload.items()}
+
+
+def result_to_dict(result: RunResult) -> dict:
+    """Plain-data representation of one measured run."""
+    tact = None
+    if result.tact_stats is not None:
+        ts = result.tact_stats
+        tact = dataclasses.asdict(ts)
+        tact["served_from"] = _level_map_to_dict(ts.served_from)
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "workload": result.workload,
+        "category": result.category,
+        "config_name": result.config_name,
+        "instructions": result.instructions,
+        "cycles": result.cycles,
+        "load_served": _level_map_to_dict(result.load_served),
+        "code_served": _level_map_to_dict(result.code_served),
+        "avg_load_latency": result.avg_load_latency,
+        "mispredicts": result.mispredicts,
+        "code_stall_cycles": result.code_stall_cycles,
+        "critical_pcs": result.critical_pcs,
+        "tact_stats": tact,
+        "activity": (
+            dataclasses.asdict(result.activity)
+            if result.activity is not None
+            else None
+        ),
+    }
+
+
+def result_from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = payload.get("format_version")
+    if version != RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported RunResult format version {version!r} "
+            f"(expected {RESULT_FORMAT_VERSION})"
+        )
+    tact = None
+    if payload.get("tact_stats") is not None:
+        t = dict(payload["tact_stats"])
+        t["served_from"] = Counter(_level_map_from_dict(t["served_from"]))
+        tact = TACTStats(**t)
+    activity = None
+    if payload.get("activity") is not None:
+        activity = ActivitySnapshot(**payload["activity"])
+    return RunResult(
+        workload=payload["workload"],
+        category=payload["category"],
+        config_name=payload["config_name"],
+        instructions=payload["instructions"],
+        cycles=payload["cycles"],
+        load_served=_level_map_from_dict(payload["load_served"]),
+        code_served=_level_map_from_dict(payload["code_served"]),
+        avg_load_latency=payload["avg_load_latency"],
+        mispredicts=payload["mispredicts"],
+        code_stall_cycles=payload["code_stall_cycles"],
+        critical_pcs=payload["critical_pcs"],
+        tact_stats=tact,
+        activity=activity,
+    )
+
+
+def save_result(result: RunResult, path: str | Path) -> None:
+    """Write one measured run as indented JSON."""
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2) + "\n")
+
+
+def load_result(path: str | Path) -> RunResult:
+    """Read a result written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def json_default(obj: object):
+    """Strict ``json.dump(default=...)`` hook for experiment payloads.
+
+    Serializes the dataclasses this package produces (``RunResult`` through
+    :func:`result_to_dict`, ``SimConfig`` through :func:`config_to_dict`,
+    anything else field-by-field), enums by name, and ``Counter``/sets
+    structurally.  Unknown types raise ``TypeError`` so schema drift is an
+    error, not a silently stringified payload.
+    """
+    if isinstance(obj, RunResult):
+        return result_to_dict(obj)
+    if isinstance(obj, SimConfig):
+        return config_to_dict(obj)
+    if isinstance(obj, enum.Enum):
+        return obj.name
+    if isinstance(obj, (set, frozenset)):
+        return sorted(obj)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return dataclasses.asdict(obj)
+    raise TypeError(
+        f"experiment payload contains unserializable {type(obj).__name__}: "
+        f"{obj!r}"
+    )

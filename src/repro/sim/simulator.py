@@ -32,10 +32,12 @@ class Simulator:
 
     Args:
         config: machine description (see ``repro.sim.config`` factories).
+            Validated eagerly — a nonsense machine raises
+            :class:`~repro.errors.ConfigError` here, not mid-simulation.
     """
 
     def __init__(self, config: SimConfig) -> None:
-        self.config = config
+        self.config = config.validate()
 
     # ------------------------------------------------------------- building
 
@@ -73,6 +75,7 @@ class Simulator:
         warmup: bool = True,
         hierarchy: CacheHierarchy | None = None,
         latency_policy=None,
+        on_instruction=None,
     ) -> RunResult:
         """Run one workload on this configuration and return the measurement.
 
@@ -83,6 +86,11 @@ class Simulator:
             warmup: run the warmup pass (disable only in unit tests).
             hierarchy: reuse an existing hierarchy (oracle two-phase studies
                 requiring identical cold-start state should pass fresh ones).
+            on_instruction: optional callable invoked with the running retired
+                instruction index after each ``core.step`` (warmup included).
+                The resilient runner uses it to enforce wall-clock deadlines
+                and the fault-injection harness to raise at a chosen
+                instruction; exceptions it raises abort the run.
         """
         if isinstance(workload, Trace):
             trace = workload
@@ -103,6 +111,8 @@ class Simulator:
         for instr in trace.instrs[:boundary]:
             core.step(idx, instr)
             idx += 1
+            if on_instruction is not None:
+                on_instruction(idx)
         if warmup:
             self._reset_all_stats(hierarchy, core, engine)
         start_time = core.time
@@ -110,6 +120,8 @@ class Simulator:
         for instr in trace.instrs[boundary:]:
             core.step(idx, instr)
             idx += 1
+            if on_instruction is not None:
+                on_instruction(idx)
         hierarchy.memory.finish(core.time)
         cycles = core.time - start_time
 

@@ -1,0 +1,137 @@
+"""Tests for eager SimConfig validation and the scaled-size rounding fix."""
+
+import dataclasses
+import subprocess
+import sys
+
+import pytest
+
+from repro.caches.hierarchy import Level, LevelSpec
+from repro.errors import ConfigError, ReproError
+from repro.sim.config import no_l2, skylake_client, skylake_server
+from repro.sim.simulator import Simulator
+
+
+def _bad(base, **overrides):
+    return dataclasses.replace(base, **overrides)
+
+
+class TestValidate:
+    def test_paper_machines_validate(self):
+        assert skylake_server().validate() is not None
+        assert skylake_client().validate() is not None
+        no_l2(skylake_server(), 6.5).validate()
+
+    def test_capacity_scale_below_one(self):
+        with pytest.raises(ConfigError, match="capacity_scale must be >= 1"):
+            _bad(skylake_server(), capacity_scale=0).validate()
+
+    def test_nonpositive_size(self):
+        cfg = _bad(skylake_server(), l2=LevelSpec(0, 16, 15))
+        with pytest.raises(ConfigError, match="l2 size must be positive"):
+            cfg.validate()
+
+    def test_nonpositive_latency(self):
+        cfg = _bad(skylake_server(), llc=LevelSpec(5632, 11, 0))
+        with pytest.raises(ConfigError, match="llc latency must be positive"):
+            cfg.validate()
+
+    def test_nonpositive_assoc(self):
+        cfg = _bad(skylake_server(), l1d=LevelSpec(32, -2, 5))
+        with pytest.raises(ConfigError, match="l1d associativity must be positive"):
+            cfg.validate()
+
+    def test_assoc_exceeding_set_count(self):
+        # 1 KB, 32-way, 64 B lines: 0 sets of 32 ways fit.
+        cfg = _bad(skylake_server(), l2=LevelSpec(1, 32, 15))
+        with pytest.raises(
+            ConfigError, match="associativity 32 exceeds the set count 0"
+        ):
+            cfg.validate()
+
+    def test_exclusive_llc_smaller_than_l2(self):
+        cfg = _bad(skylake_server(), llc=LevelSpec(512, 11, 40))
+        with pytest.raises(ConfigError, match="exclusive LLC .* smaller than the L2"):
+            cfg.validate()
+
+    def test_inclusive_llc_smaller_than_l2_allowed(self):
+        cfg = _bad(
+            skylake_server(), llc=LevelSpec(512, 8, 40), llc_policy="inclusive"
+        )
+        cfg.validate()
+
+    def test_unknown_llc_policy(self):
+        with pytest.raises(ConfigError, match="unknown llc_policy 'victim'"):
+            _bad(skylake_server(), llc_policy="victim").validate()
+
+    def test_nonpositive_cores(self):
+        with pytest.raises(ConfigError, match="n_cores must be >= 1"):
+            _bad(skylake_server(), n_cores=0).validate()
+
+    def test_negative_extra_latency(self):
+        cfg = _bad(skylake_server(), extra_latency=((Level.L2, -3),))
+        with pytest.raises(ConfigError, match="negative extra latency"):
+            cfg.validate()
+
+    def test_message_names_the_config(self):
+        cfg = _bad(skylake_server(name="weird_machine"), capacity_scale=-1)
+        with pytest.raises(ConfigError, match="weird_machine"):
+            cfg.validate()
+
+    def test_config_error_is_typed(self):
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(ConfigError, ValueError)
+
+
+class TestSimulatorEagerValidation:
+    def test_simulator_rejects_bad_config_at_construction(self):
+        cfg = _bad(skylake_server(), capacity_scale=0)
+        with pytest.raises(ConfigError):
+            Simulator(cfg)
+
+    def test_multicore_rejects_bad_config_at_construction(self):
+        from repro.sim.multicore import MultiCoreSimulator
+
+        cfg = _bad(skylake_server(), llc_policy="victim")
+        with pytest.raises(ConfigError):
+            MultiCoreSimulator(cfg)
+
+
+class TestNoL2Guard:
+    def test_no_l2_without_llc_raises_config_error(self):
+        cfg = dataclasses.replace(skylake_server(), llc=None)
+        with pytest.raises(ConfigError, match="requires a configuration with an LLC"):
+            no_l2(cfg, 6.5)
+
+    def test_guard_survives_python_O(self):
+        """The old bare ``assert`` vanished under ``python -O``."""
+        code = (
+            "import dataclasses\n"
+            "from repro.errors import ConfigError\n"
+            "from repro.sim.config import no_l2, skylake_server\n"
+            "cfg = dataclasses.replace(skylake_server(), llc=None)\n"
+            "try:\n"
+            "    no_l2(cfg, 6.5)\n"
+            "except ConfigError:\n"
+            "    raise SystemExit(0)\n"
+            "raise SystemExit(1)\n"
+        )
+        proc = subprocess.run([sys.executable, "-O", "-c", code])
+        assert proc.returncode == 0
+
+
+class TestScaledRounding:
+    def test_scaled_sizes_are_integral_kb(self):
+        cfg = skylake_server(capacity_scale=3)
+        assert cfg.scaled(cfg.l2).size_kb == 341      # round(1024 / 3)
+        assert cfg.scaled(cfg.llc).size_kb == 1877    # round(5632 / 3)
+        assert isinstance(cfg.scaled(cfg.l1d).size_kb, int)
+
+    def test_scaled_floor_is_one_kb(self):
+        cfg = skylake_server(capacity_scale=1024)
+        assert cfg.scaled(cfg.l1d).size_kb == 1
+
+    def test_scale_four_paper_sizes_unchanged(self):
+        cfg = skylake_server(capacity_scale=4)
+        assert cfg.scaled(cfg.l2).size_kb == 256
+        assert cfg.scaled(cfg.llc).size_kb == 1408

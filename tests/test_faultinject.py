@@ -1,0 +1,110 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import math
+
+import pytest
+
+from repro.errors import InjectedFault, ResultIntegrityError
+from repro.runner import FaultInjector
+from repro.runner.runner import validate_result
+from repro.sim.config import no_l2, skylake_server
+from repro.workloads.suites import build_trace
+
+N = 2000
+CFG = skylake_server()
+
+
+class TestRaise:
+    def test_raises_at_the_chosen_instruction(self):
+        injector = FaultInjector(kind="raise", at_instruction=321)
+        sim = injector.simulator_factory(CFG)
+        with pytest.raises(InjectedFault, match="instruction 321"):
+            sim.run("hmmer_like", N)
+        assert injector.fired == 1
+
+    def test_deterministic_across_runs(self):
+        messages = set()
+        for _ in range(2):
+            injector = FaultInjector(kind="raise", at_instruction=500)
+            with pytest.raises(InjectedFault) as info:
+                injector.simulator_factory(CFG).run("hmmer_like", N)
+            messages.add(str(info.value))
+        assert len(messages) == 1
+
+    def test_times_budget_respected(self):
+        injector = FaultInjector(kind="raise", at_instruction=500, times=1)
+        with pytest.raises(InjectedFault):
+            injector.simulator_factory(CFG).run("hmmer_like", N)
+        # Budget spent: the same injector now lets runs through.
+        result = injector.simulator_factory(CFG).run("hmmer_like", N)
+        assert result.ipc > 0
+
+    def test_workload_filter(self):
+        injector = FaultInjector(kind="raise", at_instruction=500,
+                                 workload="mcf_like")
+        result = injector.simulator_factory(CFG).run("hmmer_like", N)
+        assert result.ipc > 0
+        with pytest.raises(InjectedFault):
+            injector.simulator_factory(CFG).run("mcf_like", N)
+
+    def test_config_filter(self):
+        injector = FaultInjector(kind="raise", at_instruction=500,
+                                 config_substr="noL2")
+        assert injector.simulator_factory(CFG).run("hmmer_like", N).ipc > 0
+        with pytest.raises(InjectedFault):
+            injector.simulator_factory(no_l2(CFG, 6.5)).run("hmmer_like", N)
+
+
+class TestCorruptTrace:
+    def test_corrupt_trace_crashes_the_run(self):
+        injector = FaultInjector(kind="corrupt-trace", at_instruction=700)
+        with pytest.raises(Exception) as info:
+            injector.simulator_factory(CFG).run("hmmer_like", N)
+        assert not isinstance(info.value, InjectedFault)  # looks like a real bug
+
+    def test_shared_memoised_trace_is_untouched(self):
+        spec_len = 2 * N  # what the simulator materialises with warmup
+        before = build_trace("hmmer_like", spec_len)
+        record = before.instrs[700]
+        injector = FaultInjector(kind="corrupt-trace", at_instruction=700)
+        with pytest.raises(Exception):
+            injector.simulator_factory(CFG).run("hmmer_like", N)
+        after = build_trace("hmmer_like", spec_len)
+        assert after is before
+        assert after.instrs[700] is record
+
+
+class TestNaNMetrics:
+    def test_nan_metrics_fail_integrity_validation(self):
+        injector = FaultInjector(kind="nan-metrics")
+        result = injector.simulator_factory(CFG).run("hmmer_like", N)
+        assert math.isnan(result.cycles)
+        with pytest.raises(ResultIntegrityError, match="non-finite cycles"):
+            validate_result(result)
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        injector = FaultInjector.from_spec(
+            "raise:workload=mcf_like:at=2000:config=CATCH:times=3"
+        )
+        assert injector.kind == "raise"
+        assert injector.at_instruction == 2000
+        assert injector.workload == "mcf_like"
+        assert injector.config_substr == "CATCH"
+        assert injector.times == 3
+
+    def test_kind_only(self):
+        assert FaultInjector.from_spec("nan-metrics").kind == "nan-metrics"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultInjector.from_spec("segfault")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            FaultInjector.from_spec("raise:pc=12")
+
+    def test_malformed_segment_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec segment"):
+            FaultInjector.from_spec("raise:at")

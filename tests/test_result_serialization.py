@@ -1,0 +1,87 @@
+"""Tests for RunResult JSON round-tripping and the strict json_default hook."""
+
+import json
+
+import pytest
+
+from repro.caches.hierarchy import Level
+from repro.sim.config import no_l2, skylake_server, with_catch
+from repro.sim.serialization import (
+    json_default,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture(scope="module")
+def catch_result():
+    cfg = with_catch(no_l2(skylake_server(), 6.5))
+    return Simulator(cfg).run("hmmer_like", 3000)
+
+
+class TestRunResultRoundTrip:
+    def test_exact_round_trip_through_json(self, catch_result):
+        payload = json.loads(json.dumps(result_to_dict(catch_result)))
+        back = result_from_dict(payload)
+        assert back.workload == catch_result.workload
+        assert back.config_name == catch_result.config_name
+        assert back.cycles == catch_result.cycles
+        assert back.ipc == catch_result.ipc
+        assert back.load_served == catch_result.load_served
+        assert back.code_served == catch_result.code_served
+        assert back.activity == catch_result.activity
+
+    def test_tact_stats_survive(self, catch_result):
+        back = result_from_dict(result_to_dict(catch_result))
+        orig = catch_result.tact_stats
+        assert back.tact_stats.issued == orig.issued
+        assert back.tact_stats.served_from == orig.served_from
+        assert back.tact_stats.demand_covered == orig.demand_covered
+
+    def test_level_keys_serialize_by_name(self, catch_result):
+        payload = result_to_dict(catch_result)
+        assert set(payload["load_served"]) <= {"L1", "L2", "LLC", "MEM"}
+
+    def test_file_round_trip(self, catch_result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result(catch_result, path)
+        assert load_result(path).cycles == catch_result.cycles
+
+    def test_bad_version_rejected(self, catch_result):
+        payload = result_to_dict(catch_result)
+        payload["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            result_from_dict(payload)
+
+    def test_plain_result_without_tact(self):
+        result = Simulator(skylake_server()).run("hmmer_like", 2000)
+        back = result_from_dict(result_to_dict(result))
+        assert back.tact_stats is None
+        assert back.ipc == result.ipc
+
+
+class TestJsonDefault:
+    def test_run_result_payload(self, catch_result):
+        text = json.dumps({"r": catch_result}, default=json_default)
+        assert json.loads(text)["r"]["workload"] == "hmmer_like"
+
+    def test_sim_config_payload(self):
+        text = json.dumps(skylake_server(), default=json_default)
+        assert json.loads(text)["name"] == "baseline_server"
+
+    def test_int_enum_serializes_natively(self):
+        # IntEnum is JSON-native (its value); the default hook never fires.
+        assert json.loads(json.dumps(Level.LLC, default=json_default)) == 2
+
+    def test_unknown_type_fails_loudly(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError, match="unserializable Opaque"):
+            json.dumps({"x": Opaque()}, default=json_default)
+
+    def test_set_serialized_sorted(self):
+        assert json.loads(json.dumps({3, 1, 2}, default=json_default)) == [1, 2, 3]
