@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from .replacement import ReplacementPolicy, make_policy
 
 
@@ -95,6 +96,20 @@ class Cache:
         self._sets: list[dict[int, CacheLine]] = [{} for _ in range(self.num_sets)]
         self.policy: ReplacementPolicy = make_policy(replacement)
         self.stats = CacheStats()
+        # Registering with the no-op registry costs nothing; with a live one,
+        # snapshots read the stats this cache keeps anyway (name-keyed, so a
+        # rebuilt hierarchy replaces rather than leaks providers).
+        obs.metrics().register_provider(f"cache.{name}", self._telemetry_snapshot)
+
+    def _telemetry_snapshot(self) -> dict:
+        """Stats counters plus derived rates, for the metrics registry."""
+        out = {
+            field_name: getattr(self.stats, field_name)
+            for field_name in self.stats.__dataclass_fields__
+        }
+        out["hit_rate"] = self.stats.hit_rate
+        out["occupancy"] = self.occupancy()
+        return out
 
     # -- addressing -------------------------------------------------------
 

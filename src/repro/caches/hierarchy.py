@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Callable
 
+from .. import obs
 from ..interconnect.ring import RingInterconnect
 from ..memory.controller import MemoryController
 from .cache import Cache
@@ -159,6 +160,16 @@ class CacheHierarchy:
         self.ring = ring or RingInterconnect(n_cores)
         self.stats = [HierarchyStats() for _ in range(n_cores)]
         self.latency_policy: LatencyPolicy | None = None
+        # Observability: bind a load-latency histogram only when a live
+        # registry is active, so the disabled hot path pays one None check.
+        registry = obs.metrics()
+        if registry.enabled:
+            self._load_lat_hist = registry.histogram(
+                "hierarchy.load_latency_cycles", obs.LOAD_LATENCY_BUCKETS
+            )
+            registry.register_provider("hierarchy", self._telemetry_snapshot)
+        else:
+            self._load_lat_hist = None
 
     def reset_stats(self) -> None:
         """Zero all activity counters while keeping cache/DRAM state.
@@ -175,6 +186,22 @@ class CacheHierarchy:
         self.ring.stats = type(self.ring.stats)()
         self.memory.traffic = type(self.memory.traffic)()
         self.memory.dram.stats = type(self.memory.dram.stats)()
+
+    def _telemetry_snapshot(self) -> dict:
+        """Per-core serve/latency counters for the metrics registry."""
+        return {
+            f"core{c}": {
+                "loads": stats.loads,
+                "load_served": {lvl.name: n for lvl, n in stats.load_served.items()},
+                "code_served": {lvl.name: n for lvl, n in stats.code_served.items()},
+                "avg_load_latency": stats.avg_load_latency,
+                "l1_load_hit_rate": stats.l1_load_hit_rate,
+                "stores": stats.stores,
+                "l1_prefetches": stats.l1_prefetches,
+                "l2_prefetches": stats.l2_prefetches,
+            }
+            for c, stats in enumerate(self.stats)
+        }
 
     # ------------------------------------------------------------------ util
 
@@ -346,12 +373,16 @@ class CacheHierarchy:
             lat = self._charge(pc, level, base)
             self.stats[core].load_served[level] += 1
             self.stats[core].load_latency_sum += lat
+            if self._load_lat_hist is not None:
+                self._load_lat_hist.record(lat)
             return AccessResult(lat, level, inflight)
         lat, level, inflight = self._outer_lookup(core, line_addr, now, code=False)
         lat = self._charge(pc, level, lat)
         self._l1_fill(l1, core, line_addr, now + lat, pc=pc, src=level)
         self.stats[core].load_served[level] += 1
         self.stats[core].load_latency_sum += lat
+        if self._load_lat_hist is not None:
+            self._load_lat_hist.record(lat)
         return AccessResult(lat, level, inflight)
 
     def store(self, core: int, pc: int, line_addr: int, now: float) -> AccessResult:

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..workloads.trace import LINE_SHIFT
 from .hierarchy import CacheHierarchy
 
@@ -53,6 +54,10 @@ class L1StridePrefetcher:
         self.min_confidence = min_confidence
         self._table: dict[int, _StrideEntry] = {}
         self.issued = 0
+        obs.metrics().register_provider(
+            f"prefetch.l1stride.core{core}",
+            lambda: {"issued": self.issued, "tracked_pcs": len(self._table)},
+        )
 
     def entry_for(self, pc: int) -> _StrideEntry | None:
         """Expose the learned entry for a PC (used by TACT-Deep-Self)."""
@@ -111,6 +116,10 @@ class L2StreamPrefetcher:
         self.degree = degree
         self._streams: dict[int, _Stream] = {}
         self.issued = 0
+        obs.metrics().register_provider(
+            f"prefetch.l2stream.core{core}",
+            lambda: {"issued": self.issued, "active_streams": len(self._streams)},
+        )
 
     def train(self, line_addr: int, now: float) -> None:
         """Observe an L1 miss (the stream prefetcher trains below the L1)."""

@@ -10,8 +10,10 @@ while code misses are hidden by the CNPIP runahead.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..caches.hierarchy import AccessResult
 from ..cpu.engine import Engine, RetireRecord
 from ..workloads.trace import Instr
@@ -80,6 +82,25 @@ class CatchEngine(Engine):
                 cfg.tact,
             )
             core.frontend.on_code_miss = self.tact.on_code_miss
+        obs.metrics().register_provider(
+            f"catch.core{core_id}", self._telemetry_snapshot
+        )
+
+    def _telemetry_snapshot(self) -> dict:
+        """Detector and TACT counters for the metrics registry."""
+        out: dict = {
+            "detector": self.config.detector,
+            "critical_pcs": self.critical_pcs,
+        }
+        if self.detector is not None:
+            out["flagged_pcs"] = len(self.detector.critical_pc_counts)
+        if self.tact is not None:
+            stats = dataclasses.asdict(self.tact.stats)
+            stats["served_from"] = {
+                lvl.name: n for lvl, n in self.tact.stats.served_from.items()
+            }
+            out["tact"] = stats
+        return out
 
     def set_trace(self, trace) -> None:
         if self.tact is not None:

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..caches.hierarchy import CacheHierarchy, Level
 from ..caches.prefetchers import L1StridePrefetcher, L2StreamPrefetcher
 from ..workloads.trace import EXEC_LATENCY, NUM_ARCH_REGS, Instr, Op, Trace
@@ -93,7 +94,20 @@ class OOOCore:
             if self.params.enable_l2_stream
             else None
         )
+        obs.metrics().register_provider(
+            f"core.core{core_id}", self._telemetry_snapshot
+        )
         self._reset_run_state()
+
+    def _telemetry_snapshot(self) -> dict:
+        """Core-side counters for the metrics registry."""
+        return {
+            "instructions_stepped": len(self._e_time),
+            "mispredicts": self._mispredicts,
+            "code_stall_cycles": self.frontend.code_stall_cycles,
+            "code_misses": self.frontend.code_misses,
+            "time": self._last_c,
+        }
 
     def _reset_run_state(self) -> None:
         p = self.params

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..obs import console
 from ..core.catch_engine import CatchConfig, CatchEngine
 from ..core.heuristics import HEURISTICS
 from ..sim.config import no_l2, skylake_server, with_catch
@@ -75,18 +76,18 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Extension: criticality detector comparison (driving TACT on noL2)")
-    print(
+    console("Extension: criticality detector comparison (driving TACT on noL2)")
+    console(
         f"{'detector':18s}{'perf vs noL2':>14s}{'avg PCs flagged':>17s}"
         f"{'avg L1 prefetches':>19s}"
     )
     for name, row in data["by_detector"].items():
-        print(
+        console(
             f"{name:18s}{row['speedup']:>+14.1%}{row['avg_flagged_pcs']:>17.0f}"
             f"{row['avg_prefetches']:>19.0f}"
         )
     tp = data["table_policy"]
-    print(
+    console(
         f"\nfuture-work table policy on povray_like: "
         f"LRU {tp['povray_lru']:+.1%} vs LFU {tp['povray_lfu']:+.1%}"
     )

@@ -9,6 +9,7 @@ back to the LLC, which is the puzzle CATCH resolves.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..sim.config import no_l2, skylake_server
 from .common import (
     format_pct_table,
@@ -45,8 +46,8 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 1: performance impact of removing the L2")
-    print(format_pct_table(data["summary"]))
+    console("Figure 1: performance impact of removing the L2")
+    console(format_pct_table(data["summary"]))
     return data
 
 

@@ -9,6 +9,7 @@ infrequent to create new critical paths.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..caches.hierarchy import Level
 from ..sim.config import skylake_server, with_extra_latency
 from .common import (
@@ -39,8 +40,8 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 3: impact of latency increase at L1/L2/LLC")
-    print(format_pct_table(data["summary"], columns=["GeoMean"]))
+    console("Figure 3: impact of latency increase at L1/L2/LLC")
+    console(format_pct_table(data["summary"], columns=["GeoMean"]))
     return data
 
 

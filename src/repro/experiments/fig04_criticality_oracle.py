@@ -17,6 +17,7 @@ critical paths).  This asymmetry is the paper's case for attacking the L2.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..caches.hierarchy import Level
 from ..core.oracle import make_latency_policy, profile_critical_pcs
 from ..sim.config import skylake_server
@@ -86,10 +87,10 @@ def _trace_for(name: str, n_instrs: int):
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 4: impact of increasing (non-)critical load latency")
+    console("Figure 4: impact of increasing (non-)critical load latency")
     for key, value in data["impact"].items():
         conv = data["converted"][key]["pct_loads_converted"]
-        print(f"  {key:28s} perf {value['GeoMean']:+7.1%}   loads converted {conv:6.1%}")
+        console(f"  {key:28s} perf {value['GeoMean']:+7.1%}   loads converted {conv:6.1%}")
     return data
 
 

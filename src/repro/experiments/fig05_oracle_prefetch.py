@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
+from ..obs import console
 from ..core.oracle import OraclePrefetchEngine, profile_critical_pcs
 from ..cpu.core import CoreParams
 from ..sim.config import no_l2, skylake_server
@@ -71,10 +72,10 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 5: criticality-aware oracle prefetch potential")
+    console("Figure 5: criticality-aware oracle prefetch potential")
     for key, value in data["gain_by_budget"].items():
-        print(f"  tracked PCs {key:>10s}: {value:+7.1%}")
-    print(
+        console(f"  tracked PCs {key:>10s}: {value:+7.1%}")
+    console(
         f"  L1 misses converted at 32 PCs: "
         f"{data['pct_l1_misses_converted_at_32']:.1%}"
     )

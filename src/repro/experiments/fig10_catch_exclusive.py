@@ -9,6 +9,7 @@ turns those into +4.6% / +7.2%; CATCH on the three-level baseline gains 8.4%
 
 from __future__ import annotations
 
+from ..obs import console
 from ..sim.config import fig10_configs, skylake_server
 from .common import (
     format_pct_table,
@@ -45,8 +46,8 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 10: CATCH on the 1MB-L2 exclusive-LLC baseline")
-    print(format_pct_table(data["summary"]))
+    console("Figure 10: CATCH on the 1MB-L2 exclusive-LLC baseline")
+    console(format_pct_table(data["summary"]))
     return data
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from ..obs import console
 from ..core.catch_engine import CatchEngine
 from ..sim.config import no_l2, skylake_server, with_catch
 from ..sim.simulator import Simulator
@@ -55,15 +56,15 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 11: TACT inter-cache prefetch timeliness (noL2+CATCH)")
-    print(f"{'category':12s} {'%from LLC':>10s} {'>80% saved':>11s} {'10-80%':>8s} {'<10%':>7s}")
+    console("Figure 11: TACT inter-cache prefetch timeliness (noL2+CATCH)")
+    console(f"{'category':12s} {'%from LLC':>10s} {'>80% saved':>11s} {'10-80%':>8s} {'<10%':>7s}")
     for cat, row in sorted(data["by_category"].items()):
-        print(
+        console(
             f"{cat:12s} {row['llc']:>10.1%} {row['over_80']:>11.1%} "
             f"{row['mid']:>8.1%} {row['under_10']:>7.1%}"
         )
     o = data["overall"]
-    print(
+    console(
         f"{'overall':12s} {o['llc']:>10.1%} {o['over_80']:>11.1%} "
         f"{o['mid']:>8.1%} {o['under_10']:>7.1%}"
     )

@@ -9,6 +9,7 @@ and namd/gromacs (unprefetchable chains) are the residual losers.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..sim.config import no_l2, skylake_server, with_catch
 from .common import resolve_params, sweep, workload_names
 
@@ -42,17 +43,17 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 12: per-workload performance ratio vs baseline (sorted)")
+    console("Figure 12: per-workload performance ratio vs baseline (sorted)")
     for cfg_name, curve in data["curves"].items():
         values = list(curve.values())
-        print(
+        console(
             f"  {cfg_name:18s} min={values[0]:.2f} "
             f"median={values[len(values) // 2]:.2f} max={values[-1]:.2f}"
         )
-    print("  callouts:")
+    console("  callouts:")
     for wl, row in data["callouts"].items():
         cells = "  ".join(f"{k}={v:.2f}" for k, v in row.items())
-        print(f"    {wl:16s} {cells}")
+        console(f"    {wl:16s} {cells}")
     return data
 
 

@@ -8,6 +8,7 @@ server-heavy), +3.7% (cross), +5.9% (deep), +2.7% (feeder, ISPEC-heavy) —
 
 from __future__ import annotations
 
+from ..obs import console
 from ..core.tact.coordinator import TACTConfig
 from ..sim.config import no_l2, skylake_server, with_catch
 from .common import (
@@ -53,11 +54,11 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 13: TACT component contribution over the noL2 baseline")
-    print(format_pct_table(data["cumulative"]))
-    print("incremental GeoMean gains:")
+    console("Figure 13: TACT component contribution over the noL2 baseline")
+    console(format_pct_table(data["cumulative"]))
+    console("incremental GeoMean gains:")
     for label, inc in data["increments"].items():
-        print(f"  {label:8s} {inc:+.1%}")
+        console(f"  {label:8s} {inc:+.1%}")
     return data
 
 

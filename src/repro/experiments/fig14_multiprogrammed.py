@@ -8,6 +8,7 @@ the ST gains.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..sim.config import no_l2, skylake_server, with_catch
 from ..sim.metrics import geomean
 from ..sim.multicore import MultiCoreSimulator, alone_ipcs
@@ -60,9 +61,9 @@ def run(
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 14: 4-way multi-programmed weighted speedup vs baseline")
+    console("Figure 14: 4-way multi-programmed weighted speedup vs baseline")
     for cfg, value in data["summary"].items():
-        print(f"  {cfg:16s} {value:+7.1%}")
+        console(f"  {cfg:16s} {value:+7.1%}")
     return data
 
 

@@ -12,6 +12,7 @@ Two sweeps:
 
 from __future__ import annotations
 
+from ..obs import console
 from ..caches.hierarchy import Level
 from ..sim.config import no_l2, skylake_server, with_catch, with_extra_latency
 from .common import (
@@ -59,12 +60,12 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 15: sensitivity to LLC hit latency")
+    console("Figure 15: sensitivity to LLC hit latency")
     for name, value in data["llc_latency"].items():
-        print(f"  {name:32s} {value:+7.1%}")
-    print("Section VI-D2: critical-table size sensitivity (CATCH on baseline)")
+        console(f"  {name:32s} {value:+7.1%}")
+    console("Section VI-D2: critical-table size sensitivity (CATCH on baseline)")
     for name, value in data["table_size"].items():
-        print(f"  {name:32s} {value:+7.1%}")
+        console(f"  {name:32s} {value:+7.1%}")
     return data
 
 

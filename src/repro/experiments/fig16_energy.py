@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from ..obs import console
 from ..power.energy import ChipModel
 from ..sim.config import no_l2, skylake_server, with_catch
 from .common import (
@@ -70,14 +71,14 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 16: energy savings of two-level CATCH (noL2 + 9.5MB LLC)")
+    console("Figure 16: energy savings of two-level CATCH (noL2 + 9.5MB LLC)")
     for cat, value in data["energy_savings"].items():
-        print(f"  {cat:10s} {value:+7.1%}")
-    print("traffic vs baseline (ratio):")
+        console(f"  {cat:10s} {value:+7.1%}")
+    console("traffic vs baseline (ratio):")
     for kind, ratio in data["traffic_ratio_vs_baseline"].items():
-        print(f"  {kind:14s} {ratio:6.2f}x")
+        console(f"  {kind:14s} {ratio:6.2f}x")
     a = data["area"]
-    print(
+    console(
         f"area: baseline {a['baseline_mm2']:.1f} mm2, "
         f"two-level {a['two_level_mm2']:.1f} mm2"
     )

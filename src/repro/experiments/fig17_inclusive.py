@@ -7,6 +7,7 @@ and CATCH on the three-level baseline.  Paper: -5.7%, +6.4%, +7.2%, +10.3%.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..sim.config import fig17_configs, skylake_client
 from .common import (
     format_pct_table,
@@ -32,8 +33,8 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Figure 17: CATCH on the 256KB-L2 inclusive-LLC baseline")
-    print(format_pct_table(data["summary"]))
+    console("Figure 17: CATCH on the 256KB-L2 inclusive-LLC baseline")
+    console(format_pct_table(data["summary"]))
     return data
 
 

@@ -17,6 +17,7 @@ the L2 no longer pays.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..interconnect.mesh import MeshInterconnect
 from ..interconnect.ring import RingInterconnect
 from ..power.energy import ChipModel
@@ -86,14 +87,14 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
-    print("Extension: interconnect scaling of the two-level CATCH energy trade")
-    print(f"{'topology':10s}{'mean hops':>11s}{'ring premium / cache+DRAM saved':>34s}")
+    console("Extension: interconnect scaling of the two-level CATCH energy trade")
+    console(f"{'topology':10s}{'mean hops':>11s}{'ring premium / cache+DRAM saved':>34s}")
     for label, row in data["rows"].items():
-        print(
+        console(
             f"{label:10s}{row['mean_hops']:>11.2f}"
             f"{row['interconnect_premium']:>34.2f}"
         )
-    print(
+    console(
         "\nAbove 1.0 the extra interconnect energy of going two-level exceeds "
         "the cache+DRAM energy it saves — the paper's argument for keeping a "
         "small L2 on large-core-count mesh parts."

@@ -32,6 +32,7 @@ import json
 import sys
 import time
 
+from .. import obs
 from ..runner import (
     ExperimentRunner,
     FailureRecord,
@@ -122,6 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
              "kind[:key=value...] with kind raise|corrupt-trace|nan-metrics "
              "and keys at=, workload=, config=, times=",
     )
+    obs.add_observability_args(parser)
     return parser
 
 
@@ -147,37 +149,48 @@ def make_runner(args: argparse.Namespace) -> ExperimentRunner:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    runner = make_runner(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     collected: dict = {}
     failed: list[FailureRecord] = []
-    with use_runner(runner):
-        for name in names:
-            print(f"=== {name} " + "=" * (70 - len(name)))
-            started = time.monotonic()
-            before = len(runner.failures)
-            try:
-                collected[name] = EXPERIMENTS[name].main(quick=args.quick)
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:
-                record = _experiment_failure(
-                    name, exc, runner.failures[before:], started
-                )
-                failed.append(record)
-                print(
-                    f"!!! {name} failed: {record.error_type}: {record.message}",
-                    file=sys.stderr,
-                )
-                if not args.keep_going:
-                    _finish(args, collected, failed, runner)
-                    return 1
-            else:
-                if args.render:
-                    _render(collected[name])
-            print()
-    return _finish(args, collected, failed, runner)
+    with obs.observability_session(args):
+        runner = make_runner(args)
+        # N-of-M progress with ETA on stderr for multi-experiment sweeps;
+        # single-experiment runs keep their output exactly as before.
+        progress = (
+            obs.Progress(len(names), label="experiments")
+            if len(names) > 1
+            else None
+        )
+        with use_runner(runner):
+            for name in names:
+                obs.console(f"=== {name} " + "=" * (70 - len(name)))
+                started = time.monotonic()
+                before = len(runner.failures)
+                try:
+                    with obs.span(f"experiment:{name}", cat="experiment"):
+                        collected[name] = EXPERIMENTS[name].main(quick=args.quick)
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:
+                    record = _experiment_failure(
+                        name, exc, runner.failures[before:], started
+                    )
+                    failed.append(record)
+                    print(
+                        f"!!! {name} failed: {record.error_type}: {record.message}",
+                        file=sys.stderr,
+                    )
+                    if not args.keep_going:
+                        _finish(args, collected, failed, runner)
+                        return 1
+                else:
+                    if args.render:
+                        _render(collected[name])
+                if progress is not None:
+                    progress.tick(name)
+                obs.console()
+        return _finish(args, collected, failed, runner)
 
 
 def _experiment_failure(
@@ -222,11 +235,11 @@ def _finish(
         payload = {"experiments": collected, "failures": report["failures"]}
         with open(args.json, "w") as fh:
             json.dump(payload, fh, indent=2, default=json_default)
-        print(f"results written to {args.json}")
+        obs.console(f"results written to {args.json}")
     if args.failure_report:
         with open(args.failure_report, "w") as fh:
             json.dump(report, fh, indent=2, default=json_default)
-        print(f"failure report written to {args.failure_report}")
+        obs.console(f"failure report written to {args.failure_report}")
     if failed:
         print(
             f"{len(failed)} experiment(s) failed: "
@@ -246,13 +259,13 @@ def _render(data: dict) -> None:
         first = next(iter(summary.values()), None)
         if isinstance(first, dict):
             geo = {cfg: row.get("GeoMean", 0.0) for cfg, row in summary.items()}
-            print(render_pct_bars(geo, title="GeoMean vs baseline"))
+            obs.console(render_pct_bars(geo, title="GeoMean vs baseline"))
         elif isinstance(first, float):
-            print(render_pct_bars(summary, title="vs baseline"))
+            obs.console(render_pct_bars(summary, title="vs baseline"))
     curves = data.get("curves")
     if isinstance(curves, dict):
         for cfg, curve in curves.items():
-            print(render_scurve(curve, title=cfg))
+            obs.console(render_scurve(curve, title=cfg))
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ plus "about 1.2 KB" TACT budget.
 
 from __future__ import annotations
 
+from ..obs import console
 from ..core.criticality import detector_area
 from ..core.ddg import graph_area_bytes
 from ..core.tact.coordinator import TACTCoordinator
@@ -30,16 +31,16 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 def main(quick: bool = False) -> dict:
     data = run(quick=quick)
     g = data["graph"]
-    print("Table I: DDG buffering area")
-    print(f"  entries (2.5 x ROB):      {g['entries']}")
-    print(f"  bits per instruction:     {g['per_instr_bits']}")
-    print(f"  graph storage:            {g['graph_bytes'] / 1024:.2f} KB")
-    print(f"  hashed-PC storage:        {g['pc_bytes'] / 1024:.2f} KB")
-    print(f"  detector total:           {data['detector_total_kb']:.2f} KB (paper: ~3 KB)")
-    print("Figure 9: TACT structures")
+    console("Table I: DDG buffering area")
+    console(f"  entries (2.5 x ROB):      {g['entries']}")
+    console(f"  bits per instruction:     {g['per_instr_bits']}")
+    console(f"  graph storage:            {g['graph_bytes'] / 1024:.2f} KB")
+    console(f"  hashed-PC storage:        {g['pc_bytes'] / 1024:.2f} KB")
+    console(f"  detector total:           {data['detector_total_kb']:.2f} KB (paper: ~3 KB)")
+    console("Figure 9: TACT structures")
     for name, size in data["tact_bytes"].items():
-        print(f"  {name:24s}{size:6.0f} B")
-    print(f"  TACT total:               {data['tact_total_kb']:.2f} KB (paper: ~1.2 KB)")
+        console(f"  {name:24s}{size:6.0f} B")
+    console(f"  TACT total:               {data['tact_total_kb']:.2f} KB (paper: ~1.2 KB)")
     return data
 
 

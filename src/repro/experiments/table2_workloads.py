@@ -6,6 +6,7 @@ measured trace characteristics (loads, branches, code/data footprints).
 
 from __future__ import annotations
 
+from ..obs import console
 from ..workloads.suites import ST_SUITE, build_trace
 from .common import resolve_params
 
@@ -32,13 +33,13 @@ def run(quick: bool = True, n_instrs: int | None = None) -> dict:
 
 def main(quick: bool = True) -> dict:
     data = run(quick=quick)
-    print("Table II: workload suite")
-    print(
+    console("Table II: workload suite")
+    console(
         f"{'name':22s}{'category':10s}{'kernel':18s}"
         f"{'loads':>8s}{'branch':>8s}{'dataKB':>8s}{'codeKB':>8s}"
     )
     for r in data["rows"]:
-        print(
+        console(
             f"{r['name']:22s}{r['category']:10s}{r['kernel']:18s}"
             f"{r['loads']:>8d}{r['branches']:>8d}{r['data_kb']:>8d}{r['code_kb']:>8d}"
         )

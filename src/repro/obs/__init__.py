@@ -1,0 +1,170 @@
+"""Instrumentation subsystem: metrics, tracing, logging, profiling.
+
+The observability layer for the whole reproduction (see OBSERVABILITY.md):
+
+* **metrics** — a registry of counters/gauges/histograms plus named snapshot
+  providers (:mod:`repro.obs.registry`).  Disabled by default: the active
+  registry is the no-op :data:`NULL_REGISTRY` and instrumented components
+  bind nothing, so the hot path is allocation-free.  Enable with
+  :func:`use_metrics` / :func:`set_registry`; the simulator then snapshots
+  everything into ``RunResult.telemetry``.
+* **tracing** — ``with obs.span("measure"): ...`` records Chrome
+  trace-event spans into the active :class:`TraceCollector`
+  (:mod:`repro.obs.trace`); with no collector installed, :func:`span`
+  returns a shared no-op context manager.
+* **logging** — silent-by-default stdlib logging under the ``repro``
+  namespace, switchable to JSONL (:mod:`repro.obs.logs`), plus the
+  :func:`console` helper experiments print through.
+* **profiling** — cProfile wrapping and per-phase wall-clock timing
+  (:mod:`repro.obs.profiling`), progress ticks (:mod:`repro.obs.progress`)
+  and the shared CLI flags (:mod:`repro.obs.cli`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Mapping
+
+from .console import console, console_json_enabled, set_console_json
+from .logs import (
+    JsonlFormatter,
+    configure_logging,
+    get_logger,
+    log_event,
+    reset_logging,
+)
+from .profiling import PhaseTimer, profiled
+from .progress import Progress
+from .registry import (
+    LOAD_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .trace import TraceCollector, load_trace, validate_trace_events
+
+# --------------------------------------------------------- active registry
+
+_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def metrics() -> MetricsRegistry | NullRegistry:
+    """The active metrics registry (the no-op one unless enabled)."""
+    return _registry
+
+
+def set_registry(
+    registry: MetricsRegistry | NullRegistry | None,
+) -> MetricsRegistry | NullRegistry:
+    """Install the active registry (``None`` restores the no-op default)."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else NULL_REGISTRY
+    return previous
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None = None):
+    """Scope a live registry (a fresh one by default) for a ``with`` block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+# ----------------------------------------------------------- active tracer
+
+
+class _NullSpan:
+    """Reentrant shared no-op context manager for disabled tracing."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_tracer: TraceCollector | None = None
+
+
+def tracer() -> TraceCollector | None:
+    """The active trace collector, or ``None`` when tracing is off."""
+    return _tracer
+
+
+def set_tracer(collector: TraceCollector | None) -> TraceCollector | None:
+    """Install the active trace collector; returns the previous one."""
+    global _tracer
+    previous = _tracer
+    _tracer = collector
+    return previous
+
+
+@contextmanager
+def use_tracer(collector: TraceCollector | None = None):
+    """Scope a trace collector (a fresh one by default) for a ``with`` block."""
+    collector = collector if collector is not None else TraceCollector()
+    previous = set_tracer(collector)
+    try:
+        yield collector
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str, cat: str = "sim", args: Mapping | None = None):
+    """A trace span over the ``with`` block; free no-op when tracing is off."""
+    if _tracer is None:
+        return _NULL_SPAN
+    return _tracer.span(name, cat, args)
+
+
+def instant(name: str, cat: str = "sim", args: Mapping | None = None) -> None:
+    """A zero-duration trace marker; no-op when tracing is off."""
+    if _tracer is not None:
+        _tracer.instant(name, cat, args)
+
+
+from .cli import add_observability_args, observability_session  # noqa: E402
+
+__all__ = [
+    "LOAD_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlFormatter",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PhaseTimer",
+    "Progress",
+    "TraceCollector",
+    "add_observability_args",
+    "configure_logging",
+    "console",
+    "console_json_enabled",
+    "get_logger",
+    "instant",
+    "load_trace",
+    "log_event",
+    "metrics",
+    "observability_session",
+    "profiled",
+    "reset_logging",
+    "set_console_json",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "tracer",
+    "use_metrics",
+    "use_tracer",
+    "validate_trace_events",
+]

@@ -1,0 +1,109 @@
+"""Shared observability CLI flags and the session that honours them.
+
+Both entry points (``python -m repro.sim`` and ``python -m repro.experiments``)
+call :func:`add_observability_args` on their parser and wrap execution in
+:func:`observability_session`.  With every flag at its default the session
+configures nothing and changes nothing — output stays byte-identical to an
+uninstrumented process.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from argparse import ArgumentParser, Namespace
+from contextlib import contextmanager
+
+from .console import set_console_json
+from .logs import configure_logging, reset_logging
+from .profiling import profiled
+from .registry import MetricsRegistry
+from .trace import TraceCollector
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
+
+
+def add_observability_args(parser: ArgumentParser) -> None:
+    """Attach the ``--trace-out/--profile/--log-*/--metrics-out`` flags."""
+    group = parser.add_argument_group("observability (see OBSERVABILITY.md)")
+    group.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write spans as Chrome trace-event JSON (open in Perfetto)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="wrap the command in cProfile and print a cumulative report "
+             "to stderr; phase wall-clock timings land in the telemetry",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the final metrics-registry snapshot as JSON",
+    )
+    group.add_argument(
+        "--log-level", choices=_LOG_LEVELS, metavar="LEVEL",
+        help=f"enable logging at LEVEL ({'/'.join(_LOG_LEVELS)})",
+    )
+    group.add_argument(
+        "--log-json", action="store_true",
+        help="structured JSONL logs; console status lines become log events",
+    )
+    group.add_argument(
+        "--log-file", metavar="PATH",
+        help="write logs to PATH instead of stderr",
+    )
+
+
+@contextmanager
+def observability_session(args: Namespace):
+    """Honour the observability flags for the duration of a CLI command.
+
+    Yields the live :class:`MetricsRegistry` (or ``None`` when metrics stay
+    disabled).  On exit the trace file and metrics snapshot are written and
+    all global observability state is restored, so sessions nest cleanly in
+    tests.
+    """
+    from . import set_registry, set_tracer
+
+    trace_out = getattr(args, "trace_out", None)
+    profile = getattr(args, "profile", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    log_level = getattr(args, "log_level", None)
+    log_json = getattr(args, "log_json", False)
+    log_file = getattr(args, "log_file", None)
+
+    configured_logging = bool(log_level or log_json or log_file)
+    if configured_logging:
+        configure_logging(
+            log_level or "info", json_lines=log_json, path=log_file
+        )
+    previous_console = set_console_json(log_json)
+
+    registry = None
+    previous_registry = None
+    if metrics_out or profile or trace_out:
+        registry = MetricsRegistry()
+        previous_registry = set_registry(registry)
+
+    collector = None
+    previous_tracer = None
+    if trace_out:
+        collector = TraceCollector()
+        previous_tracer = set_tracer(collector)
+
+    try:
+        with profiled(enabled=profile):
+            yield registry
+    finally:
+        if collector is not None:
+            set_tracer(previous_tracer)
+            collector.write(trace_out)
+            print(f"trace written to {trace_out}", file=sys.stderr)
+        if registry is not None:
+            if metrics_out:
+                with open(metrics_out, "w") as fh:
+                    json.dump(registry.snapshot(), fh, indent=2, default=repr)
+                print(f"metrics written to {metrics_out}", file=sys.stderr)
+            set_registry(previous_registry)
+        set_console_json(previous_console)
+        if configured_logging:
+            reset_logging()

@@ -1,0 +1,37 @@
+"""Console output for experiment status lines, JSONL-aware.
+
+Experiment modules route their human-facing figure/table text through
+:func:`console` instead of bare ``print``.  By default it *is* ``print`` —
+output is byte-identical to the pre-instrumentation CLIs.  When the CLI
+enables JSON mode (``--log-json``), console lines become structured
+``repro.console`` log events on the JSONL stream instead, so machine
+consumers of stdout never see figure text interleaved with their payload.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from .logs import get_logger, log_event
+
+_json_mode = False
+
+
+def set_console_json(enabled: bool) -> bool:
+    """Switch console lines to structured log events; returns the old mode."""
+    global _json_mode
+    previous = _json_mode
+    _json_mode = enabled
+    return previous
+
+
+def console_json_enabled() -> bool:
+    return _json_mode
+
+
+def console(message: str = "", **fields: object) -> None:
+    """Print a status line (default) or emit it as a structured log event."""
+    if _json_mode:
+        log_event(get_logger("console"), logging.INFO, message, **fields)
+    else:
+        print(message)

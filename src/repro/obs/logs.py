@@ -1,0 +1,109 @@
+"""Structured logging on top of the stdlib: silent by default, JSONL on demand.
+
+All package loggers live under the ``"repro"`` namespace
+(:func:`get_logger`).  A :class:`logging.NullHandler` is attached to the
+namespace root at import time, so an unconfigured process emits *nothing* —
+library users and the default CLI paths see byte-identical output whether or
+not this module is imported.
+
+:func:`configure_logging` (driven by ``--log-level`` / ``--log-json`` /
+``--log-file``) installs one real handler: human-readable lines, or — with
+``json_lines=True`` — one JSON object per line (JSONL) carrying the fields
+passed through :func:`log_event`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import IO
+
+#: Namespace root for every logger in this package.
+LOGGER_NAME = "repro"
+
+# Silent-by-default: a handler exists, so logging.lastResort never fires.
+logging.getLogger(LOGGER_NAME).addHandler(logging.NullHandler())
+
+#: The handler configure_logging installed (None = unconfigured).
+_handler: logging.Handler | None = None
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, event, extra fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=repr)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the package namespace (``repro`` or ``repro.<name>``)."""
+    return logging.getLogger(f"{LOGGER_NAME}.{name}" if name else LOGGER_NAME)
+
+
+def log_event(
+    logger: logging.Logger, level: int, event: str, **fields: object
+) -> None:
+    """Emit a structured event: plain text normally, merged keys under JSONL."""
+    if fields:
+        logger.log(level, event, extra={"fields": fields})
+    else:
+        logger.log(level, event)
+
+
+def configure_logging(
+    level: str = "info",
+    *,
+    json_lines: bool = False,
+    stream: IO[str] | None = None,
+    path: str | None = None,
+) -> logging.Handler:
+    """Install the package log handler (replacing any previous one).
+
+    Args:
+        level: threshold name (``debug``/``info``/``warning``/``error``).
+        json_lines: emit JSONL instead of human-readable lines.
+        stream: destination stream (default ``sys.stderr``).
+        path: write to this file instead of a stream.
+    """
+    global _handler
+    root = logging.getLogger(LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler.close()
+    if path:
+        handler: logging.Handler = logging.FileHandler(path)
+    else:
+        handler = logging.StreamHandler(stream or sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonlFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+        )
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+    _handler = handler
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove the configured handler and return to silent-by-default."""
+    global _handler
+    root = logging.getLogger(LOGGER_NAME)
+    if _handler is not None:
+        root.removeHandler(_handler)
+        _handler.close()
+        _handler = None
+    root.setLevel(logging.NOTSET)

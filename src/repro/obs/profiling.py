@@ -1,0 +1,65 @@
+"""Profiling hooks: cProfile wrapping and per-phase wall-clock timing.
+
+``--profile`` on the CLIs wraps the whole command in :func:`profiled`, which
+prints a sorted-cumulative ``pstats`` report to stderr on exit.  Phase-level
+wall-clock timing (trace build / warmup / measure / finish) is recorded by
+the simulator itself with :class:`PhaseTimer` and lands in
+``RunResult.telemetry`` and the metrics snapshot.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+from contextlib import contextmanager
+from typing import IO, Callable
+
+
+@contextmanager
+def profiled(
+    enabled: bool = True,
+    *,
+    stream: IO[str] | None = None,
+    top: int = 30,
+    sort: str = "cumulative",
+):
+    """Profile the block with cProfile and print a sorted report on exit.
+
+    With ``enabled=False`` this is a transparent no-op, so CLI code can wrap
+    unconditionally.  Yields the live profiler (or ``None`` when disabled).
+    """
+    if not enabled:
+        yield None
+        return
+    out = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        print(f"--- cProfile ({sort}, top {top}) ---", file=out)
+        pstats.Stats(profiler, stream=out).sort_stats(sort).print_stats(top)
+
+
+class PhaseTimer:
+    """Accumulates named wall-clock phase durations (seconds)."""
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self.phases: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.phases[name] = (
+                self.phases.get(name, 0.0) + self._clock() - start
+            )
+
+    def to_dict(self) -> dict[str, float]:
+        return dict(self.phases)

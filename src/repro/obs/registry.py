@@ -1,0 +1,228 @@
+"""Near-zero-overhead metrics registry: counters, gauges, histograms.
+
+Instrumented components (caches, prefetchers, the criticality detector, the
+OOO core) register with the *active* registry at construction time.  The
+default active registry is :data:`NULL_REGISTRY`, whose instruments are
+shared no-op singletons — binding against it costs one attribute lookup at
+construction and nothing on the hot path, so simulation timing with
+instrumentation off is indistinguishable from the pre-instrumentation code
+(``tests/test_obs_overhead.py`` guards this).
+
+Two complementary instrumentation styles are supported:
+
+* **instruments** (:class:`Counter`, :class:`Gauge`, :class:`Histogram`) for
+  per-event recording that only exists while a real registry is active —
+  components check ``registry.enabled`` once at construction and keep
+  ``None`` otherwise, so the disabled hot path pays a single ``is not None``
+  branch;
+* **providers** — callables returning a dict of values, registered by name
+  and invoked only at :meth:`MetricsRegistry.snapshot` time.  Components
+  that already maintain their own stats dataclasses (every cache, the
+  prefetchers, the CATCH engine) expose them this way for free.
+
+Provider names are unique: re-registering a name replaces the previous
+provider, so rebuilding a hierarchy run after run does not leak entries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Callable, Mapping, Sequence
+
+#: Default bucket upper bounds (cycles) for load-latency histograms: one per
+#: hierarchy regime (L1 / L2 / LLC / local DRAM / loaded DRAM tail).
+LOAD_LATENCY_BUCKETS: tuple[float, ...] = (5, 10, 15, 25, 40, 60, 100, 160, 250, 400)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram (bucket ``i`` counts ``value <= bounds[i]``).
+
+    The final slot counts overflow (values above the last boundary).
+    Boundaries are fixed at construction so recording is a single bisect
+    plus two adds — no allocation.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if list(bounds) != sorted(bounds) or not bounds:
+            raise ValueError(f"histogram {name!r} needs sorted non-empty bounds")
+        self.name = name
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def record(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+#: Type of a snapshot provider: zero-arg callable returning plain data.
+Provider = Callable[[], Mapping]
+
+
+class MetricsRegistry:
+    """A live registry: hands out real instruments and snapshots everything."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._providers: dict[str, Provider] = {}
+
+    # ---------------------------------------------------------- instruments
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter(name)
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge(name)
+        return inst
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LOAD_LATENCY_BUCKETS
+    ) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram(name, bounds)
+        return inst
+
+    # ------------------------------------------------------------ providers
+
+    def register_provider(self, name: str, provider: Provider) -> None:
+        """Register (or replace) a named snapshot provider."""
+        self._providers[name] = provider
+
+    def unregister_provider(self, name: str) -> None:
+        self._providers.pop(name, None)
+
+    # -------------------------------------------------------------- reading
+
+    def snapshot(self) -> dict:
+        """Plain-data view of every instrument and provider, right now.
+
+        A provider that raises contributes an ``{"error": ...}`` entry
+        instead of aborting the snapshot — telemetry must never kill a run.
+        """
+        providers: dict[str, dict] = {}
+        for name, provider in self._providers.items():
+            try:
+                providers[name] = dict(provider())
+            except Exception as exc:  # snapshot survives a bad provider
+                providers[name] = {"error": repr(exc)}
+        return {
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {n: g.value for n, g in self._gauges.items()},
+            "histograms": {n: h.to_dict() for n, h in self._histograms.items()},
+            "providers": providers,
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument and provider."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._providers.clear()
+
+
+class NullRegistry:
+    """The disabled registry: every operation is a no-op.
+
+    All instrument factories return one shared no-op object, so components
+    written against the registry API cost nothing when instrumentation is
+    off.  Components that want a strictly branch-free hot path check
+    ``enabled`` at construction and skip binding instruments entirely.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LOAD_LATENCY_BUCKETS
+    ) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def register_provider(self, name: str, provider: Provider) -> None:
+        pass
+
+    def unregister_provider(self, name: str) -> None:
+        pass
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+#: The module-level disabled registry (the default active one).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,144 @@
+"""Span collection in Chrome trace-event JSON (Perfetto / chrome://tracing).
+
+A :class:`TraceCollector` accumulates *complete* events (``ph: "X"``) with
+microsecond timestamps relative to collector creation.  ``--trace-out`` on
+the CLIs writes :meth:`TraceCollector.to_payload` to disk; the resulting
+file loads directly in https://ui.perfetto.dev or ``chrome://tracing``.
+
+The trace-event format reference is the "Trace Event Format" document; only
+the small subset we emit (``X``, ``i`` and ``C`` phases) is validated by
+:func:`validate_trace_events`, which the CI smoke run and the round-trip
+tests both use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Mapping
+
+#: Phases validate_trace_events accepts (the subset this module emits).
+_KNOWN_PHASES = {"X", "i", "C"}
+
+
+class TraceCollector:
+    """Accumulates trace events for one process-wide timeline.
+
+    Args:
+        clock: seconds-valued monotonic clock (tests inject a fake).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._t0 = clock()
+        self.pid = os.getpid()
+        self.events: list[dict] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._t0) * 1e6
+
+    # -------------------------------------------------------------- emitting
+
+    @contextmanager
+    def span(self, name: str, cat: str = "sim", args: Mapping | None = None):
+        """Record a complete event covering the ``with`` block."""
+        start = self._now_us()
+        try:
+            yield self
+        finally:
+            event = {
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": start,
+                "dur": self._now_us() - start,
+                "pid": self.pid,
+                "tid": 0,
+            }
+            if args:
+                event["args"] = dict(args)
+            self.events.append(event)
+
+    def instant(self, name: str, cat: str = "sim", args: Mapping | None = None) -> None:
+        """Record a zero-duration marker."""
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "i",
+            "s": "t",
+            "ts": self._now_us(),
+            "pid": self.pid,
+            "tid": 0,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def counter(self, name: str, values: Mapping[str, float], cat: str = "sim") -> None:
+        """Record a counter sample (rendered as a stacked track)."""
+        self.events.append(
+            {
+                "name": name,
+                "cat": cat,
+                "ph": "C",
+                "ts": self._now_us(),
+                "pid": self.pid,
+                "tid": 0,
+                "args": dict(values),
+            }
+        )
+
+    # --------------------------------------------------------------- output
+
+    def to_payload(self) -> dict:
+        """The JSON-object form of the trace-event format."""
+        return {"traceEvents": list(self.events), "displayTimeUnit": "ms"}
+
+    def write(self, path: str | Path) -> None:
+        """Write the trace as JSON (Perfetto-loadable)."""
+        Path(path).write_text(json.dumps(self.to_payload()) + "\n")
+
+
+def validate_trace_events(payload: object) -> list[str]:
+    """Check a trace payload against the trace-event schema subset we emit.
+
+    Returns a list of problem strings (empty = valid).  Used by the CI smoke
+    step and the round-trip tests, and intentionally tolerant of event kinds
+    we do not emit ourselves only in that it names them as problems rather
+    than crashing.
+    """
+    problems: list[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: args not an object")
+    return problems
+
+
+def load_trace(path: str | Path) -> dict:
+    """Read a trace file back (round-trip tests)."""
+    return json.loads(Path(path).read_text())

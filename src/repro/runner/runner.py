@@ -25,17 +25,20 @@ CLI turns those into the failure report and a nonzero exit.
 
 from __future__ import annotations
 
+import logging
 import math
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable
 
+from .. import obs
 from ..errors import (
     ConfigError,
     ResultIntegrityError,
     RunFailure,
     RunTimeoutError,
 )
+from ..obs import get_logger, log_event
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult
 from ..sim.simulator import Simulator
@@ -43,6 +46,8 @@ from .store import ResultStore
 
 #: How many retired instructions between wall-clock deadline checks.
 DEADLINE_CHECK_INTERVAL = 256
+
+logger = get_logger("runner")
 
 
 @dataclass
@@ -69,6 +74,10 @@ class FailureRecord:
     elapsed_s: float
     attempts: int
     experiment: str | None = None   #: filled in by the CLI loop
+    #: ``repr`` of the exception from *every* attempt, in order — the
+    #: intermediate failures a retried run swallowed used to be lost;
+    #: now each is recorded here and logged at WARNING as it happens.
+    attempt_errors: list[str] = field(default_factory=list)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -178,30 +187,61 @@ class ExperimentRunner:
         cached = self.store.get(config, workload, n_instrs)
         if cached is not None:
             self.stats.store_hits += 1
+            log_event(
+                logger, logging.DEBUG, "served from store",
+                config=config.name, workload=workload, n=n_instrs,
+            )
             return cached
 
         start = self.clock()
         attempts = 0
+        attempt_errors: list[str] = []
         while True:
             attempts += 1
             self.stats.executed += 1
             try:
                 result = self._attempt(config, workload, n_instrs)
             except RunTimeoutError as exc:
+                attempt_errors.append(repr(exc))
                 self.stats.timeouts += 1
-                raise self._fail(config, workload, n_instrs, exc, attempts, start)
+                log_event(
+                    logger, logging.WARNING, "run timed out",
+                    config=config.name, workload=workload,
+                    attempt=attempts, error=repr(exc),
+                )
+                raise self._fail(
+                    config, workload, n_instrs, exc, attempts, start,
+                    attempt_errors,
+                )
             except ConfigError:
                 raise
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
+                attempt_errors.append(repr(exc))
                 if attempts <= self.retries:
                     self.stats.retries += 1
-                    self.sleep(self.backoff_s * (2 ** (attempts - 1)))
+                    backoff = self.backoff_s * (2 ** (attempts - 1))
+                    log_event(
+                        logger, logging.WARNING, "retrying after failure",
+                        config=config.name, workload=workload,
+                        attempt=attempts, max_attempts=self.retries + 1,
+                        error=repr(exc), backoff_s=backoff,
+                    )
+                    self.sleep(backoff)
                     continue
-                raise self._fail(config, workload, n_instrs, exc, attempts, start)
+                raise self._fail(
+                    config, workload, n_instrs, exc, attempts, start,
+                    attempt_errors,
+                )
             self.stats.completed += 1
             self.store.put(config, workload, n_instrs, result)
+            log_event(
+                logger, logging.INFO, "run completed",
+                config=config.name, workload=workload, n=n_instrs,
+                attempts=attempts, ipc=round(result.ipc, 4),
+                elapsed_s=round(self.clock() - start, 3),
+            )
             return result
 
     def _attempt(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
@@ -211,7 +251,12 @@ class ExperimentRunner:
             if self.timeout_s is not None
             else None
         )
-        result = sim.run(workload, n_instrs, on_instruction=_chain(deadline))
+        with obs.span(
+            f"run:{config.name}/{workload}",
+            cat="runner",
+            args={"config": config.name, "workload": workload, "n": n_instrs},
+        ):
+            result = sim.run(workload, n_instrs, on_instruction=_chain(deadline))
         return validate_result(result)
 
     def _fail(
@@ -222,6 +267,7 @@ class ExperimentRunner:
         cause: BaseException,
         attempts: int,
         start: float,
+        attempt_errors: list[str] | None = None,
     ) -> RunFailure:
         elapsed = self.clock() - start
         record = FailureRecord(
@@ -232,9 +278,16 @@ class ExperimentRunner:
             message=str(cause),
             elapsed_s=elapsed,
             attempts=attempts,
+            attempt_errors=list(attempt_errors or []),
         )
         self.failures.append(record)
         self.stats.failures += 1
+        log_event(
+            logger, logging.ERROR, "run abandoned",
+            config=config.name, workload=workload, attempts=attempts,
+            error_type=record.error_type, message=record.message,
+            attempt_errors=record.attempt_errors,
+        )
         failure = RunFailure(
             f"{config.name}/{workload} failed after {attempts} attempt(s) "
             f"({record.error_type}: {record.message})",

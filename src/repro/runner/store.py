@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import re
 from pathlib import Path
 
 from ..errors import CheckpointError
+from ..obs import get_logger, log_event
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult
 from ..sim.serialization import (
@@ -37,6 +39,8 @@ from ..sim.serialization import (
 CHECKPOINT_FORMAT_VERSION = 1
 
 _UNSAFE = re.compile(r"[^A-Za-z0-9._+-]+")
+
+logger = get_logger("runner.store")
 
 
 def config_fingerprint(config: SimConfig) -> str:
@@ -111,8 +115,12 @@ class ResultStore:
             return None
         try:
             result = self._read_checkpoint(path, expected_fingerprint=key[0])
-        except CheckpointError:
+        except CheckpointError as exc:
             self.corrupt_skipped += 1
+            log_event(
+                logger, logging.WARNING, "skipping corrupt checkpoint",
+                path=str(path), error=str(exc),
+            )
             return None
         self._memory[key] = result
         return result

@@ -6,6 +6,10 @@ Usage::
     python -m repro.sim describe CATCH --out catch.json
     python -m repro.sim run baseline_server hmmer_like --n 40000
     python -m repro.sim run catch.json mcf_like
+
+``run`` accepts the observability flags (``--trace-out``, ``--profile``,
+``--metrics-out``, ``--log-level``, ``--log-json``, ``--log-file``); see
+OBSERVABILITY.md.  With all of them off, output is unchanged.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from .. import obs
 from ..errors import ConfigError
 from .config import fig10_configs, fig17_configs, skylake_client, skylake_server
 from .serialization import load_config, save_config
@@ -56,6 +61,7 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("config", help="named config or JSON file")
     run.add_argument("workload")
     run.add_argument("--n", type=int, default=40_000)
+    obs.add_observability_args(run)
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -73,17 +79,29 @@ def main(argv: list[str] | None = None) -> int:
             sim = Simulator(cfg)
         except ConfigError as exc:
             raise SystemExit(f"invalid configuration: {exc}")
-        result = sim.run(args.workload, args.n)
-        served = {
-            lvl.name: count for lvl, count in result.load_served.items() if count
-        }
-        print(f"{result.workload} on {cfg.name}:")
-        print(f"  IPC              {result.ipc:.3f}")
-        print(f"  cycles           {result.cycles:.0f}")
-        print(f"  loads served     {served}")
-        print(f"  avg load latency {result.avg_load_latency:.1f} cycles")
-        print(f"  mispredicts      {result.mispredicts}")
-        print(f"  code stalls      {result.code_stall_cycles:.0f} cycles")
+        with obs.observability_session(args):
+            with obs.span(
+                "cli:run", cat="cli",
+                args={"config": cfg.name, "workload": args.workload},
+            ):
+                result = sim.run(args.workload, args.n)
+            served = {
+                lvl.name: count for lvl, count in result.load_served.items() if count
+            }
+            obs.console(f"{result.workload} on {cfg.name}:")
+            obs.console(f"  IPC              {result.ipc:.3f}")
+            obs.console(f"  cycles           {result.cycles:.0f}")
+            obs.console(f"  loads served     {served}")
+            obs.console(f"  avg load latency {result.avg_load_latency:.1f} cycles")
+            obs.console(f"  mispredicts      {result.mispredicts}")
+            obs.console(f"  code stalls      {result.code_stall_cycles:.0f} cycles")
+            if args.profile and result.telemetry:
+                phases = result.telemetry["phases"]
+                timings = "  ".join(
+                    f"{name} {seconds * 1e3:.1f}ms"
+                    for name, seconds in phases.items()
+                )
+                print(f"phase wall-clock: {timings}", file=sys.stderr)
     return 0
 
 

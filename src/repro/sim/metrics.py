@@ -82,6 +82,10 @@ class RunResult:
     critical_pcs: int = 0
     tact_stats: object | None = None
     activity: ActivitySnapshot | None = None
+    #: Instrumentation snapshot (phase wall-clock timings + metrics registry
+    #: contents) captured by the simulator when observability is enabled;
+    #: ``None`` on default runs (see ``repro.obs`` and OBSERVABILITY.md).
+    telemetry: dict | None = None
 
     @property
     def ipc(self) -> float:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field, replace as dc_replace
 
+from .. import obs
 from ..cpu.core import OOOCore
 from ..workloads.suites import build_trace, get_spec
 from ..workloads.trace import Instr, Trace
@@ -76,20 +77,21 @@ class MultiCoreSimulator:
         """Run one mix to completion (warmup half + measured half)."""
         if len(mix) != self.n_cores:
             raise ValueError(f"mix size {len(mix)} != {self.n_cores} cores")
-        sim = Simulator(self.config)
-        hierarchy = sim.build_hierarchy()
-        traces = []
-        for core_id, name in enumerate(mix):
-            spec = get_spec(name)
-            trace = build_trace(name, 2 * n_instrs * spec.length_multiplier)
-            traces.append(relocate_trace(trace, core_id))
-        engines = [sim.make_engine() for _ in range(self.n_cores)]
-        cores = [
-            OOOCore(c, hierarchy, self.config.core, engines[c])
-            for c in range(self.n_cores)
-        ]
-        for core, trace in zip(cores, traces):
-            core.start(trace)
+        with obs.span("mix-build", args={"mix": "+".join(mix)}):
+            sim = Simulator(self.config)
+            hierarchy = sim.build_hierarchy()
+            traces = []
+            for core_id, name in enumerate(mix):
+                spec = get_spec(name)
+                trace = build_trace(name, 2 * n_instrs * spec.length_multiplier)
+                traces.append(relocate_trace(trace, core_id))
+            engines = [sim.make_engine() for _ in range(self.n_cores)]
+            cores = [
+                OOOCore(c, hierarchy, self.config.core, engines[c])
+                for c in range(self.n_cores)
+            ]
+            for core, trace in zip(cores, traces):
+                core.start(trace)
 
         boundaries = [len(t.instrs) // 2 for t in traces]
         half_time: dict[int, float] = {}
@@ -99,22 +101,23 @@ class MultiCoreSimulator:
         # roughly ordered.
         heap = [(0.0, c) for c in range(self.n_cores)]
         heapq.heapify(heap)
-        while heap:
-            _, c = heapq.heappop(heap)
-            pos = positions[c]
-            trace = traces[c]
-            if pos >= len(trace.instrs):
-                continue
-            commit = cores[c].step(pos, trace.instrs[pos])
-            positions[c] = pos + 1
-            if positions[c] == boundaries[c]:
-                half_time[c] = commit
-                hierarchy.stats[c] = type(hierarchy.stats[c])()
-                cores[c].reset_stats()
-                engines[c].reset_stats()
-            if positions[c] < len(trace.instrs):
-                heapq.heappush(heap, (commit, c))
-        hierarchy.memory.finish(max(core.time for core in cores))
+        with obs.span("mix-run", args={"mix": "+".join(mix)}):
+            while heap:
+                _, c = heapq.heappop(heap)
+                pos = positions[c]
+                trace = traces[c]
+                if pos >= len(trace.instrs):
+                    continue
+                commit = cores[c].step(pos, trace.instrs[pos])
+                positions[c] = pos + 1
+                if positions[c] == boundaries[c]:
+                    half_time[c] = commit
+                    hierarchy.stats[c] = type(hierarchy.stats[c])()
+                    cores[c].reset_stats()
+                    engines[c].reset_stats()
+                if positions[c] < len(trace.instrs):
+                    heapq.heappush(heap, (commit, c))
+            hierarchy.memory.finish(max(core.time for core in cores))
 
         ipc = {}
         cycles = {}

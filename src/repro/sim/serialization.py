@@ -148,6 +148,7 @@ def result_to_dict(result: RunResult) -> dict:
             if result.activity is not None
             else None
         ),
+        "telemetry": result.telemetry,
     }
 
 
@@ -181,6 +182,7 @@ def result_from_dict(payload: dict) -> RunResult:
         critical_pcs=payload["critical_pcs"],
         tact_stats=tact,
         activity=activity,
+        telemetry=payload.get("telemetry"),
     )
 
 

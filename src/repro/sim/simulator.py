@@ -14,6 +14,9 @@ simulators.
 
 from __future__ import annotations
 
+import time
+
+from .. import obs
 from ..caches.hierarchy import CacheHierarchy, Level
 from ..core.catch_engine import CatchEngine
 from ..cpu.core import OOOCore
@@ -92,37 +95,53 @@ class Simulator:
                 and the fault-injection harness to raise at a chosen
                 instruction; exceptions it raises abort the run.
         """
-        if isinstance(workload, Trace):
-            trace = workload
-        else:
-            spec = get_spec(workload)
-            length = n_instrs * spec.length_multiplier
-            trace = build_trace(workload, 2 * length if warmup else length)
-        hierarchy = hierarchy or self.build_hierarchy(n_cores=1)
-        if latency_policy is not None:
-            hierarchy.latency_policy = latency_policy
-        engine = engine or self.make_engine()
-        core = OOOCore(0, hierarchy, self.config.core, engine)
-        core.start(trace)
+        registry = obs.metrics()
+        clock = time.perf_counter
+        phase_s: dict[str, float] = {}
+        name = workload if isinstance(workload, str) else workload.name
+
+        t_phase = clock()
+        with obs.span("trace-build", args={"workload": name}):
+            if isinstance(workload, Trace):
+                trace = workload
+            else:
+                spec = get_spec(workload)
+                length = n_instrs * spec.length_multiplier
+                trace = build_trace(workload, 2 * length if warmup else length)
+            hierarchy = hierarchy or self.build_hierarchy(n_cores=1)
+            if latency_policy is not None:
+                hierarchy.latency_policy = latency_policy
+            engine = engine or self.make_engine()
+            core = OOOCore(0, hierarchy, self.config.core, engine)
+            core.start(trace)
+        phase_s["trace_build"] = clock() - t_phase
 
         total = len(trace.instrs)
         boundary = total // 2 if warmup else 0
         idx = 0
-        for instr in trace.instrs[:boundary]:
-            core.step(idx, instr)
-            idx += 1
-            if on_instruction is not None:
-                on_instruction(idx)
-        if warmup:
-            self._reset_all_stats(hierarchy, core, engine)
+        t_phase = clock()
+        with obs.span("warmup", args={"instructions": boundary}):
+            for instr in trace.instrs[:boundary]:
+                core.step(idx, instr)
+                idx += 1
+                if on_instruction is not None:
+                    on_instruction(idx)
+            if warmup:
+                self._reset_all_stats(hierarchy, core, engine)
+        phase_s["warmup"] = clock() - t_phase
         start_time = core.time
         measured = total - boundary
-        for instr in trace.instrs[boundary:]:
-            core.step(idx, instr)
-            idx += 1
-            if on_instruction is not None:
-                on_instruction(idx)
-        hierarchy.memory.finish(core.time)
+        t_phase = clock()
+        with obs.span("measure", args={"instructions": measured}):
+            for instr in trace.instrs[boundary:]:
+                core.step(idx, instr)
+                idx += 1
+                if on_instruction is not None:
+                    on_instruction(idx)
+        phase_s["measure"] = clock() - t_phase
+        t_phase = clock()
+        with obs.span("finish"):
+            hierarchy.memory.finish(core.time)
         cycles = core.time - start_time
 
         stats = hierarchy.stats[0]
@@ -133,7 +152,7 @@ class Simulator:
                 tact_stats = engine.tact.stats
             critical_pcs = engine.critical_pcs
         category = trace.category
-        return RunResult(
+        result = RunResult(
             workload=trace.name,
             category=category,
             config_name=self.config.name,
@@ -148,6 +167,15 @@ class Simulator:
             tact_stats=tact_stats,
             activity=ActivitySnapshot.capture(hierarchy, cycles),
         )
+        phase_s["finish"] = clock() - t_phase
+        if registry.enabled:
+            for phase, seconds in phase_s.items():
+                registry.gauge(f"sim.phase.{phase}_s").set(seconds)
+            result.telemetry = {
+                "phases": dict(phase_s),
+                "metrics": registry.snapshot(),
+            }
+        return result
 
     @staticmethod
     def _reset_all_stats(

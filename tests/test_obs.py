@@ -1,0 +1,265 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import io
+import json
+import logging
+
+import pytest
+
+import repro.obs as obs
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    Progress,
+    TraceCollector,
+    validate_trace_events,
+)
+from repro.obs.logs import configure_logging, get_logger, log_event, reset_logging
+
+
+class TestRegistry:
+    def test_counter_gauge(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a")
+        c.inc()
+        c.inc(4)
+        reg.gauge("g").set(2.5)
+        snap = reg.snapshot()
+        assert snap["counters"]["a"] == 5
+        assert snap["gauges"]["g"] == 2.5
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_histogram_bucketing(self):
+        h = Histogram("lat", bounds=(10, 20, 30))
+        for v in (5, 10, 11, 25, 31, 1000):
+            h.record(v)
+        # <=10: 5,10 | <=20: 11 | <=30: 25 | overflow: 31,1000
+        assert h.counts == [2, 1, 1, 2]
+        assert h.count == 6
+        assert h.mean == pytest.approx(sum((5, 10, 11, 25, 31, 1000)) / 6)
+
+    def test_histogram_requires_sorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(3, 1))
+        with pytest.raises(ValueError):
+            Histogram("empty", bounds=())
+
+    def test_provider_replacement_not_accumulation(self):
+        reg = MetricsRegistry()
+        reg.register_provider("p", lambda: {"v": 1})
+        reg.register_provider("p", lambda: {"v": 2})
+        assert reg.snapshot()["providers"] == {"p": {"v": 2}}
+
+    def test_provider_errors_do_not_kill_snapshot(self):
+        reg = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        reg.register_provider("bad", broken)
+        reg.register_provider("good", lambda: {"v": 1})
+        snap = reg.snapshot()
+        assert snap["providers"]["good"] == {"v": 1}
+        assert "RuntimeError" in snap["providers"]["bad"]["error"]
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x").inc()
+        NULL_REGISTRY.gauge("g").set(1)
+        NULL_REGISTRY.histogram("h").record(5)
+        NULL_REGISTRY.register_provider("p", lambda: {"v": 1})
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+
+    def test_active_registry_scoping(self):
+        assert obs.metrics() is NULL_REGISTRY
+        with obs.use_metrics() as reg:
+            assert obs.metrics() is reg
+            assert reg.enabled
+        assert obs.metrics() is NULL_REGISTRY
+
+
+class TestTracing:
+    def test_span_records_complete_event(self):
+        fake_now = [0.0]
+        collector = TraceCollector(clock=lambda: fake_now[0])
+        with collector.span("work", args={"k": 1}):
+            fake_now[0] = 0.002
+        (event,) = collector.events
+        assert event["name"] == "work"
+        assert event["ph"] == "X"
+        assert event["ts"] == 0.0
+        assert event["dur"] == pytest.approx(2000.0)  # microseconds
+        assert event["args"] == {"k": 1}
+
+    def test_span_recorded_even_on_exception(self):
+        collector = TraceCollector()
+        with pytest.raises(RuntimeError):
+            with collector.span("broken"):
+                raise RuntimeError
+        assert [e["name"] for e in collector.events] == ["broken"]
+
+    def test_instant_and_counter_events_validate(self):
+        collector = TraceCollector()
+        collector.instant("marker")
+        collector.counter("ipc", {"value": 1.5})
+        assert validate_trace_events(collector.to_payload()) == []
+
+    def test_file_round_trip(self, tmp_path):
+        collector = TraceCollector()
+        with collector.span("outer"):
+            with collector.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        collector.write(path)
+        payload = obs.load_trace(path)
+        assert validate_trace_events(payload) == []
+        assert [e["name"] for e in payload["traceEvents"]] == ["inner", "outer"]
+        assert payload["displayTimeUnit"] == "ms"
+
+    def test_validator_rejects_garbage(self):
+        assert validate_trace_events([]) != []
+        assert validate_trace_events({"traceEvents": 3}) != []
+        assert validate_trace_events({"traceEvents": [{"ph": "Z"}]}) != []
+        bad_dur = {
+            "traceEvents": [
+                {"name": "x", "cat": "c", "ph": "X", "ts": 1, "dur": -1,
+                 "pid": 1, "tid": 0}
+            ]
+        }
+        assert any("dur" in p for p in validate_trace_events(bad_dur))
+
+    def test_module_span_is_noop_without_tracer(self):
+        assert obs.tracer() is None
+        with obs.span("nothing"):
+            pass  # must not raise and must not record anywhere
+        obs.instant("nothing")
+
+    def test_module_span_routes_to_active_tracer(self):
+        with obs.use_tracer() as collector:
+            with obs.span("step"):
+                pass
+        assert [e["name"] for e in collector.events] == ["step"]
+        assert obs.tracer() is None
+
+
+class TestLogging:
+    def teardown_method(self):
+        reset_logging()
+
+    def test_silent_by_default(self, capsys):
+        get_logger("test").warning("should vanish")
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_jsonl_output(self):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        log_event(get_logger("unit"), logging.INFO, "hello", answer=42)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "hello"
+        assert record["answer"] == 42
+        assert record["level"] == "INFO"
+        assert record["logger"] == "repro.unit"
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_logging("warning", json_lines=True, stream=stream)
+        log_event(get_logger("unit"), logging.INFO, "dropped")
+        log_event(get_logger("unit"), logging.WARNING, "kept")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "kept"
+
+    def test_reconfigure_replaces_handler(self):
+        first = io.StringIO()
+        second = io.StringIO()
+        configure_logging("info", json_lines=True, stream=first)
+        configure_logging("info", json_lines=True, stream=second)
+        log_event(get_logger("unit"), logging.INFO, "once")
+        assert first.getvalue() == ""
+        assert len(second.getvalue().splitlines()) == 1
+
+    def test_log_file(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        configure_logging("info", json_lines=True, path=str(path))
+        log_event(get_logger("unit"), logging.INFO, "to file")
+        reset_logging()
+        assert json.loads(path.read_text())["event"] == "to file"
+
+
+class TestConsole:
+    def test_default_is_print(self, capsys):
+        obs.console("hello world")
+        assert capsys.readouterr().out == "hello world\n"
+
+    def test_json_mode_goes_to_log(self, capsys):
+        stream = io.StringIO()
+        configure_logging("info", json_lines=True, stream=stream)
+        previous = obs.set_console_json(True)
+        try:
+            obs.console("figure text", experiment="fig10")
+        finally:
+            obs.set_console_json(previous)
+            reset_logging()
+        assert capsys.readouterr().out == ""
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "figure text"
+        assert record["experiment"] == "fig10"
+
+
+class TestProgress:
+    def test_ticks_with_eta(self):
+        stream = io.StringIO()
+        fake_now = [0.0]
+        progress = Progress(
+            4, label="sweep", stream=stream, clock=lambda: fake_now[0]
+        )
+        fake_now[0] = 10.0
+        line = progress.tick("fig01")
+        assert line.startswith("sweep [1/4] fig01")
+        assert "elapsed 10.0s" in line
+        assert "ETA 30.0s" in line  # 10s/item * 3 remaining
+
+    def test_final_tick_has_no_eta(self):
+        stream = io.StringIO()
+        progress = Progress(1, stream=stream, clock=lambda: 0.0)
+        line = progress.tick("only")
+        assert "ETA" not in line
+        assert "[1/1]" in line
+
+    def test_output_goes_to_stream_not_stdout(self, capsys):
+        stream = io.StringIO()
+        Progress(2, stream=stream, clock=lambda: 0.0).tick("x")
+        assert capsys.readouterr().out == ""
+        assert "[1/2]" in stream.getvalue()
+
+
+class TestProfiling:
+    def test_profiled_emits_report(self):
+        stream = io.StringIO()
+        with obs.profiled(stream=stream, top=5):
+            sum(range(1000))
+        text = stream.getvalue()
+        assert "cProfile" in text
+        assert "cumulative" in text
+
+    def test_disabled_is_transparent(self):
+        stream = io.StringIO()
+        with obs.profiled(enabled=False, stream=stream) as prof:
+            assert prof is None
+        assert stream.getvalue() == ""
+
+    def test_phase_timer_accumulates(self):
+        fake_now = [0.0]
+        timer = obs.PhaseTimer(clock=lambda: fake_now[0])
+        with timer.phase("measure"):
+            fake_now[0] = 1.0
+        with timer.phase("measure"):
+            fake_now[0] = 1.5
+        assert timer.to_dict() == {"measure": pytest.approx(1.5)}

@@ -1,0 +1,224 @@
+"""Integration tests: instrumentation threaded through sim, runner and CLIs."""
+
+import io
+import json
+
+import pytest
+
+import repro.obs as obs
+from repro.errors import RunFailure
+from repro.obs.logs import configure_logging, reset_logging
+from repro.runner import ExperimentRunner
+from repro.sim.config import no_l2, skylake_server, with_catch
+from repro.sim.serialization import (
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_result,
+)
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def observed_result():
+    """A short CATCH run with metrics and tracing enabled."""
+    cfg = with_catch(no_l2(skylake_server(), 6.5))
+    with obs.use_metrics(), obs.use_tracer() as collector:
+        result = Simulator(cfg).run("hmmer_like", 2000)
+    return result, collector
+
+
+class TestSimulatorTelemetry:
+    def test_disabled_by_default(self):
+        result = Simulator(skylake_server()).run("hmmer_like", 1500)
+        assert result.telemetry is None
+
+    def test_phases_recorded(self, observed_result):
+        result, _ = observed_result
+        phases = result.telemetry["phases"]
+        assert set(phases) == {"trace_build", "warmup", "measure", "finish"}
+        assert all(seconds >= 0 for seconds in phases.values())
+
+    def test_components_registered(self, observed_result):
+        result, _ = observed_result
+        providers = result.telemetry["metrics"]["providers"]
+        # caches, hierarchy, core, prefetchers and the CATCH engine all
+        # register; the noL2 config has no L2 cache.
+        assert {"cache.L1D0", "cache.L1I0", "cache.LLC", "hierarchy",
+                "core.core0", "prefetch.l1stride.core0",
+                "prefetch.l2stream.core0", "catch.core0"} <= set(providers)
+        assert providers["cache.L1D0"]["reads"] > 0
+        assert providers["core.core0"]["instructions_stepped"] > 0
+        assert providers["catch.core0"]["detector"] == "ddg"
+
+    def test_load_latency_histogram_populated(self, observed_result):
+        result, _ = observed_result
+        hist = result.telemetry["metrics"]["histograms"][
+            "hierarchy.load_latency_cycles"
+        ]
+        assert hist["count"] > 0
+        assert sum(hist["counts"]) == hist["count"]
+
+    def test_spans_cover_the_run_phases(self, observed_result):
+        _, collector = observed_result
+        names = [event["name"] for event in collector.events]
+        assert names == ["trace-build", "warmup", "measure", "finish"]
+        assert obs.validate_trace_events(collector.to_payload()) == []
+
+    def test_histogram_not_bound_when_disabled(self):
+        sim = Simulator(skylake_server())
+        hierarchy = sim.build_hierarchy(n_cores=1)
+        assert hierarchy._load_lat_hist is None
+        with obs.use_metrics():
+            observed = sim.build_hierarchy(n_cores=1)
+            assert observed._load_lat_hist is not None
+
+
+class TestTelemetrySerialization:
+    def test_round_trip_through_json(self, observed_result):
+        result, _ = observed_result
+        payload = json.loads(json.dumps(result_to_dict(result)))
+        back = result_from_dict(payload)
+        assert back.telemetry == result.telemetry
+        assert back.telemetry["metrics"]["providers"]["cache.LLC"]["fills"] == (
+            result.telemetry["metrics"]["providers"]["cache.LLC"]["fills"]
+        )
+
+    def test_file_round_trip(self, observed_result, tmp_path):
+        result, _ = observed_result
+        path = tmp_path / "run.json"
+        save_result(result, path)
+        assert load_result(path).telemetry == result.telemetry
+
+    def test_missing_telemetry_key_tolerated(self):
+        """Checkpoints written before the telemetry field still load."""
+        result = Simulator(skylake_server()).run("hmmer_like", 1500)
+        payload = result_to_dict(result)
+        del payload["telemetry"]
+        assert result_from_dict(payload).telemetry is None
+
+
+class _AlwaysBoom(Exception):
+    pass
+
+
+class _FailingFactory:
+    """Simulator factory whose every run raises a distinct error."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, config):
+        factory = self
+
+        class _Sim:
+            def run(self, workload, n_instrs, on_instruction=None):
+                factory.calls += 1
+                raise _AlwaysBoom(f"attempt {factory.calls}")
+
+        return _Sim()
+
+
+class TestRunnerObservability:
+    def teardown_method(self):
+        reset_logging()
+
+    def test_attempt_errors_recorded_per_attempt(self):
+        runner = ExperimentRunner(
+            retries=2, simulator_factory=_FailingFactory(), sleep=lambda s: None
+        )
+        with pytest.raises(RunFailure):
+            runner.run(skylake_server(), "hmmer_like", 500)
+        (record,) = runner.failures
+        assert len(record.attempt_errors) == 3
+        assert all("_AlwaysBoom" in err for err in record.attempt_errors)
+        # every attempt's repr is distinct, not the final one repeated
+        assert len(set(record.attempt_errors)) == 3
+        assert record.to_dict()["attempt_errors"] == record.attempt_errors
+
+    def test_retries_logged_at_warning(self):
+        stream = io.StringIO()
+        configure_logging("warning", json_lines=True, stream=stream)
+        runner = ExperimentRunner(
+            retries=1, simulator_factory=_FailingFactory(), sleep=lambda s: None
+        )
+        with pytest.raises(RunFailure):
+            runner.run(skylake_server(), "hmmer_like", 500)
+        events = [json.loads(line) for line in stream.getvalue().splitlines()]
+        warnings = [e for e in events if e["level"] == "WARNING"]
+        assert warnings and warnings[0]["event"] == "retrying after failure"
+        assert "attempt 1" in warnings[0]["error"]
+        final = [e for e in events if e["level"] == "ERROR"]
+        assert final and final[0]["event"] == "run abandoned"
+        assert len(final[0]["attempt_errors"]) == 2
+
+    def test_run_span_emitted(self):
+        runner = ExperimentRunner()
+        with obs.use_tracer() as collector:
+            runner.run(skylake_server(), "hmmer_like", 1500)
+        names = [event["name"] for event in collector.events]
+        assert "run:baseline_server/hmmer_like" in names
+
+
+class TestCliIntegration:
+    def test_sim_run_with_obs_flags(self, tmp_path, capsys):
+        from repro.sim.__main__ import main
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        log_path = tmp_path / "log.jsonl"
+        rc = main([
+            "run", "baseline_server", "hmmer_like", "--n", "1500",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+            "--log-json", "--log-file", str(log_path),
+        ])
+        assert rc == 0
+        # --log-json: figure text became JSONL events, stdout is clean
+        assert "IPC" not in capsys.readouterr().out
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        assert any("IPC" in e["event"] for e in events)
+        payload = json.loads(trace_path.read_text())
+        assert obs.validate_trace_events(payload) == []
+        assert any(e["name"] == "cli:run" for e in payload["traceEvents"])
+        snapshot = json.loads(metrics_path.read_text())
+        assert "hierarchy" in snapshot["providers"]
+
+    def test_sim_run_default_output_unchanged(self, capsys):
+        from repro.sim.__main__ import main
+
+        rc = main(["run", "baseline_server", "hmmer_like", "--n", "1500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("hmmer_like on baseline_server:")
+        assert "IPC" in out
+
+    def test_obs_state_restored_after_session(self, tmp_path):
+        from repro.sim.__main__ import main
+
+        main([
+            "run", "baseline_server", "hmmer_like", "--n", "1500",
+            "--trace-out", str(tmp_path / "t.json"), "--log-json",
+        ])
+        assert obs.tracer() is None
+        assert obs.metrics() is obs.NULL_REGISTRY
+        assert not obs.console_json_enabled()
+
+    def test_experiments_cli_progress_and_trace(self, tmp_path, capsys, monkeypatch):
+        import repro.experiments.registry as registry
+
+        # shrink the sweep to two cheap experiments so `all` is fast
+        monkeypatch.setattr(
+            registry, "EXPERIMENTS",
+            {k: registry.EXPERIMENTS[k] for k in ("table1", "table2")},
+        )
+        trace_path = tmp_path / "exp.json"
+        rc = registry.main(["all", "--quick", "--trace-out", str(trace_path)])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "experiments [1/2] table1" in captured.err
+        assert "experiments [2/2] table2" in captured.err
+        payload = json.loads(trace_path.read_text())
+        names = [e["name"] for e in payload["traceEvents"]]
+        assert "experiment:table1" in names
+        assert obs.validate_trace_events(payload) == []
