@@ -13,6 +13,9 @@ so callers (the resilient runner, the experiment CLI, tests) can distinguish
 * :class:`InjectedFault` — raised only by the fault-injection harness
   (:mod:`repro.runner.faultinject`); never seen in production runs.
 * :class:`CheckpointError` — a checkpoint file could not be read/decoded.
+* :class:`WorkerCrashError` / :class:`WorkerOOMError` — a fleet worker
+  *process* died (nonzero exit, signal, OOM-kill) or tripped the parent's
+  RSS guard; raised/recorded only by :mod:`repro.runner.fleet`.
 * :class:`RunFailure` — terminal wrapper raised by the runner once retries
   are exhausted; carries the structured context a failure report needs.
 """
@@ -48,6 +51,34 @@ class InjectedFault(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint/result file is unreadable or has the wrong schema."""
+
+
+class WorkerError(ReproError):
+    """Base class for faults of a fleet worker *process* (not a run)."""
+
+
+class WorkerCrashError(WorkerError):
+    """A worker process died without reporting a result.
+
+    ``exitcode`` follows ``multiprocessing.Process.exitcode`` conventions:
+    positive values are the process exit status, negative values are the
+    signal that killed it (``-9`` with no deadline kill from our side is
+    the signature of the kernel OOM killer).
+    """
+
+    def __init__(self, message: str, *, exitcode: int | None = None) -> None:
+        super().__init__(message)
+        self.exitcode = exitcode
+
+
+class WorkerOOMError(WorkerError):
+    """A worker exceeded the fleet's RSS guard and was killed."""
+
+    def __init__(self, message: str, *, rss_mb: float = 0.0,
+                 limit_mb: float = 0.0) -> None:
+        super().__init__(message)
+        self.rss_mb = rss_mb
+        self.limit_mb = limit_mb
 
 
 class RunFailure(ReproError):

@@ -11,18 +11,33 @@ the full length and reproduces the paper's figures.
 
 Long campaigns run through the resilient runner (:mod:`repro.runner`):
 
+* ``--jobs/-j N`` dispatches runs to N isolated worker subprocesses
+  (:mod:`repro.runner.fleet`); ``0`` means one per CPU.  The default
+  (``1``) is the unchanged serial path.  Parallel results are returned in
+  submission order and checkpointed by the parent, so they are
+  byte-identical to a serial campaign's.
 * ``--checkpoint-dir DIR`` persists every completed ``(config, workload)``
   run as a JSON checkpoint the moment it finishes; with ``--resume`` a rerun
   skips everything already checkpointed.
 * ``--timeout S`` aborts any single run exceeding the wall-clock deadline;
-  ``--retries N`` re-attempts transient per-run failures with backoff.
+  under ``--jobs`` the parent additionally hard-kills workers that blow
+  through it and cannot be stopped cooperatively.  ``--retries N``
+  re-attempts transient per-run failures with backoff.  ``--max-rss-mb M``
+  (parallel only) kills workers whose resident set exceeds the guard.
 * ``--keep-going`` isolates failures: a crashing experiment is recorded in
-  the structured failure report and the remaining experiments still run
-  (the exit code stays nonzero).  ``--failure-report PATH`` writes the
-  report as JSON; it is also embedded in ``--json`` output.
-* ``--inject-fault SPEC`` (testing) deterministically sabotages matching
-  runs — e.g. ``raise:workload=hmmer_like:at=2000`` — so the resilience
-  machinery itself is exercisable end to end.
+  the structured failure report and the remaining experiments still run.
+  ``--failure-report PATH`` writes the report as JSON; it is also embedded
+  in ``--json`` output.
+* ``--inject-fault SPEC`` (testing, repeatable) deterministically sabotages
+  matching runs — e.g. ``raise:workload=hmmer_like:at=2000`` — so the
+  resilience machinery itself is exercisable end to end.  The
+  ``worker-crash``/``worker-hang``/``worker-oom`` kinds take down whole
+  worker processes and therefore require ``--jobs >= 2``.
+
+Exit codes: 0 success; 1 failed (stopped at the first failing experiment);
+3 completed under ``--keep-going`` but with recorded failures;
+130 interrupted (completed runs are checkpointed and, under ``--jobs``, a
+resume manifest is written — rerun with ``--resume``).
 """
 
 from __future__ import annotations
@@ -37,7 +52,9 @@ from ..runner import (
     ExperimentRunner,
     FailureRecord,
     FaultInjector,
+    FleetRunner,
     ResultStore,
+    WORKER_KINDS,
     use_runner,
 )
 from ..sim.serialization import json_default
@@ -94,6 +111,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resil = parser.add_argument_group("resilience (see repro.runner)")
     resil.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="run simulations in N isolated worker processes "
+             "(default 1 = serial in-process; 0 = one per CPU)",
+    )
+    resil.add_argument(
+        "--max-rss-mb", type=float, metavar="M",
+        help="with --jobs: kill any worker whose RSS exceeds M MiB "
+             "(recorded as a WorkerOOMError failure)",
+    )
+    resil.add_argument(
         "--checkpoint-dir", metavar="DIR",
         help="persist each completed (config, workload) run under DIR",
     )
@@ -118,32 +145,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the structured failure report as JSON to PATH",
     )
     resil.add_argument(
-        "--inject-fault", metavar="SPEC",
-        help="testing: deterministically fail matching runs; SPEC is "
-             "kind[:key=value...] with kind raise|corrupt-trace|nan-metrics "
-             "and keys at=, workload=, config=, times=",
+        "--inject-fault", metavar="SPEC", action="append", default=[],
+        help="testing (repeatable): deterministically fail matching runs; "
+             "SPEC is kind[:key=value...] with kind raise|corrupt-trace|"
+             "nan-metrics|worker-crash|worker-hang|worker-oom and keys "
+             "at=, workload=, config=, times= (worker-* kinds need "
+             "--jobs >= 2)",
     )
     obs.add_observability_args(parser)
     return parser
+
+
+#: Exit statuses (0 and 1 keep their historical meaning).
+EXIT_OK = 0
+EXIT_FAILED = 1
+#: Distinct status for "--keep-going finished the campaign, but with
+#: recorded failures" — scripts can tell a partial campaign from a dead one.
+EXIT_COMPLETED_WITH_FAILURES = 3
+#: Interrupted (SIGINT/SIGTERM); matches the shell's 128+SIGINT convention.
+EXIT_INTERRUPTED = 130
 
 
 def make_runner(args: argparse.Namespace) -> ExperimentRunner:
     """Build the runner an invocation's resilience flags describe."""
     if args.resume and not args.checkpoint_dir:
         raise SystemExit("--resume requires --checkpoint-dir")
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be >= 0 (0 = one worker per CPU)")
     store = ResultStore(args.checkpoint_dir, resume=args.resume)
-    kwargs: dict = {}
-    if args.inject_fault:
-        try:
-            injector = FaultInjector.from_spec(args.inject_fault)
-        except ValueError as exc:
-            raise SystemExit(f"--inject-fault: {exc}")
-        kwargs["simulator_factory"] = injector.simulator_factory
-    return ExperimentRunner(
+    try:
+        injectors = [FaultInjector.from_spec(s) for s in args.inject_fault]
+    except ValueError as exc:
+        raise SystemExit(f"--inject-fault: {exc}")
+    parallel = args.jobs != 1
+    if not parallel:
+        for injector in injectors:
+            if injector.kind in WORKER_KINDS:
+                raise SystemExit(
+                    f"--inject-fault {injector.kind} kills a whole process "
+                    f"and needs isolated workers; rerun with --jobs >= 2"
+                )
+        if len(injectors) > 1:
+            raise SystemExit(
+                "multiple --inject-fault specs require --jobs (the serial "
+                "runner takes a single simulator factory)"
+            )
+        if args.max_rss_mb is not None:
+            raise SystemExit("--max-rss-mb requires --jobs (it guards workers)")
+        kwargs: dict = {}
+        if injectors:
+            kwargs["simulator_factory"] = injectors[0].simulator_factory
+        return ExperimentRunner(
+            store,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            **kwargs,
+        )
+    return FleetRunner(
         store,
+        jobs=args.jobs,
         timeout_s=args.timeout,
         retries=args.retries,
-        **kwargs,
+        max_rss_mb=args.max_rss_mb,
+        fault_specs=injectors,
     )
 
 
@@ -171,7 +235,7 @@ def main(argv: list[str] | None = None) -> int:
                     with obs.span(f"experiment:{name}", cat="experiment"):
                         collected[name] = EXPERIMENTS[name].main(quick=args.quick)
                 except KeyboardInterrupt:
-                    raise
+                    return _interrupted(args, collected, failed, runner)
                 except Exception as exc:
                     record = _experiment_failure(
                         name, exc, runner.failures[before:], started
@@ -183,7 +247,7 @@ def main(argv: list[str] | None = None) -> int:
                     )
                     if not args.keep_going:
                         _finish(args, collected, failed, runner)
-                        return 1
+                        return EXIT_FAILED
                 else:
                     if args.render:
                         _render(collected[name])
@@ -191,6 +255,34 @@ def main(argv: list[str] | None = None) -> int:
                     progress.tick(name)
                 obs.console()
         return _finish(args, collected, failed, runner)
+
+
+def _interrupted(
+    args: argparse.Namespace,
+    collected: dict,
+    failed: list[FailureRecord],
+    runner: ExperimentRunner,
+) -> int:
+    """Ctrl-C / SIGTERM: flush what we have and exit 130, resumably."""
+    print("interrupted: stopping campaign", file=sys.stderr)
+    if args.checkpoint_dir:
+        print(
+            f"completed runs are checkpointed under {args.checkpoint_dir}; "
+            f"rerun with --checkpoint-dir {args.checkpoint_dir} --resume "
+            f"to continue",
+            file=sys.stderr,
+        )
+    manifest = getattr(runner, "last_manifest", None)
+    if manifest is not None and args.checkpoint_dir:
+        counts = manifest.get("counts", {})
+        print(
+            f"resume manifest: {counts.get('completed', 0)} completed, "
+            f"{counts.get('failed', 0)} failed, "
+            f"{counts.get('pending', 0)} pending",
+            file=sys.stderr,
+        )
+    _finish(args, collected, failed, runner, interrupted=True)
+    return EXIT_INTERRUPTED
 
 
 def _experiment_failure(
@@ -226,6 +318,8 @@ def _finish(
     collected: dict,
     failed: list[FailureRecord],
     runner: ExperimentRunner,
+    *,
+    interrupted: bool = False,
 ) -> int:
     report = {
         "failures": [record.to_dict() for record in failed],
@@ -240,14 +334,19 @@ def _finish(
         with open(args.failure_report, "w") as fh:
             json.dump(report, fh, indent=2, default=json_default)
         obs.console(f"failure report written to {args.failure_report}")
+    if failed or (interrupted and runner.failures):
+        if args.failure_report:
+            print(f"failure report: {args.failure_report}", file=sys.stderr)
     if failed:
         print(
             f"{len(failed)} experiment(s) failed: "
             + ", ".join(sorted({r.experiment or '?' for r in failed})),
             file=sys.stderr,
         )
-        return 1
-    return 0
+        return (
+            EXIT_COMPLETED_WITH_FAILURES if args.keep_going else EXIT_FAILED
+        )
+    return EXIT_OK
 
 
 def _render(data: dict) -> None:

@@ -9,15 +9,17 @@ a process-local runner with a memory-only store (exactly the old
 :func:`use_runner` for the duration of a campaign.
 
 See :mod:`repro.runner.runner` for the execution semantics,
-:mod:`repro.runner.store` for the checkpoint format and
-:mod:`repro.runner.faultinject` for the testing harness.
+:mod:`repro.runner.store` for the checkpoint format,
+:mod:`repro.runner.fleet` for the process-isolated parallel executor
+(``--jobs N``) and :mod:`repro.runner.faultinject` for the testing harness.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
-from .faultinject import FaultInjector, FaultySimulator
+from .faultinject import FaultInjector, FaultySimulator, WORKER_KINDS
+from .fleet import FleetRunner, FleetStats
 from .runner import (
     Deadline,
     ExperimentRunner,
@@ -62,8 +64,11 @@ __all__ = [
     "FailureRecord",
     "FaultInjector",
     "FaultySimulator",
+    "FleetRunner",
+    "FleetStats",
     "ResultStore",
     "RunnerStats",
+    "WORKER_KINDS",
     "config_fingerprint",
     "get_runner",
     "set_runner",

@@ -13,6 +13,21 @@ mode reproducible on demand by wrapping the real
 * ``nan-metrics`` — let the simulation finish, then poison the returned
   metrics with NaN cycles, exercising the runner's integrity validation.
 
+Three further kinds exercise the *process-level* containment of the fleet
+executor (:mod:`repro.runner.fleet`) and are hard faults by design — they
+take the whole hosting process down, so they must only ever run inside an
+isolated worker (the experiment CLI refuses them without ``--jobs >= 2``):
+
+* ``worker-crash`` — the process dies via ``os._exit`` at the Nth retired
+  instruction, exactly like a segfaulting native extension: no exception,
+  no cleanup, no result message.
+* ``worker-hang`` — the process spins in a sleep loop at the Nth retired
+  instruction, ignoring the cooperative deadline (the hook never returns),
+  so only the parent's hard wall-clock kill can stop it.
+* ``worker-oom`` — the process allocates memory in bounded chunks (up to
+  :data:`OOM_CAP_MB`) and then hangs, tripping the fleet's RSS guard (or,
+  unguarded, its hard deadline).
+
 An injector fires at most ``times`` times (default 1) and only on runs
 matching its ``workload``/``config_substr`` filters, so "fail the first
 attempt, succeed on retry" and "fail one experiment mid-suite" are both a
@@ -23,6 +38,8 @@ one-liner.  Use :meth:`FaultInjector.simulator_factory` as the runner's
 from __future__ import annotations
 
 import dataclasses
+import os
+import time
 from dataclasses import dataclass
 
 from ..errors import InjectedFault
@@ -31,7 +48,20 @@ from ..sim.metrics import RunResult
 from ..sim.simulator import Simulator
 from ..workloads.trace import Instr, Op, Trace
 
-KINDS = ("raise", "corrupt-trace", "nan-metrics")
+#: Fault kinds that kill/stall the hosting *process* — safe only inside an
+#: isolated fleet worker, never on the serial in-process path.
+WORKER_KINDS = ("worker-crash", "worker-hang", "worker-oom")
+
+KINDS = ("raise", "corrupt-trace", "nan-metrics", *WORKER_KINDS)
+
+#: Exit status of a ``worker-crash`` injection (distinctive in reports).
+WORKER_CRASH_EXIT = 41
+
+#: ``worker-oom`` allocation chunk and total ballast cap, in MiB.  The cap
+#: bounds the blast radius when no RSS guard is armed: the injector then
+#: degrades into a hang and the hard deadline reaps it.
+OOM_CHUNK_MB = 32
+OOM_CAP_MB = 512
 
 
 @dataclass
@@ -146,6 +176,10 @@ class FaultySimulator(Simulator):
 
             return super().run(workload, n_instrs, on_instruction=tripwire, **kwargs)
 
+        if inj.kind in WORKER_KINDS:
+            hook = _worker_fault_hook(inj.kind, inj.at_instruction, on_instruction)
+            return super().run(workload, n_instrs, on_instruction=hook, **kwargs)
+
         if inj.kind == "corrupt-trace":
             trace = self._materialize(workload, n_instrs, kwargs.get("warmup", True))
             corrupted = _corrupt_record(trace, inj.at_instruction)
@@ -165,6 +199,52 @@ class FaultySimulator(Simulator):
         spec = get_spec(workload)
         length = n_instrs * spec.length_multiplier
         return build_trace(workload, 2 * length if warmup else length)
+
+
+def _worker_fault_hook(kind: str, target: int, on_instruction):
+    """The ``on_instruction`` hook executing one process-level fault plan.
+
+    These hooks never return once tripped (the process exits, spins or
+    balloons), which is the point: the cooperative deadline is polled from
+    the same simulation loop and therefore cannot fire — only the fleet
+    parent's process-level watchdog can contain them.
+    """
+    if kind == "worker-crash":
+
+        def crash(retired: int) -> None:
+            if retired >= target:
+                os._exit(WORKER_CRASH_EXIT)
+            if on_instruction is not None:
+                on_instruction(retired)
+
+        return crash
+
+    if kind == "worker-hang":
+
+        def hang(retired: int) -> None:
+            if retired >= target:
+                while True:
+                    time.sleep(0.05)
+            if on_instruction is not None:
+                on_instruction(retired)
+
+        return hang
+
+    ballast: list[bytearray] = []
+
+    def oom(retired: int) -> None:
+        if retired >= target:
+            while len(ballast) * OOM_CHUNK_MB < OOM_CAP_MB:
+                # bytearray zero-fills, so every page is touched and the
+                # RSS growth is real, not lazily mapped.
+                ballast.append(bytearray(OOM_CHUNK_MB << 20))
+                time.sleep(0.02)
+            while True:
+                time.sleep(0.05)
+        if on_instruction is not None:
+            on_instruction(retired)
+
+    return oom
 
 
 def _corrupt_record(trace: Trace, index: int) -> Trace:

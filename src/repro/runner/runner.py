@@ -84,17 +84,23 @@ class FailureRecord:
 
 
 class Deadline:
-    """Cooperative wall-clock deadline checked from the simulation loop."""
+    """Cooperative wall-clock deadline checked from the simulation loop.
+
+    The simulator polls it with the retired-instruction index on every step
+    of the warmup and measure loops plus every phase boundary; the clock is
+    consulted every :data:`DEADLINE_CHECK_INTERVAL` retired instructions
+    (an index of 0 — the phase-boundary convention — always checks), so a
+    serial ``--timeout`` fires within a bounded number of instructions, not
+    merely at phase boundaries.
+    """
 
     def __init__(self, timeout_s: float, clock: Callable[[], float]) -> None:
         self.timeout_s = timeout_s
         self._clock = clock
         self._start = clock()
-        self._calls = 0
 
-    def __call__(self, _retired: int) -> None:
-        self._calls += 1
-        if self._calls % DEADLINE_CHECK_INTERVAL:
+    def __call__(self, retired: int) -> None:
+        if retired % DEADLINE_CHECK_INTERVAL:
             return
         elapsed = self._clock() - self._start
         if elapsed > self.timeout_s:
@@ -174,6 +180,10 @@ class ExperimentRunner:
         self.sleep = sleep
         self.stats = RunnerStats()
         self.failures: list[FailureRecord] = []
+        #: Optional per-instruction callable chained into every attempt's
+        #: ``on_instruction`` hook — the fleet worker installs its heartbeat
+        #: here so liveness reporting rides the existing simulator hook.
+        self.instruction_hook: Callable[[int], None] | None = None
 
     # ------------------------------------------------------------- running
 
@@ -251,12 +261,21 @@ class ExperimentRunner:
             if self.timeout_s is not None
             else None
         )
+        # The deadline kwarg is only passed when armed, so simulator doubles
+        # (tests, fault wrappers) without it in their signature keep working
+        # on the timeout-free path.
+        kwargs = {} if deadline is None else {"deadline": deadline}
         with obs.span(
             f"run:{config.name}/{workload}",
             cat="runner",
             args={"config": config.name, "workload": workload, "n": n_instrs},
         ):
-            result = sim.run(workload, n_instrs, on_instruction=_chain(deadline))
+            result = sim.run(
+                workload,
+                n_instrs,
+                on_instruction=_chain(self.instruction_hook),
+                **kwargs,
+            )
         return validate_result(result)
 
     def _fail(

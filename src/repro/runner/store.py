@@ -11,8 +11,10 @@ machines that were merely given the same label do not collide.
 Layout: one JSON file per completed run under ``checkpoint_dir``, written
 atomically (``.tmp`` + ``os.replace``) so an interrupt mid-write never leaves
 a half checkpoint that a later ``--resume`` would trip over.  Unreadable or
-wrong-schema files found while resuming are *skipped and counted*, never
-fatal — a corrupt checkpoint costs one re-simulation, not the campaign.
+wrong-schema files found while resuming are *quarantined* (renamed to
+``*.corrupt`` with a WARNING) and counted, never fatal — a corrupt
+checkpoint costs one re-simulation, not the campaign, and subsequent
+resumes don't re-parse the same broken file.
 """
 
 from __future__ import annotations
@@ -77,6 +79,8 @@ class ResultStore:
         self._fingerprints: dict[SimConfig, str] = {}
         #: Corrupt/wrong-schema checkpoint files skipped during reads.
         self.corrupt_skipped = 0
+        #: Where each corrupt checkpoint was moved (``*.corrupt`` files).
+        self.quarantined: list[Path] = []
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
 
@@ -117,9 +121,11 @@ class ResultStore:
             result = self._read_checkpoint(path, expected_fingerprint=key[0])
         except CheckpointError as exc:
             self.corrupt_skipped += 1
+            moved_to = self._quarantine(path)
             log_event(
-                logger, logging.WARNING, "skipping corrupt checkpoint",
+                logger, logging.WARNING, "quarantined corrupt checkpoint",
                 path=str(path), error=str(exc),
+                moved_to=str(moved_to) if moved_to else None,
             )
             return None
         self._memory[key] = result
@@ -145,6 +151,26 @@ class ResultStore:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload, indent=2) + "\n")
         os.replace(tmp, path)
+
+    def _quarantine(self, path: Path) -> Path | None:
+        """Move a corrupt checkpoint aside so no later resume re-parses it.
+
+        The file is renamed to ``<name>.corrupt`` (numbered on collision);
+        the re-simulated result is then checkpointed under the original
+        name.  A rename failure degrades to the old skip-and-count
+        behaviour rather than aborting the resume.
+        """
+        target = path.with_suffix(path.suffix + ".corrupt")
+        serial = 0
+        while target.exists():
+            serial += 1
+            target = path.with_suffix(f"{path.suffix}.corrupt.{serial}")
+        try:
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined.append(target)
+        return target
 
     def _read_checkpoint(self, path: Path, expected_fingerprint: str) -> RunResult:
         try:

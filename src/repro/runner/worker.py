@@ -1,0 +1,218 @@
+"""Subprocess entry point for the fleet executor (:mod:`repro.runner.fleet`).
+
+Each worker is a plain :class:`~repro.runner.runner.ExperimentRunner` in its
+own process, pulling one job at a time off its private queue and shipping a
+message stream back to the parent:
+
+* ``("done", worker_id, job_index, result_dict, job_stats)`` — a completed
+  run, serialized through :func:`~repro.sim.serialization.result_to_dict`
+  (so ``RunResult.telemetry`` rides along when metrics are enabled).
+* ``("fail", worker_id, job_index, record_dict, job_stats)`` — a contained
+  failure: the worker's runner exhausted its in-process recovery (retry,
+  cooperative deadline, integrity checks) and this is the structured
+  :class:`~repro.runner.runner.FailureRecord`.  The worker itself survives
+  and moves on to its next job.
+* ``("beat", worker_id, job_index, rss_mb)`` — heartbeat emitted from the
+  simulator's per-instruction hook, rate-limited by wall clock; the parent
+  watchdog uses it for liveness and as an RSS fallback where ``/proc`` is
+  unavailable.
+* ``("log", worker_id, payload)`` — structured log events captured from the
+  ``repro`` logger namespace, replayed by the parent with a ``worker=`` tag.
+
+Anything that escapes this protocol — ``os._exit``, a segfault, an OOM
+kill, a hard hang — is by definition a *process-level* fault, detected and
+converted into a failure record by the parent's watchdog, never by code in
+this module.
+
+The worker ignores SIGINT: campaign interruption is the parent's job (it
+decides whether to drain or kill), and a terminal-wide Ctrl-C must not race
+the parent's shutdown by killing workers out from under it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import signal
+import time
+from contextlib import nullcontext
+
+from .. import obs
+from ..obs import get_logger, log_event
+from ..sim.serialization import config_from_dict, result_to_dict
+from ..sim.simulator import Simulator
+from .faultinject import FaultInjector
+from .runner import ExperimentRunner, FailureRecord
+from .store import ResultStore
+
+#: Default seconds between heartbeat messages from a busy worker.
+HEARTBEAT_INTERVAL_S = 0.25
+
+logger = get_logger("runner.worker")
+
+
+def self_rss_mb() -> float | None:
+    """Resident set size of this process in MiB (``None`` if unknowable)."""
+    try:
+        with open("/proc/self/statm") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE") / (1 << 20)
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        # ru_maxrss is KiB on Linux (peak, not current — good enough as a
+        # fallback guard signal).
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    except Exception:
+        return None
+
+
+class Heartbeat:
+    """Per-instruction hook posting rate-limited liveness/RSS messages."""
+
+    def __init__(
+        self,
+        result_q,
+        worker_id: int,
+        job_index: int,
+        interval_s: float = HEARTBEAT_INTERVAL_S,
+        clock=time.monotonic,
+    ) -> None:
+        self._q = result_q
+        self._worker_id = worker_id
+        self._job_index = job_index
+        self._interval = interval_s
+        self._clock = clock
+        self._next = 0.0
+
+    def __call__(self, _retired: int) -> None:
+        now = self._clock()
+        if now < self._next:
+            return
+        self._next = now + self._interval
+        try:
+            self._q.put(("beat", self._worker_id, self._job_index, self_rss_mb()))
+        except Exception:
+            # A dying parent/queue must not crash the simulation mid-run.
+            pass
+
+
+class _ShippingHandler(logging.Handler):
+    """Forwards ``repro`` log records to the parent over the result queue."""
+
+    def __init__(self, result_q, worker_id: int, level: int) -> None:
+        super().__init__(level)
+        self._q = result_q
+        self._worker_id = worker_id
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self._q.put((
+                "log",
+                self._worker_id,
+                {
+                    "level": record.levelno,
+                    "logger": record.name,
+                    "event": record.getMessage(),
+                    "fields": dict(getattr(record, "fields", None) or {}),
+                },
+            ))
+        except Exception:
+            pass
+
+
+def _job_runner(job: dict) -> ExperimentRunner:
+    """The in-worker runner for one job (fresh store: the parent owns disk)."""
+    factory = Simulator
+    fault = job.get("fault")
+    if fault is not None:
+        injector = FaultInjector(
+            kind=fault["kind"], at_instruction=fault["at"], times=1
+        )
+        factory = injector.simulator_factory
+    return ExperimentRunner(
+        ResultStore(),
+        timeout_s=job.get("timeout_s"),
+        retries=job.get("retries", 0),
+        backoff_s=job.get("backoff_s", 0.25),
+        simulator_factory=factory,
+    )
+
+
+def _job_stats(runner: ExperimentRunner) -> dict:
+    """The per-job counter deltas the parent merges into its own stats."""
+    return {
+        "executed": runner.stats.executed,
+        "retries": runner.stats.retries,
+        "timeouts": runner.stats.timeouts,
+    }
+
+
+def _run_one(worker_id: int, job: dict, result_q, init: dict) -> None:
+    index = job["index"]
+    config = config_from_dict(job["config"])
+    runner = _job_runner(job)
+    runner.instruction_hook = Heartbeat(
+        result_q, worker_id, index,
+        interval_s=init.get("heartbeat_s", HEARTBEAT_INTERVAL_S),
+    )
+    metrics_ctx = obs.use_metrics() if init.get("metrics") else nullcontext()
+    try:
+        with metrics_ctx:
+            result = runner.run(config, job["workload"], job["n_instrs"])
+    except BaseException as exc:
+        # Containment boundary: *every* in-process failure — RunFailure,
+        # ConfigError, genuine bugs — becomes a structured record and the
+        # worker lives on.  Process-level faults never reach here.
+        if runner.failures:
+            record = runner.failures[-1]
+        else:
+            record = FailureRecord(
+                config_name=config.name,
+                workload=job["workload"],
+                n_instrs=job["n_instrs"],
+                error_type=type(exc).__name__,
+                message=str(exc),
+                elapsed_s=0.0,
+                attempts=max(1, runner.stats.executed),
+                attempt_errors=[repr(exc)],
+            )
+        result_q.put(("fail", worker_id, index, record.to_dict(), _job_stats(runner)))
+        return
+    result_q.put((
+        "done", worker_id, index, result_to_dict(result), _job_stats(runner),
+    ))
+
+
+def worker_main(worker_id: int, job_q, result_q, init: dict) -> None:
+    """Worker process main loop: pull jobs until the ``None`` sentinel.
+
+    Args:
+        worker_id: parent-assigned id, tagged onto every message.
+        job_q: this worker's private job queue (one in-flight job at a
+            time, so the parent always knows which job a kill abandons).
+        result_q: the shared message stream back to the parent.
+        init: worker settings — ``heartbeat_s``, ``metrics`` (attach
+            telemetry to results) and ``log_level`` (ship log events).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    handler = None
+    if init.get("log_level") is not None:
+        handler = _ShippingHandler(result_q, worker_id, init["log_level"])
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(min(init["log_level"], root.level or init["log_level"]))
+    log_event(logger, logging.DEBUG, "worker online", worker=worker_id,
+              pid=os.getpid())
+    try:
+        while True:
+            job = job_q.get()
+            if job is None:
+                break
+            _run_one(worker_id, job, result_q, init)
+    finally:
+        if handler is not None:
+            logging.getLogger("repro").removeHandler(handler)
+        result_q.close()

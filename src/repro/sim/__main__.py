@@ -47,6 +47,27 @@ def _resolve(name_or_path: str):
     )
 
 
+def _execute_run(sim: Simulator, cfg, args):
+    """One measurement: in-process by default, via the resilient runner
+    when a deadline or worker isolation was requested (output unchanged)."""
+    from ..errors import RunFailure
+
+    if args.jobs == 1 and args.timeout is None:
+        return sim.run(args.workload, args.n)
+    if args.jobs == 1:
+        from ..runner import ExperimentRunner
+
+        runner = ExperimentRunner(timeout_s=args.timeout)
+    else:
+        from ..runner import FleetRunner
+
+        runner = FleetRunner(jobs=args.jobs, timeout_s=args.timeout)
+    try:
+        return runner.run(cfg, args.workload, args.n)
+    except RunFailure as exc:
+        raise SystemExit(f"run failed: {exc}")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro.sim")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -61,6 +82,16 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("config", help="named config or JSON file")
     run.add_argument("workload")
     run.add_argument("--n", type=int, default=40_000)
+    run.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="run in an isolated worker process (any N != 1; crash/hang "
+             "containment via repro.runner.fleet); default 1 = in-process",
+    )
+    run.add_argument(
+        "--timeout", type=float, metavar="S",
+        help="wall-clock deadline in seconds (cooperative; with --jobs the "
+             "parent also hard-kills a hung worker)",
+    )
     obs.add_observability_args(run)
 
     args = parser.parse_args(argv)
@@ -84,7 +115,7 @@ def main(argv: list[str] | None = None) -> int:
                 "cli:run", cat="cli",
                 args={"config": cfg.name, "workload": args.workload},
             ):
-                result = sim.run(args.workload, args.n)
+                result = _execute_run(sim, cfg, args)
             served = {
                 lvl.name: count for lvl, count in result.load_served.items() if count
             }

@@ -79,6 +79,7 @@ class Simulator:
         hierarchy: CacheHierarchy | None = None,
         latency_policy=None,
         on_instruction=None,
+        deadline=None,
     ) -> RunResult:
         """Run one workload on this configuration and return the measurement.
 
@@ -91,9 +92,15 @@ class Simulator:
                 requiring identical cold-start state should pass fresh ones).
             on_instruction: optional callable invoked with the running retired
                 instruction index after each ``core.step`` (warmup included).
-                The resilient runner uses it to enforce wall-clock deadlines
-                and the fault-injection harness to raise at a chosen
+                The fault-injection harness uses it to raise at a chosen
                 instruction; exceptions it raises abort the run.
+            deadline: optional callable invoked with the retired-instruction
+                index alongside ``on_instruction`` *and* at every phase
+                boundary (including right after trace build, which has no
+                per-instruction hook).  Kept separate from ``on_instruction``
+                so a wall-clock deadline still fires when a fault hook
+                replaces or swallows the instruction callback.  Exceptions it
+                raises abort the run.
         """
         registry = obs.metrics()
         clock = time.perf_counter
@@ -115,6 +122,8 @@ class Simulator:
             core = OOOCore(0, hierarchy, self.config.core, engine)
             core.start(trace)
         phase_s["trace_build"] = clock() - t_phase
+        if deadline is not None:
+            deadline(0)
 
         total = len(trace.instrs)
         boundary = total // 2 if warmup else 0
@@ -126,9 +135,13 @@ class Simulator:
                 idx += 1
                 if on_instruction is not None:
                     on_instruction(idx)
+                if deadline is not None:
+                    deadline(idx)
             if warmup:
                 self._reset_all_stats(hierarchy, core, engine)
         phase_s["warmup"] = clock() - t_phase
+        if deadline is not None:
+            deadline(0)
         start_time = core.time
         measured = total - boundary
         t_phase = clock()
@@ -138,6 +151,8 @@ class Simulator:
                 idx += 1
                 if on_instruction is not None:
                     on_instruction(idx)
+                if deadline is not None:
+                    deadline(idx)
         phase_s["measure"] = clock() - t_phase
         t_phase = clock()
         with obs.span("finish"):

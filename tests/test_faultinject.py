@@ -83,6 +83,49 @@ class TestNaNMetrics:
             validate_result(result)
 
 
+class TestWorkerKinds:
+    """The process-killing kinds, tested without killing the test process:
+    spec plumbing and hook construction here; actual containment end to end
+    in ``test_fleet.py``."""
+
+    def test_worker_kinds_are_valid_specs(self):
+        from repro.runner import WORKER_KINDS
+
+        for kind in WORKER_KINDS:
+            injector = FaultInjector.from_spec(f"{kind}:at=500:times=2")
+            assert injector.kind == kind
+            assert injector.at_instruction == 500
+            assert injector.times == 2
+
+    def test_unfired_worker_fault_passes_through(self):
+        injector = FaultInjector(kind="worker-crash", workload="mcf_like")
+        result = injector.simulator_factory(CFG).run("hmmer_like", N)
+        assert result.ipc > 0
+        assert injector.fired == 0
+
+    def test_crash_hook_exits_the_process(self, monkeypatch):
+        from repro.runner.faultinject import WORKER_CRASH_EXIT, _worker_fault_hook
+
+        exits = []
+        monkeypatch.setattr("os._exit", exits.append)
+        hook = _worker_fault_hook("worker-crash", target=100, on_instruction=None)
+        hook(99)
+        assert exits == []
+        hook(100)
+        assert exits == [WORKER_CRASH_EXIT]
+
+    def test_hooks_chain_the_inner_hook_until_tripped(self):
+        from repro.runner.faultinject import _worker_fault_hook
+
+        seen = []
+        hook = _worker_fault_hook(
+            "worker-crash", target=10**9, on_instruction=seen.append
+        )
+        hook(1)
+        hook(2)
+        assert seen == [1, 2]
+
+
 class TestSpecParsing:
     def test_full_spec(self):
         injector = FaultInjector.from_spec(

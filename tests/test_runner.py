@@ -74,7 +74,7 @@ class TestStore:
         fresh.run(CFG, "hmmer_like", N)
         assert fresh.stats.executed == 1
 
-    def test_corrupt_checkpoint_skipped_not_fatal(self, tmp_path):
+    def test_corrupt_checkpoint_quarantined_not_fatal(self, tmp_path):
         store = ResultStore(tmp_path)
         make_runner(store=store).run(CFG, "hmmer_like", N)
         (checkpoint,) = tmp_path.glob("*.json")
@@ -85,6 +85,40 @@ class TestStore:
         runner.run(CFG, "hmmer_like", N)
         assert resumed.corrupt_skipped == 1
         assert runner.stats.executed == 1  # re-simulated, did not crash
+        # The broken file was moved aside, and the re-simulated result was
+        # checkpointed under the original name.
+        (quarantined,) = resumed.quarantined
+        assert quarantined.name == checkpoint.name + ".corrupt"
+        assert quarantined.exists()
+        assert checkpoint.exists()
+        assert "not json" in quarantined.read_text()
+
+    def test_quarantined_checkpoint_not_reparsed_on_next_resume(self, tmp_path):
+        make_runner(store=ResultStore(tmp_path)).run(CFG, "hmmer_like", N)
+        (checkpoint,) = tmp_path.glob("*.json")
+        checkpoint.write_text("{ not json")
+        first = ResultStore(tmp_path, resume=True)
+        make_runner(store=first).run(CFG, "hmmer_like", N)
+        # The repaired checkpoint now serves; the .corrupt file is inert.
+        second = ResultStore(tmp_path, resume=True)
+        runner = make_runner(store=second)
+        runner.run(CFG, "hmmer_like", N)
+        assert second.corrupt_skipped == 0
+        assert runner.stats.store_hits == 1
+
+    def test_quarantine_numbers_colliding_files(self, tmp_path):
+        for _ in range(2):
+            make_runner(store=ResultStore(tmp_path)).run(CFG, "hmmer_like", N)
+            (checkpoint,) = tmp_path.glob("*.json")
+            checkpoint.write_text("{ not json")
+            store = ResultStore(tmp_path, resume=True)
+            make_runner(store=store).run(CFG, "hmmer_like", N)
+            checkpoint.write_text("{ not json")  # corrupt the repair too
+        store = ResultStore(tmp_path, resume=True)
+        make_runner(store=store).run(CFG, "hmmer_like", N)
+        names = sorted(p.name for p in tmp_path.glob("*.corrupt*"))
+        assert len(names) == 3
+        assert names[1].endswith(".corrupt.1") and names[2].endswith(".corrupt.2")
 
     def test_wrong_schema_checkpoint_rejected(self, tmp_path):
         store = ResultStore(tmp_path)
@@ -278,7 +312,8 @@ class TestRegistryCLI:
             "--failure-report", str(report_path),
             "--json", str(json_path),
         ])
-        assert code == 1
+        # Distinct from a dead campaign (1): completed, but with failures.
+        assert code == 3
 
         payload = json.loads(json_path.read_text())
         # expA and expC completed despite expB's mid-suite fault.
@@ -293,7 +328,9 @@ class TestRegistryCLI:
         report = json.loads(report_path.read_text())
         assert report["failures"][0]["experiment"] == "expB"
         assert report["runner"]["stats"]["failures"] == 1
-        assert "expB failed" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "expB failed" in err
+        assert f"failure report: {report_path}" in err
 
     def test_resume_re_simulates_nothing_completed(self, mini_registry, tmp_path):
         registry, captured = mini_registry
@@ -303,7 +340,7 @@ class TestRegistryCLI:
             "--checkpoint-dir", str(ckpt),
             "--inject-fault", self.FAULT,
         ])
-        assert code == 1
+        assert code == 3
         first = captured[-1]
         assert first.stats.completed == 2   # expA + expC checkpointed
 
@@ -343,3 +380,34 @@ class TestRegistryCLI:
         registry, _ = mini_registry
         with pytest.raises(SystemExit):
             registry.main(["expA", "--resume"])
+
+    def test_worker_faults_need_isolated_workers(self, mini_registry):
+        registry, _ = mini_registry
+        with pytest.raises(SystemExit, match="--jobs >= 2"):
+            registry.main(["expA", "--inject-fault", "worker-crash"])
+
+    def test_max_rss_needs_jobs(self, mini_registry):
+        registry, _ = mini_registry
+        with pytest.raises(SystemExit, match="--max-rss-mb requires --jobs"):
+            registry.main(["expA", "--max-rss-mb", "512"])
+
+    def test_multiple_serial_injectors_rejected(self, mini_registry):
+        registry, _ = mini_registry
+        with pytest.raises(SystemExit, match="multiple --inject-fault"):
+            registry.main([
+                "expA",
+                "--inject-fault", self.FAULT,
+                "--inject-fault", "nan-metrics",
+            ])
+
+    def test_parallel_runner_selected_by_jobs(self, mini_registry, tmp_path):
+        from repro.runner import FleetRunner
+
+        registry, captured = mini_registry
+        code = registry.main([
+            "expA", "--quick", "--jobs", "2",
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        ])
+        assert code == 0
+        assert isinstance(captured[-1], FleetRunner)
+        assert captured[-1].stats.completed == 1
