@@ -1,0 +1,258 @@
+#!/usr/bin/env python
+"""Kernel benchmark: golden parity + instructions/second on the fig10 matrix.
+
+Runs every (config, workload) pair of the differential matrix
+(``repro.sim.parity.differential_matrix``) through both simulation kernels —
+the per-instruction *reference* loop and the optimized *fast* span loop —
+asserting byte-identical ``RunResult`` JSON, and records both kernels'
+instructions/second into ``BENCH_kernel.json``.
+
+Two baselines appear in that file:
+
+* ``seed_ips`` — the **pre-optimization tree** (a pristine checkout of the
+  commit before the hot-path PR, pointed at by ``--seed-path`` and timed in
+  a subprocess), which is the baseline the ≥1.5x speedup target is measured
+  against;
+* ``reference_ips`` — the in-tree reference kernel, which shares the
+  optimized cache/DDG/TACT components and differs from ``fast`` only in
+  loop structure.  It is the *parity twin*: byte-identical results are
+  asserted against it, so it isolates how much the span loop itself buys on
+  top of the shared component work.
+
+Exit status is nonzero if any pair diverges (CI runs this as the perf smoke
+job), so a parity break fails the build even though this is "just" a
+benchmark.
+
+Usage::
+
+    python benchmarks/bench_kernel.py                    # parity + i/s
+    git worktree add .bench-seed <pre-PR-commit>
+    python benchmarks/bench_kernel.py --seed-path .bench-seed   # + seed baseline
+
+Not a pytest file on purpose: deterministic rounds per pair, wall-clock
+measured directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sim.parity import compare_kernels, differential_matrix  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_kernel.json"
+#: Matches ``repro.experiments.common.QUICK_TRACE_LENGTH`` — the trace length
+#: the fig10 smoke figures run at.
+DEFAULT_N_INSTRS = 24_000
+
+#: Timing driver executed inside the seed (pre-PR) tree: same methodology as
+#: ``compare_kernels`` — trace prebuilt outside the timed region, fresh
+#: simulator per repeat, minimum wall-clock kept.  Runs as a line-oriented
+#: coprocess so each pair's seed timing happens *back-to-back* with the
+#: in-tree timings (machine-speed drift over a long matrix would otherwise
+#: skew the ratios).
+_SEED_DRIVER = """
+import gc, json, sys, time
+from repro.sim.config import fig10_configs, skylake_server
+from repro.sim.simulator import Simulator
+from repro.workloads.suites import build_trace, get_spec
+
+configs = {c.name: c for c in [skylake_server(), *fig10_configs()]}
+for line in sys.stdin:
+    req = json.loads(line)
+    config = configs[req["config"]]
+    length = req["n_instrs"] * get_spec(req["workload"]).length_multiplier
+    trace = build_trace(req["workload"], 2 * length)
+    best = float("inf")
+    for _ in range(max(1, req["repeats"])):
+        sim = Simulator(config)
+        gc.collect()
+        t0 = time.perf_counter()
+        sim.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    print(json.dumps({"seed_s": best}), flush=True)
+"""
+
+
+class _SeedTimer:
+    """Coprocess handle timing pairs in the pre-PR tree on demand."""
+
+    def __init__(self, seed_path: Path, n_instrs: int, repeats: int) -> None:
+        self.n_instrs = n_instrs
+        self.repeats = repeats
+        env = dict(os.environ, PYTHONPATH=str(seed_path / "src"))
+        self._proc = subprocess.Popen(
+            [sys.executable, "-c", _SEED_DRIVER],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True, env=env,
+        )
+
+    def time_pair(self, config_name: str, workload: str) -> float:
+        req = {
+            "config": config_name, "workload": workload,
+            "n_instrs": self.n_instrs, "repeats": self.repeats,
+        }
+        assert self._proc.stdin is not None and self._proc.stdout is not None
+        self._proc.stdin.write(json.dumps(req) + "\n")
+        self._proc.stdin.flush()
+        line = self._proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"seed driver died (exit {self._proc.poll()})"
+            )
+        return json.loads(line)["seed_s"]
+
+    def close(self) -> None:
+        if self._proc.stdin is not None:
+            self._proc.stdin.close()
+        self._proc.wait(timeout=30)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n-instrs", type=int, default=DEFAULT_N_INSTRS,
+        help="trace length per run (default: the fig10 smoke length)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="*", default=None,
+        help="restrict to these suite workloads (default: all quick)",
+    )
+    parser.add_argument(
+        "--configs", nargs="*", default=None,
+        help="restrict to these config names (default: all fig10 configs)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timed runs per kernel per pair, keeping the minimum (default 2)",
+    )
+    parser.add_argument(
+        "--seed-path", type=Path, default=None,
+        help="checkout of the pre-optimization commit; when given, its "
+        "instructions/second are measured too and recorded as seed_ips",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default: {DEFAULT_OUTPUT.name})",
+    )
+    args = parser.parse_args(argv)
+
+    matrix = differential_matrix(quick=True)
+    if args.workloads:
+        matrix = [(c, w) for c, w in matrix if w in args.workloads]
+    if args.configs:
+        matrix = [(c, w) for c, w in matrix if c.name in args.configs]
+    if not matrix:
+        parser.error("matrix is empty after filtering")
+
+    seed_timer: _SeedTimer | None = None
+    if args.seed_path is not None:
+        if not (args.seed_path / "src" / "repro").is_dir():
+            parser.error(f"{args.seed_path} is not a repro checkout")
+        seed_timer = _SeedTimer(args.seed_path, args.n_instrs, args.repeats)
+
+    pairs = []
+    broken = 0
+    any_seed = False
+    for config, workload in matrix:
+        # Time the seed tree immediately before the in-tree kernels so all
+        # three timings for a pair share the same machine conditions.
+        seed_s = None
+        if seed_timer is not None:
+            seed_s = seed_timer.time_pair(config.name, workload)
+        cmp = compare_kernels(
+            config, workload, args.n_instrs, repeats=args.repeats
+        )
+        row = {
+            "config": cmp.config_name,
+            "workload": cmp.workload,
+            "n_instrs": cmp.n_instrs,
+            "instructions_stepped": cmp.instructions_stepped,
+            "reference_s": round(cmp.reference_s, 4),
+            "fast_s": round(cmp.fast_s, 4),
+            "reference_ips": round(cmp.reference_ips, 1),
+            "fast_ips": round(cmp.fast_ips, 1),
+            "speedup_vs_reference": round(cmp.speedup, 3),
+            "parity": cmp.match,
+        }
+        seed_col = ""
+        if seed_s is not None:
+            any_seed = True
+            row["seed_s"] = round(seed_s, 4)
+            row["seed_ips"] = round(cmp.instructions_stepped / seed_s, 1)
+            row["speedup_vs_seed"] = round(seed_s / cmp.fast_s, 3)
+            seed_col = f"   {row['speedup_vs_seed']:5.2f}x vs seed"
+        pairs.append(row)
+        status = "MATCH" if cmp.match else "DIVERGED"
+        if not cmp.match:
+            broken += 1
+        print(
+            f"{cmp.config_name:>18} {cmp.workload:<15} {status:<8} "
+            f"ref {cmp.reference_ips:>9.0f} i/s   fast {cmp.fast_ips:>9.0f} i/s"
+            f"   {cmp.speedup:5.2f}x{seed_col}",
+            flush=True,
+        )
+    if seed_timer is not None:
+        seed_timer.close()
+
+    def geomean(values) -> float:
+        values = list(values)
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    total_ref_s = sum(p["reference_s"] for p in pairs)
+    total_fast_s = sum(p["fast_s"] for p in pairs)
+    total_stepped = sum(p["instructions_stepped"] for p in pairs)
+    aggregate = {
+        "pairs": len(pairs),
+        "parity": broken == 0,
+        "reference_ips": round(total_stepped / total_ref_s, 1),
+        "fast_ips": round(total_stepped / total_fast_s, 1),
+        "total_speedup_vs_reference": round(total_ref_s / total_fast_s, 3),
+        "geomean_speedup_vs_reference": round(
+            geomean(p["speedup_vs_reference"] for p in pairs), 3
+        ),
+    }
+    if any_seed:
+        total_seed_s = sum(p["seed_s"] for p in pairs)
+        aggregate["seed_ips"] = round(total_stepped / total_seed_s, 1)
+        aggregate["total_speedup_vs_seed"] = round(total_seed_s / total_fast_s, 3)
+        aggregate["geomean_speedup_vs_seed"] = round(
+            geomean(p["speedup_vs_seed"] for p in pairs), 3
+        )
+    report = {
+        "benchmark": "kernel",
+        "n_instrs": args.n_instrs,
+        "aggregate": aggregate,
+        "pairs": pairs,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    line = (
+        f"\naggregate over {len(pairs)} pairs: "
+        f"ref {aggregate['reference_ips']:.0f} i/s -> "
+        f"fast {aggregate['fast_ips']:.0f} i/s "
+        f"({aggregate['geomean_speedup_vs_reference']:.2f}x geomean vs "
+        f"reference kernel"
+    )
+    if any_seed:
+        line += (
+            f"; seed {aggregate['seed_ips']:.0f} i/s, "
+            f"{aggregate['geomean_speedup_vs_seed']:.2f}x geomean vs pre-PR seed"
+        )
+    print(line + f"); parity {'OK' if aggregate['parity'] else 'BROKEN'}")
+    print(f"wrote {args.output}")
+    if broken:
+        print(f"ERROR: {broken} pair(s) diverged from the reference kernel",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

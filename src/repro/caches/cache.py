@@ -131,8 +131,15 @@ class Cache:
 
     def contains(self, line_addr: int) -> bool:
         """True if the line is resident (regardless of fill completion)."""
-        cache_set, tag = self._locate(line_addr)
-        return tag in cache_set
+        # set_index is inlined here and in access/fill: these run once or
+        # more per simulated instruction and the call overhead shows up in
+        # profiles (see benchmarks/bench_kernel.py).
+        if self.hashed_index:
+            h = (line_addr * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            index = ((h >> 24) ^ (h >> 48)) % self.num_sets
+        else:
+            index = line_addr % self.num_sets
+        return line_addr in self._sets[index]
 
     def peek(self, line_addr: int) -> CacheLine | None:
         """Return the resident line without updating replacement state."""
@@ -146,20 +153,26 @@ class Cache:
 
         Stats are updated; dirty bit is set on a write hit.
         """
-        cache_set, tag = self._locate(line_addr)
-        if write:
-            self.stats.writes += 1
+        if self.hashed_index:
+            h = (line_addr * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            index = ((h >> 24) ^ (h >> 48)) % self.num_sets
         else:
-            self.stats.reads += 1
-        line = cache_set.get(tag)
+            index = line_addr % self.num_sets
+        cache_set = self._sets[index]
+        stats = self.stats
+        if write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        line = cache_set.get(line_addr)
         if line is None:
-            self.stats.misses += 1
+            stats.misses += 1
             return None
-        self.stats.hits += 1
+        stats.hits += 1
         if line.ready > now:
-            self.stats.inflight_hits += 1
+            stats.inflight_hits += 1
         if line.prefetched:
-            self.stats.prefetch_useful += 1
+            stats.prefetch_useful += 1
             line.prefetched = False
         if write:
             line.dirty = True
@@ -184,8 +197,14 @@ class Cache:
         ready time is only ever moved *earlier*, never later — a demand fill
         cannot slow down an in-flight prefetch).
         """
-        cache_set, tag = self._locate(line_addr)
-        existing = cache_set.get(tag)
+        if self.hashed_index:
+            h = (line_addr * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+            index = ((h >> 24) ^ (h >> 48)) % self.num_sets
+        else:
+            index = line_addr % self.num_sets
+        cache_set = self._sets[index]
+        stats = self.stats
+        existing = cache_set.get(line_addr)
         if existing is not None:
             existing.ready = min(existing.ready, ready)
             existing.dirty = existing.dirty or dirty
@@ -195,22 +214,23 @@ class Cache:
         if len(cache_set) >= self.assoc:
             vtag = self.policy.victim(cache_set)
             vline = cache_set.pop(vtag)
-            self.stats.evictions += 1
+            stats.evictions += 1
             if vline.dirty:
-                self.stats.dirty_evictions += 1
+                stats.dirty_evictions += 1
             if vline.prefetched:
-                self.stats.prefetch_unused += 1
+                stats.prefetch_unused += 1
             victim = (vtag, vline)
 
         line = CacheLine(
-            tag=tag, ready=ready, dirty=dirty, prefetched=prefetched, pc=pc, src=src
+            tag=line_addr, ready=ready, dirty=dirty, prefetched=prefetched,
+            pc=pc, src=src,
         )
-        cache_set[tag] = line
+        cache_set[line_addr] = line
         self.policy.on_fill(cache_set, line)
-        self.stats.fills += 1
-        self.stats.writes += 1
+        stats.fills += 1
+        stats.writes += 1
         if prefetched:
-            self.stats.prefetch_fills += 1
+            stats.prefetch_fills += 1
         return victim
 
     def invalidate(self, line_addr: int) -> CacheLine | None:

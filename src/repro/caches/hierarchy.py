@@ -62,7 +62,7 @@ class AccessResult:
     inflight: bool = False  #: the line was still being filled when hit
 
 
-@dataclass
+@dataclass(slots=True)
 class HierarchyStats:
     """Per-core demand/prefetch serve counts (loads and code separately)."""
 
@@ -365,22 +365,34 @@ class CacheHierarchy:
         level the fill came from (the load effectively pays that level's
         latency), which is what the criticality detector must see.
         """
+        stats = self.stats[core]
         l1 = self.l1d[core]
         line = l1.access(line_addr, now)
         if line is not None:
-            base, inflight = self._residual(line.ready, now, l1.latency)
+            # _residual and _charge inlined: this is the per-load hot path.
+            lat = l1.latency
+            ready = line.ready
+            if ready > now:
+                inflight = True
+                resid = ready - now
+                if resid > lat:
+                    lat = resid
+            else:
+                inflight = False
             level = Level(line.src) if inflight and line.src else Level.L1
-            lat = self._charge(pc, level, base)
-            self.stats[core].load_served[level] += 1
-            self.stats[core].load_latency_sum += lat
+            if self.latency_policy is not None:
+                lat = self.latency_policy(pc, level, lat)
+            stats.load_served[level] += 1
+            stats.load_latency_sum += lat
             if self._load_lat_hist is not None:
                 self._load_lat_hist.record(lat)
             return AccessResult(lat, level, inflight)
         lat, level, inflight = self._outer_lookup(core, line_addr, now, code=False)
-        lat = self._charge(pc, level, lat)
+        if self.latency_policy is not None:
+            lat = self.latency_policy(pc, level, lat)
         self._l1_fill(l1, core, line_addr, now + lat, pc=pc, src=level)
-        self.stats[core].load_served[level] += 1
-        self.stats[core].load_latency_sum += lat
+        stats.load_served[level] += 1
+        stats.load_latency_sum += lat
         if self._load_lat_hist is not None:
             self._load_lat_hist.record(lat)
         return AccessResult(lat, level, inflight)

@@ -48,7 +48,17 @@ class LRUPolicy:
         line.repl = self._tick()
 
     def victim(self, cache_set) -> int:
-        return min(cache_set, key=lambda tag: cache_set[tag].repl)
+        # Explicit scan instead of min(key=lambda ...): this runs once per
+        # eviction and the lambda allocation/dispatch is measurable in the
+        # kernel benchmark.  Strict < keeps min()'s first-minimal tie-break.
+        best_tag = -1
+        best = None
+        for tag, line in cache_set.items():
+            repl = line.repl
+            if best is None or repl < best:
+                best = repl
+                best_tag = tag
+        return best_tag
 
 
 class MRUInsertLRUPolicy(LRUPolicy):

@@ -82,6 +82,23 @@ class CatchEngine(Engine):
                 cfg.tact,
             )
             core.frontend.on_code_miss = self.tact.on_code_miss
+            # Flatten the per-instruction hook chains: bind the TACT entry
+            # points directly as instance attributes, shadowing the class
+            # methods, so the core dispatches straight into the coordinator
+            # instead of through a forwarding frame on every instruction.
+            self.after_load = self.tact.on_load_execute
+            self.on_execute = self.tact.on_execute
+        if isinstance(self.detector, CriticalityDetector):
+            # Same flattening for retire: graph.add + tick_retire without
+            # the CatchEngine.on_retire -> detector.on_retire frames.
+            graph_add = self.detector.graph.add
+            tick_retire = self.detector.table.tick_retire
+
+            def _retire(record, _add=graph_add, _tick=tick_retire):
+                _add(record)
+                _tick()
+
+            self.on_retire = _retire
         obs.metrics().register_provider(
             f"catch.core{core_id}", self._telemetry_snapshot
         )

@@ -157,7 +157,19 @@ class CriticalLoadTable:
         )
 
 
-def table_area_bytes(entries: int = 32) -> float:
-    """Storage for the critical table: 10 b hash + 2 b confidence + LRU."""
-    lru_bits = 3  # position within an 8-way set
+def table_area_bytes(entries: int = 32, ways: int | None = None) -> float:
+    """Storage for the critical table: 10 b hash + 2 b confidence + LRU.
+
+    The LRU field orders a line's age within its set, so it needs
+    ``ceil(log2(ways))`` bits per entry — 3 bits at the paper's 8-way,
+    32-entry shipping point (Table I: 60 bytes), not a constant 3
+    regardless of geometry.  ``ways`` defaults to ``min(8, entries)``,
+    matching how :class:`~repro.core.criticality.CriticalityDetector`
+    constructs the table for small sensitivity-study capacities.
+    """
+    if ways is None:
+        ways = min(8, entries)
+    if ways < 1 or entries % ways:
+        raise ValueError(f"entries {entries} not divisible by ways {ways}")
+    lru_bits = (ways - 1).bit_length()  # ceil(log2(ways)); 0 for direct-mapped
     return entries * (PC_HASH_BITS + 2 + lru_bits) / 8

@@ -19,9 +19,16 @@ instructions are buffered, enumerating the critical path is a simple
 backwards walk over ``prev`` pointers — no depth-first search.
 
 As in the hardware proposal, execution latencies are quantised (divided by 8,
-5-bit saturating) before being stored as edge weights, and the buffer keeps
-headroom (2.5x vs the 2x walk window) so retirement can continue while a walk
-is in progress.
+5-bit saturating) before being stored as edge weights.  The *hardware* buffer
+is provisioned at ``2.5 x ROB`` so retirement can continue while a walk is in
+progress; this model walks instantaneously at the ``2 x ROB`` window, so the
+buffer never holds more than ``walk_window`` entries and the extra headroom
+exists only in the area accounting (:attr:`BufferedDDG.capacity`,
+:func:`graph_area_bytes`), never as a model-visible overflow path.
+
+The node buffer is preallocated at ``walk_window`` entries and reused across
+windows — the detector runs once per retired instruction, and per-node
+allocation dominated its profile.
 
 Area accounting for Table I is provided by :func:`graph_area_bytes`.
 """
@@ -85,11 +92,10 @@ class _Node:
     c_prev_kind: int = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class DDGStats:
     retired: int = 0
     walks: int = 0
-    overflows: int = 0
     critical_loads_seen: int = 0
     critical_path_nodes: int = 0
 
@@ -98,7 +104,8 @@ class BufferedDDG:
     """Incremental critical-path finder over a sliding retire window.
 
     Args:
-        rob_size: machine ROB depth (walk window = 2x, buffer = 2.5x).
+        rob_size: machine ROB depth (walk window = 2x; the hardware buffer
+            is provisioned at 2.5x, see :attr:`capacity`).
         rename_latency: D-E edge weight.
         on_walk: callback invoked with the list of :class:`CriticalLoad`
             found by each completed walk.
@@ -112,11 +119,21 @@ class BufferedDDG:
     ) -> None:
         self.rob_size = rob_size
         self.walk_window = 2 * rob_size
+        #: Hardware buffer provisioning (2.5 x ROB, Table I): the headroom
+        #: over :attr:`walk_window` absorbs retirement while a hardware walk
+        #: is in progress.  The model's walk is instantaneous, so occupancy
+        #: never exceeds ``walk_window``; this figure feeds area accounting
+        #: only (:func:`graph_area_bytes`).
         self.capacity = int(2.5 * rob_size)
         self.rename_latency = rename_latency
         self.on_walk = on_walk
         self.stats = DDGStats()
-        self._buffer: list[_Node] = []
+        # Preallocated node pool, reused window after window; only the first
+        # _count entries are live.
+        self._buffer: list[_Node] = [
+            _Node(0, 0, False, -1, 0) for _ in range(self.walk_window)
+        ]
+        self._count = 0
         #: dynamic idx of the first instruction in the buffer
         self._base_idx = 0
         self._pending_espec_cost = -1  #: E-D edge: cost at which fetch resumes
@@ -126,64 +143,96 @@ class BufferedDDG:
     def add(self, record: RetireRecord) -> list[CriticalLoad] | None:
         """Buffer one retired instruction; returns walk results when a walk
         completes, else ``None``."""
-        self.stats.retired += 1
+        stats = self.stats
+        stats.retired += 1
         buf = self._buffer
-        pos = len(buf)
+        pos = self._count
         instr = record.instr
-        node = _Node(
-            idx=record.idx,
-            pc=instr.pc,
-            is_load=record.level is not None,
-            level=int(record.level) if record.level is not None else -1,
-            lat_q=quantize_latency(record.exec_lat),
-        )
+        level = record.level
+        node = buf[pos]
+        node.idx = record.idx
+        node.pc = instr.pc
+        if level is not None:
+            node.is_load = True
+            node.level = int(level)
+        else:
+            node.is_load = False
+            node.level = -1
+        lat_q = int(record.exec_lat) >> QUANT_SHIFT  # quantize_latency inline
+        if lat_q > QUANT_MAX:
+            lat_q = QUANT_MAX
+        node.lat_q = lat_q
 
         # ---- D node: D-D, C-D, E-D incoming edges ------------------------
         if pos > 0:
-            prev = buf[pos - 1]
-            node.d_cost = prev.d_cost          # D-D, weight 0
-            node.d_prev, node.d_prev_kind = pos - 1, NodeKind.D
+            d_cost = buf[pos - 1].d_cost       # D-D, weight 0
+            d_prev = pos - 1
+            d_prev_kind = 0                    # NodeKind.D
+        else:
+            d_cost = 0
+            d_prev = -1
+            d_prev_kind = -1
         rob_pos = pos - self.rob_size
-        if rob_pos >= 0 and buf[rob_pos].c_cost > node.d_cost:
-            node.d_cost = buf[rob_pos].c_cost  # C-D, weight 0
-            node.d_prev, node.d_prev_kind = rob_pos, NodeKind.C
-        if self._pending_espec_cost > node.d_cost and pos > 0:
-            node.d_cost = self._pending_espec_cost  # E-D (bad speculation)
-            node.d_prev, node.d_prev_kind = pos - 1, NodeKind.E
+        if rob_pos >= 0:
+            c_cost = buf[rob_pos].c_cost
+            if c_cost > d_cost:
+                d_cost = c_cost               # C-D, weight 0
+                d_prev = rob_pos
+                d_prev_kind = 2                # NodeKind.C
+        pending = self._pending_espec_cost
+        if pending > d_cost and pos > 0:
+            d_cost = pending                   # E-D (bad speculation)
+            d_prev = pos - 1
+            d_prev_kind = 1                    # NodeKind.E
         self._pending_espec_cost = -1
+        node.d_cost = d_cost
+        node.d_prev = d_prev
+        node.d_prev_kind = d_prev_kind
 
         # ---- E node: D-E and E-E incoming edges ---------------------------
-        node.e_cost = node.d_cost + self.rename_latency
-        node.e_prev, node.e_prev_kind = pos, NodeKind.D
+        e_cost = d_cost + self.rename_latency
+        e_prev = pos
+        e_prev_kind = 0                        # NodeKind.D
+        base_idx = self._base_idx
         for producer_idx in record.producers:
-            ppos = producer_idx - self._base_idx
+            ppos = producer_idx - base_idx
             if ppos < 0 or ppos >= pos:
                 continue  # producer retired before this buffer window
             p = buf[ppos]
-            cost = p.e_cost + dequantize(p.lat_q)
-            if cost > node.e_cost:
-                node.e_cost = cost
-                node.e_prev, node.e_prev_kind = ppos, NodeKind.E
+            cost = p.e_cost + (p.lat_q << QUANT_SHIFT)
+            if cost > e_cost:
+                e_cost = cost
+                e_prev = ppos
+                e_prev_kind = 1                # NodeKind.E
+        node.e_cost = e_cost
+        node.e_prev = e_prev
+        node.e_prev_kind = e_prev_kind
 
         # ---- C node: E-C and C-C incoming edges ---------------------------
-        node.c_cost = node.e_cost + dequantize(node.lat_q)
-        node.c_prev, node.c_prev_kind = pos, NodeKind.E
-        if pos > 0 and buf[pos - 1].c_cost > node.c_cost:
-            node.c_cost = buf[pos - 1].c_cost  # C-C, weight 0
-            node.c_prev, node.c_prev_kind = pos - 1, NodeKind.C
+        exec_cycles = lat_q << QUANT_SHIFT
+        c_cost = e_cost + exec_cycles
+        c_prev = pos
+        c_prev_kind = 1                        # NodeKind.E
+        if pos > 0:
+            prev_c = buf[pos - 1].c_cost
+            if prev_c > c_cost:
+                c_cost = prev_c                # C-C, weight 0
+                c_prev = pos - 1
+                c_prev_kind = 2                # NodeKind.C
+        node.c_cost = c_cost
+        node.c_prev = c_prev
+        node.c_prev_kind = c_prev_kind
 
         if record.mispredicted:
-            self._pending_espec_cost = node.e_cost + dequantize(node.lat_q)
+            self._pending_espec_cost = e_cost + exec_cycles
 
-        buf.append(node)
+        pos += 1
+        self._count = pos
 
-        if len(buf) >= self.walk_window:
+        if pos >= self.walk_window:
             result = self.walk()
             self._flush()
             return result
-        if len(buf) >= self.capacity:  # pragma: no cover - capacity > window
-            self.stats.overflows += 1
-            self._flush()
         return None
 
     # ----------------------------------------------------------------- walk
@@ -193,20 +242,22 @@ class BufferedDDG:
 
         Returns the load E-nodes found on the path (most recent first).
         """
-        buf = self._buffer
-        if not buf:
+        count = self._count
+        if not count:
             return []
+        buf = self._buffer
         self.stats.walks += 1
         found: list[CriticalLoad] = []
-        pos = len(buf) - 1
-        kind = NodeKind.C
+        pos = count - 1
+        kind = 2  # NodeKind.C
         steps = 0
-        while pos >= 0 and steps < 3 * len(buf):
+        limit = 3 * count
+        while pos >= 0 and steps < limit:
             steps += 1
             node = buf[pos]
-            if kind == NodeKind.C:
+            if kind == 2:
                 nxt, nxt_kind = node.c_prev, node.c_prev_kind
-            elif kind == NodeKind.E:
+            elif kind == 1:
                 if node.is_load:
                     found.append(
                         CriticalLoad(pc=node.pc, level=node.level, idx=node.idx)
@@ -216,7 +267,7 @@ class BufferedDDG:
                 nxt, nxt_kind = node.d_prev, node.d_prev_kind
             if nxt < 0:
                 break
-            pos, kind = nxt, NodeKind(nxt_kind)
+            pos, kind = nxt, nxt_kind
         self.stats.critical_path_nodes += steps
         self.stats.critical_loads_seen += len(found)
         if self.on_walk is not None:
@@ -225,13 +276,13 @@ class BufferedDDG:
 
     def _flush(self) -> None:
         """Discard the buffered window ("reset the read pointer")."""
-        self._base_idx += len(self._buffer)
-        self._buffer.clear()
+        self._base_idx += self._count
+        self._count = 0
         self._pending_espec_cost = -1
 
     @property
     def buffered(self) -> int:
-        return len(self._buffer)
+        return self._count
 
 
 def graph_area_bytes(rob_size: int = 224) -> dict[str, float]:

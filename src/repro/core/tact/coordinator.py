@@ -26,6 +26,8 @@ from .deep_self import DeepSelfState
 from .feeder import FEEDER_DISTANCE, FeederState, RegisterLoadTracker
 from .trigger_cache import TriggerCache
 
+_OP_LOAD = Op.LOAD
+
 
 @dataclass(frozen=True)
 class TACTConfig:
@@ -129,6 +131,8 @@ class TACTCoordinator:
         self.stats = TACTStats()
         self.trigger_cache = TriggerCache()
         self.reg_tracker = RegisterLoadTracker()
+        self._tracker_on_load = self.reg_tracker.on_load
+        self._tracker_on_other = self.reg_tracker.on_other
         self.code = CodePrefetcher(
             core, hierarchy, predictor, max_lines=self.config.code_runahead_lines
         )
@@ -310,10 +314,11 @@ class TACTCoordinator:
 
     def on_execute(self, instr: Instr, idx: int, now: float) -> None:
         """Register propagation for feeder identification (every instr)."""
-        if instr.op is Op.LOAD:
-            self.reg_tracker.on_load(instr.pc, idx, instr.dst)
+        # Bound methods cached in __init__: this hook runs per instruction.
+        if instr.op is _OP_LOAD:
+            self._tracker_on_load(instr.pc, idx, instr.dst)
         elif instr.dst >= 0:
-            self.reg_tracker.on_other(idx, instr.srcs, instr.dst)
+            self._tracker_on_other(idx, instr.srcs, instr.dst)
 
     # ------------------------------------------------------------- area
 

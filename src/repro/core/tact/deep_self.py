@@ -18,6 +18,10 @@ MAX_DISTANCE = 16
 LENGTH_CAP = 32
 CONFIDENCE_MAX = 3
 
+#: Shared empty result for the (overwhelmingly common) no-prefetch case, so
+#: the per-critical-load hot path allocates nothing when it issues nothing.
+_NO_PREFETCHES: tuple[int, ...] = ()
+
 
 @dataclass(slots=True)
 class DeepSelfState:
@@ -35,9 +39,11 @@ class DeepSelfState:
     safe_length: int = 4       #: learned safe run length (<=32)
     safe_conf: int = 0         #: 2-bit confidence in the safe length
 
-    def observe(self, addr: int) -> list[int]:
-        """Train on a demand access; returns prefetch addresses to issue."""
-        prefetches: list[int] = []
+    def observe(self, addr: int) -> list[int] | tuple[int, ...]:
+        """Train on a demand access; returns prefetch addresses to issue.
+
+        The empty result is a shared immutable tuple — callers only iterate.
+        """
         if self.last_addr >= 0:
             delta = addr - self.last_addr
             if delta == self.stride and delta != 0:
@@ -51,24 +57,39 @@ class DeepSelfState:
                     self.run_length = 1
             else:
                 # Stride broke: fold the observed run into the safe length.
-                self._update_safe_length()
+                # The interval that just established the new stride is the
+                # first interval of the next run, so its count restarts at 1
+                # — exactly like the wraparound branch above — not at 0,
+                # which under-counted every run by one interval and taught
+                # the safe window one short.  A zero delta establishes no
+                # stride, so it contributes no interval.  Only a *confirmed*
+                # run (two or more intervals) trains the safe length: a lone
+                # transition delta — e.g. the jump between two array
+                # segments — is the first interval of a run that never
+                # repeated, and folding it as a run of one would reset the
+                # learning on every segment boundary.
+                if self.run_length > 1:
+                    self._update_safe_length()
                 self.stride = delta
                 self.stride_conf = 0
-                self.run_length = 0
+                self.run_length = 1 if delta else 0
         self.last_addr = addr
         if self.stride_conf >= 2 and self.stride != 0:
-            prefetches.append(addr + self.stride)  # distance 1 (baseline-like)
+            prefetches = [addr + self.stride]  # distance 1 (baseline-like)
             if self.safe_conf >= CONFIDENCE_MAX:
                 if self.safe_length >= LENGTH_CAP:
                     # Saturated safe length: the run is effectively endless
                     # (the counter caps at 32), so the full depth is safe.
                     deep = self.max_distance
                 else:
-                    # Stay within the remaining safe window of this run.
+                    # Stay within the remaining safe window of this run
+                    # (nonpositive once the run outlives what was learned:
+                    # past the safe window, deep prefetch stays off).
                     deep = min(self.max_distance, self.safe_length - self.run_length)
                 if deep > 1:
                     prefetches.append(addr + self.stride * deep)
-        return prefetches
+            return prefetches
+        return _NO_PREFETCHES
 
     def _update_safe_length(self) -> None:
         """Move the safe length toward the just-observed run length."""

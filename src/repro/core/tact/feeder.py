@@ -30,34 +30,52 @@ FEEDER_DISTANCE = 4
 
 
 class RegisterLoadTracker:
-    """Youngest-load-PC propagation through the architectural registers."""
+    """Youngest-load-PC propagation through the architectural registers.
+
+    ``on_load``/``on_other`` run once per simulated instruction, so the
+    per-register state lives in two parallel int arrays (PC and dynamic
+    index) instead of allocating a ``(pc, idx)`` tuple per update; the
+    youngest entry is still selected by dynamic index alone.
+    """
+
+    __slots__ = ("_pc", "_idx")
 
     def __init__(self) -> None:
-        # (pc, dynamic_idx) per register; idx breaks ties by youth.
-        self._youngest: list[tuple[int, int]] = [(-1, -1)] * NUM_ARCH_REGS
+        self._pc = [-1] * NUM_ARCH_REGS
+        self._idx = [-1] * NUM_ARCH_REGS
 
     def on_load(self, pc: int, idx: int, dst: int) -> None:
         if dst >= 0:
-            self._youngest[dst] = (pc, idx)
+            self._pc[dst] = pc
+            self._idx[dst] = idx
 
     def on_other(self, idx: int, srcs: tuple[int, ...], dst: int) -> None:
         if dst < 0:
             return
-        best = (-1, -1)
+        pcs = self._pc
+        idxs = self._idx
+        best_pc = -1
+        best_idx = -1
         for src in srcs:
-            cand = self._youngest[src]
-            if cand[1] > best[1]:
-                best = cand
-        self._youngest[dst] = best
+            cand_idx = idxs[src]
+            if cand_idx > best_idx:
+                best_idx = cand_idx
+                best_pc = pcs[src]
+        pcs[dst] = best_pc
+        idxs[dst] = best_idx
 
     def feeder_for(self, srcs: tuple[int, ...], exclude_idx: int) -> int:
         """Youngest load PC feeding any of ``srcs`` (its PC, or -1)."""
-        best = (-1, -1)
+        pcs = self._pc
+        idxs = self._idx
+        best_pc = -1
+        best_idx = -1
         for src in srcs:
-            cand = self._youngest[src]
-            if cand[1] > best[1] and cand[1] != exclude_idx:
-                best = cand
-        return best[0]
+            cand_idx = idxs[src]
+            if cand_idx > best_idx and cand_idx != exclude_idx:
+                best_idx = cand_idx
+                best_pc = pcs[src]
+        return best_pc
 
 
 @dataclass(slots=True)

@@ -28,10 +28,23 @@ from dataclasses import dataclass, field
 from .. import obs
 from ..caches.hierarchy import CacheHierarchy, Level
 from ..caches.prefetchers import L1StridePrefetcher, L2StreamPrefetcher
-from ..workloads.trace import EXEC_LATENCY, NUM_ARCH_REGS, Instr, Op, Trace
+from ..workloads.trace import (
+    EXEC_LATENCY,
+    LINE_SHIFT,
+    NUM_ARCH_REGS,
+    Instr,
+    Op,
+    Trace,
+)
 from .branch import GshareBranchPredictor
 from .engine import Engine, RetireRecord
 from .frontend import FrontEnd
+
+#: Retired-instruction stride between deadline polls in :meth:`OOOCore.run_span`.
+#: Matches the runner's ``Deadline``, which ignores every index that is not a
+#: multiple of its own check interval — so polling only on these strides is
+#: observationally identical to the seed's per-instruction polling.
+DEADLINE_POLL_STRIDE = 256
 
 
 @dataclass(frozen=True)
@@ -273,6 +286,260 @@ class OOOCore:
             )
         )
         return c
+
+    def run_span(
+        self,
+        instrs,
+        start_idx: int,
+        *,
+        on_instruction=None,
+        deadline=None,
+    ) -> int:
+        """Step a span of instructions through the optimized kernel loop.
+
+        Semantically identical to calling :meth:`step` once per instruction
+        (that per-instruction loop remains the *reference kernel* guarded by
+        ``tests/test_golden_parity.py``), but with every attribute, bound
+        method and constant hoisted out of the loop, engine hooks that are
+        still the :class:`Engine` no-ops skipped entirely (including the
+        :class:`RetireRecord` allocation when nothing consumes it), and the
+        deadline polled every :data:`DEADLINE_POLL_STRIDE` instructions —
+        the stride the runner's ``Deadline`` checks anyway.
+
+        ``on_instruction`` stays per-instruction: fault injection raises at
+        an exact index and the fleet heartbeat rides it.
+
+        Timing state is written back even when a hook raises (``finally``),
+        so an aborted run leaves the core exactly where :meth:`step` would.
+        Engines must not read core timing state mid-span (none do; the
+        reference kernel remains available for engines that need to).
+
+        Args:
+            instrs: the instructions to step, in program order.
+            start_idx: dynamic index of the first instruction in ``instrs``.
+
+        Returns:
+            The dynamic index after the last stepped instruction.
+        """
+        p = self.params
+        rob_size = p.rob_size
+        width = p.width
+        rename_latency = p.rename_latency
+        mispredict_penalty = p.mispredict_penalty
+        core_id = self.core_id
+
+        e_time = self._e_time
+        lat_arr = self._lat
+        e_append = e_time.append
+        lat_append = lat_arr.append
+        c_ring = self._c_ring
+        reg_writer = self._reg_writer
+        mem_writer = self._mem_writer
+        mem_writer_get = mem_writer.get
+
+        last_d = self._last_d
+        last_c = self._last_c
+        d_cycle = self._d_cycle
+        d_count = self._d_count
+        c_cycle = self._c_cycle
+        c_count = self._c_count
+        redirect = self._redirect
+        mispredicts = self._mispredicts
+
+        frontend = self.frontend
+        fetch_time = frontend.fetch_time
+        frontend_redirect = frontend.redirect
+        hier_load = self.hierarchy.load
+        hier_store = self.hierarchy.store
+        predict_and_update = self.predictor.predict_and_update
+        stride_train = (
+            self.stride_pf.train if self.stride_pf is not None else None
+        )
+        stream_train = (
+            self.stream_pf.train if self.stream_pf is not None else None
+        )
+
+        # An engine hook is "live" only if it is not the Engine base-class
+        # no-op.  Instance-attribute hooks (no ``__func__``) are conservatively
+        # treated as live, so monkeypatched engines keep working.
+        engine = self.engine
+
+        def _live(name: str):
+            hook = getattr(engine, name)
+            if getattr(hook, "__func__", None) is getattr(Engine, name):
+                return None
+            return hook
+
+        before_load = _live("before_load")
+        after_load = _live("after_load")
+        on_execute = _live("on_execute")
+        on_retire = _live("on_retire")
+
+        op_load = Op.LOAD
+        op_store = Op.STORE
+        op_branch = Op.BRANCH
+        level_l1 = Level.L1
+        exec_lat = {op: float(lat) for op, lat in EXEC_LATENCY.items()}
+        store_lat = exec_lat[op_store]
+        branch_lat = exec_lat[op_branch]
+        line_shift = LINE_SHIFT
+        poll = DEADLINE_POLL_STRIDE
+
+        idx = start_idx
+        producers: list[int] = []
+        try:
+            for instr in instrs:
+                # ---- Dispatch (D node) ----------------------------------
+                pipeline_time = last_d if last_d >= redirect else redirect
+                fetch_ready = fetch_time(idx, instr, pipeline_time)
+                d = last_d
+                if fetch_ready > d:
+                    d = fetch_ready
+                if redirect > d:
+                    d = redirect
+                ring_pos = idx % rob_size
+                if idx >= rob_size:
+                    cd = c_ring[ring_pos]  # C-D edge (ROB full)
+                    if cd > d:
+                        d = cd
+                cyc = int(d)
+                if cyc == d_cycle:
+                    if d_count >= width:
+                        cyc += 1
+                        d = float(cyc)
+                        d_cycle = cyc
+                        d_count = 1
+                    else:
+                        d_count += 1
+                else:
+                    d_cycle = cyc
+                    d_count = 1
+                last_d = d
+
+                # ---- Execute (E node) -----------------------------------
+                e = d + rename_latency
+                op = instr.op
+                if on_retire is not None:
+                    producers = []
+                    for src in instr.srcs:
+                        widx = reg_writer[src]
+                        if widx >= 0:
+                            producers.append(widx)
+                            t = e_time[widx] + lat_arr[widx]
+                            if t > e:
+                                e = t
+                    if op is op_load:
+                        sidx = mem_writer_get(instr.addr, -1)
+                        if sidx >= 0:
+                            producers.append(sidx)
+                            t = e_time[sidx] + lat_arr[sidx]
+                            if t > e:
+                                e = t
+                else:
+                    for src in instr.srcs:
+                        widx = reg_writer[src]
+                        if widx >= 0:
+                            t = e_time[widx] + lat_arr[widx]
+                            if t > e:
+                                e = t
+                    if op is op_load:
+                        sidx = mem_writer_get(instr.addr, -1)
+                        if sidx >= 0:
+                            t = e_time[sidx] + lat_arr[sidx]
+                            if t > e:
+                                e = t
+
+                # ---- Execution latency ----------------------------------
+                level = None
+                mispredicted = False
+                if op is op_load:
+                    addr = instr.addr
+                    line = addr >> line_shift if addr >= 0 else -1
+                    if before_load is not None:
+                        before_load(instr, idx, e)
+                    result = hier_load(core_id, instr.pc, line, e)
+                    lat = result.latency
+                    level = result.level
+                    if stride_train is not None:
+                        stride_train(instr.pc, addr, e)
+                    if level is not level_l1 and stream_train is not None:
+                        stream_train(line, e)
+                    if after_load is not None:
+                        after_load(instr, idx, e, result)
+                elif op is op_store:
+                    lat = store_lat
+                    addr = instr.addr
+                    line = addr >> line_shift if addr >= 0 else -1
+                    hier_store(core_id, instr.pc, line, e)
+                    mem_writer[addr] = idx
+                elif op is op_branch:
+                    lat = branch_lat
+                    mispredicted = predict_and_update(
+                        instr.pc, instr.taken, instr.target
+                    )
+                    if mispredicted:
+                        mispredicts += 1
+                        resume = e + lat + mispredict_penalty  # E-D edge
+                        if resume > redirect:
+                            redirect = resume
+                        frontend_redirect(resume)
+                else:
+                    lat = exec_lat[op]
+
+                if on_execute is not None:
+                    on_execute(instr, idx, e)
+                dst = instr.dst
+                if dst >= 0:
+                    reg_writer[dst] = idx
+                e_append(e)
+                lat_append(lat)
+
+                # ---- Commit (C node) ------------------------------------
+                c = e + lat
+                if last_c > c:
+                    c = last_c
+                cyc = int(c)
+                if cyc == c_cycle:
+                    if c_count >= width:
+                        cyc += 1
+                        c = float(cyc)
+                        c_cycle = cyc
+                        c_count = 1
+                    else:
+                        c_count += 1
+                else:
+                    c_cycle = cyc
+                    c_count = 1
+                last_c = c
+                c_ring[ring_pos] = c
+
+                if on_retire is not None:
+                    on_retire(
+                        RetireRecord(
+                            idx=idx,
+                            instr=instr,
+                            exec_lat=lat,
+                            producers=tuple(producers),
+                            level=level,
+                            mispredicted=mispredicted,
+                            e_time=e,
+                        )
+                    )
+                idx += 1
+                if on_instruction is not None:
+                    on_instruction(idx)
+                if deadline is not None and not idx % poll:
+                    deadline(idx)
+        finally:
+            self._last_d = last_d
+            self._last_c = last_c
+            self._d_cycle = d_cycle
+            self._d_count = d_count
+            self._c_cycle = c_cycle
+            self._c_count = c_count
+            self._redirect = redirect
+            self._mispredicts = mispredicts
+        return idx
 
     def finish(self, n_instructions: int) -> CoreResult:
         """Collect results after the last instruction has stepped."""

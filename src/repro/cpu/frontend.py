@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..caches.hierarchy import CacheHierarchy, Level
-from ..workloads.trace import Instr
+from ..workloads.trace import LINE_SHIFT, Instr
 
 
 class FrontEnd:
@@ -56,18 +56,20 @@ class FrontEnd:
                 accesses are timed against it (fetch runs just ahead of
                 dispatch in a balanced pipeline).
         """
-        t = max(self._ready, pipeline_time)
+        ready = self._ready
+        t = ready if ready >= pipeline_time else pipeline_time
         if self.perfect_code:
             self._ready = t
             return t
-        line = instr.code_line
+        line = instr.pc >> LINE_SHIFT  # Instr.code_line, sans property call
         if line != self._current_line:
-            result = self.hierarchy.code_fetch(self.core, line, t)
+            hierarchy = self.hierarchy
+            result = hierarchy.code_fetch(self.core, line, t)
             # Baseline next-line instruction prefetch (standard in modern
             # front ends): sequential fetch within a block never stalls twice.
-            self.hierarchy.prefetch_l1(self.core, line + 1, t, code=True)
+            hierarchy.prefetch_l1(self.core, line + 1, t, code=True)
             self._current_line = line
-            hit_lat = self.hierarchy.l1i[self.core].latency
+            hit_lat = hierarchy.l1i[self.core].latency
             if result.level is not Level.L1:
                 stall = result.latency
             elif result.inflight:

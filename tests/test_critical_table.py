@@ -106,3 +106,29 @@ class TestEpoch:
 
 def test_area_small():
     assert table_area_bytes(32) < 100  # a few dozen bytes
+
+
+class TestTableArea:
+    def test_table1_shipping_point(self):
+        """Table I: 32 entries x (10 b hash + 2 b conf + 3 b LRU) = 60 B."""
+        assert table_area_bytes(32) == 60.0
+        assert table_area_bytes(32, ways=8) == 60.0
+
+    def test_lru_bits_follow_way_count(self):
+        # ceil(log2(ways)) bits of LRU state per entry, not a constant 3.
+        assert table_area_bytes(32, ways=4) == 32 * (10 + 2 + 2) / 8
+        assert table_area_bytes(32, ways=2) == 32 * (10 + 2 + 1) / 8
+        assert table_area_bytes(32, ways=1) == 32 * (10 + 2) / 8  # direct-mapped
+        assert table_area_bytes(64, ways=16) == 64 * (10 + 2 + 4) / 8
+
+    def test_default_ways_match_detector_construction(self):
+        # CriticalityDetector builds the table with ways=min(8, entries);
+        # small sensitivity-study capacities become fully associative.
+        assert table_area_bytes(4) == table_area_bytes(4, ways=4)
+        assert table_area_bytes(8) == table_area_bytes(8, ways=8)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            table_area_bytes(32, ways=5)
+        with pytest.raises(ValueError):
+            table_area_bytes(32, ways=0)

@@ -151,6 +151,20 @@ class TestWalk:
         g.add(record(8, lat=1, producers=(3,)))
         assert g._buffer[0].e_cost == g._buffer[0].d_cost + 1
 
+    def test_occupancy_never_exceeds_walk_window(self):
+        """The model walks instantaneously at ``walk_window``, so the 2.5x
+        hardware headroom (:attr:`BufferedDDG.capacity`) is area accounting
+        only — there is no reachable overflow path."""
+        g = BufferedDDG(rob_size=4)
+        assert g.capacity > g.walk_window  # headroom exists on paper...
+        peak = 0
+        for i in range(5 * g.walk_window + 3):
+            g.add(record(i, lat=1))
+            peak = max(peak, g.buffered)
+        assert peak == g.walk_window - 1  # ...but occupancy never uses it
+        assert g.stats.walks == 5
+        assert not hasattr(g.stats, "overflows")  # dead counter removed
+
 
 class TestArea:
     def test_matches_paper_scale(self):

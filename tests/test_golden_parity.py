@@ -1,0 +1,190 @@
+"""Golden-parity differential harness (tier-1 gate for the fast kernel).
+
+The optimized span kernel must produce *byte-identical* ``RunResult`` JSON
+to the seed-equivalent per-instruction reference loop on every pair of the
+fig10 differential matrix — the contract documented in README.md's
+Performance section.  These tests run a reduced matrix (every config, two
+workloads, short traces); ``benchmarks/bench_kernel.py`` runs the full one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import RunTimeoutError
+from repro.runner.runner import DEADLINE_CHECK_INTERVAL, Deadline
+from repro.runner.store import ResultStore
+from repro.sim.config import skylake_server
+from repro.sim.parity import (
+    canonical_result_json,
+    compare_kernels,
+    differential_matrix,
+)
+from repro.sim.simulator import KERNELS, Simulator
+
+SMOKE_WORKLOADS = ("mcf_like", "tpcc_like")
+SMOKE_PAIRS = [
+    (config, workload)
+    for config, workload in differential_matrix(quick=True)
+    if workload in SMOKE_WORKLOADS
+]
+
+
+def _first_diff(a: str, b: str) -> str:
+    for i, (ca, cb) in enumerate(zip(a, b)):
+        if ca != cb:
+            return f"first diff at char {i}: ...{a[i:i + 60]!r} vs ...{b[i:i + 60]!r}"
+    return f"length mismatch: {len(a)} vs {len(b)}"
+
+
+class TestMatrixParity:
+    @pytest.mark.parametrize(
+        "config, workload",
+        SMOKE_PAIRS,
+        ids=[f"{c.name}-{w}" for c, w in SMOKE_PAIRS],
+    )
+    def test_byte_identical_across_matrix(self, config, workload):
+        cmp = compare_kernels(config, workload, 4000)
+        assert cmp.match, (
+            f"{config.name}/{workload}: kernel divergence — "
+            + _first_diff(cmp.reference_json, cmp.fast_json)
+        )
+
+    def test_parity_without_warmup(self):
+        cmp = compare_kernels(skylake_server(), "hmmer_like", 3000, warmup=False)
+        assert cmp.match, _first_diff(cmp.reference_json, cmp.fast_json)
+
+    def test_parity_with_latency_policy(self):
+        """The hierarchy's latency_policy hook runs inside the inlined hit
+        path; parity must hold with it installed."""
+
+        def tax(pc, level, latency):
+            return latency + 2.0
+
+        results = {}
+        for kernel in KERNELS:
+            sim = Simulator(skylake_server())
+            results[kernel] = sim.run(
+                "mcf_like", 3000, latency_policy=tax, kernel=kernel
+            )
+        ref = canonical_result_json(results["reference"])
+        fast = canonical_result_json(results["fast"])
+        assert ref == fast, _first_diff(ref, fast)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Simulator(skylake_server()).run("mcf_like", 1000, kernel="turbo")
+
+
+class TestHookSemantics:
+    """The fast kernel must keep the per-instruction hook contract."""
+
+    def test_on_instruction_counts_match(self):
+        counts = {}
+        for kernel in KERNELS:
+            seen = []
+            Simulator(skylake_server()).run(
+                "hmmer_like", 1500, on_instruction=seen.append, kernel=kernel
+            )
+            counts[kernel] = seen
+        assert counts["fast"] == counts["reference"]
+        assert counts["fast"][0] == 1  # called after every instruction, from 1
+        assert counts["fast"] == list(range(1, len(counts["fast"]) + 1))
+
+    def test_on_instruction_aborts_at_exact_index(self):
+        class Boom(Exception):
+            pass
+
+        for kernel in KERNELS:
+            seen = []
+
+            def hook(idx):
+                seen.append(idx)
+                if idx == 100:
+                    raise Boom
+
+            with pytest.raises(Boom):
+                Simulator(skylake_server()).run(
+                    "hmmer_like", 1500, on_instruction=hook, kernel=kernel
+                )
+            assert seen[-1] == 100 and len(seen) == 100, kernel
+
+    def test_fast_kernel_polls_deadline_on_stride(self):
+        seen = []
+        Simulator(skylake_server()).run(
+            "hmmer_like", 1500, warmup=False, deadline=seen.append,
+            kernel="fast",
+        )
+        assert 0 in seen  # phase boundaries always notify
+        nonzero = [i for i in seen if i]
+        assert nonzero, "deadline never polled mid-span"
+        assert all(i % DEADLINE_CHECK_INTERVAL == 0 for i in nonzero)
+
+    def test_reference_kernel_polls_deadline_every_instruction(self):
+        seen = []
+        Simulator(skylake_server()).run(
+            "hmmer_like", 1500, warmup=False, deadline=seen.append,
+            kernel="reference",
+        )
+        nonzero = [i for i in seen if i]
+        assert len(nonzero) >= 1500  # one call per stepped instruction
+
+    def test_runner_deadline_fires_under_fast_kernel(self):
+        """A wall-clock ``Deadline`` must still abort a fast-kernel run
+        mid-span, not merely at phase boundaries."""
+        t = 0.0
+
+        def fake_clock():
+            nonlocal t
+            t += 0.3
+            return t
+
+        deadline = Deadline(1.0, fake_clock)
+        with pytest.raises(RunTimeoutError):
+            Simulator(skylake_server()).run(
+                "hmmer_like", 2000, warmup=False, deadline=deadline,
+                kernel="fast",
+            )
+
+
+class TestCheckpointTelemetryParity:
+    """Satellite: telemetry-carrying and telemetry-free checkpoints must
+    round-trip through ``ResultStore`` and compare equal under the parity
+    comparator (telemetry is presentation, never measurement)."""
+
+    def test_round_trip_compares_equal(self, tmp_path):
+        cfg = skylake_server()
+        with obs.use_metrics():
+            with_telemetry = Simulator(cfg).run("hmmer_like", 1500)
+        plain = Simulator(cfg).run("hmmer_like", 1500)
+        assert with_telemetry.telemetry is not None
+        assert plain.telemetry is None
+
+        restored = {}
+        for label, result in (("t", with_telemetry), ("p", plain)):
+            store = ResultStore(tmp_path / label)
+            store.put(cfg, "hmmer_like", 1500, result)
+            reader = ResultStore(tmp_path / label, resume=True)
+            restored[label] = reader.get(cfg, "hmmer_like", 1500)
+        assert restored["t"] is not None and restored["p"] is not None
+
+        # Telemetry survives its own round trip...
+        assert restored["t"].telemetry == with_telemetry.telemetry
+        # ...but the comparator sees both checkpoints as the same run.
+        jsons = {
+            canonical_result_json(restored["t"]),
+            canonical_result_json(restored["p"]),
+            canonical_result_json(with_telemetry),
+            canonical_result_json(plain),
+        }
+        assert len(jsons) == 1, jsons
+
+    def test_comparator_distinguishes_telemetry_when_asked(self, tmp_path):
+        cfg = skylake_server()
+        with obs.use_metrics():
+            with_telemetry = Simulator(cfg).run("hmmer_like", 1500)
+        plain = Simulator(cfg).run("hmmer_like", 1500)
+        assert canonical_result_json(
+            with_telemetry, include_telemetry=True
+        ) != canonical_result_json(plain, include_telemetry=True)

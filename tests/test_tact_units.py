@@ -47,8 +47,8 @@ class TestTriggerCache:
 class TestDeepSelf:
     def test_no_prefetch_before_confidence(self):
         s = DeepSelfState()
-        assert s.observe(0x1000) == []
-        assert s.observe(0x1040) == []
+        assert not s.observe(0x1000)
+        assert not s.observe(0x1040)
 
     def test_distance_one_after_stride_learned(self):
         s = DeepSelfState()
@@ -75,16 +75,73 @@ class TestDeepSelf:
         rng = random.Random(5)
         s = DeepSelfState()
         for _ in range(100):
-            assert s.observe(rng.randrange(1 << 20) * 64) == []
+            assert not s.observe(rng.randrange(1 << 20) * 64)
 
-    def test_stride_break_resets_run(self):
+    def test_stride_break_restarts_run_at_one(self):
+        """The interval that establishes the new stride is the first interval
+        of the new run (the old accounting restarted at 0, under-counting
+        every run by one and teaching the safe window one short)."""
         s = DeepSelfState()
         addr = 0x1000
         for _ in range(10):
             s.observe(addr)
             addr += 64
-        s.observe(0x900000)  # break
+        s.observe(0x900000)  # break: one interval of the new (huge) stride
+        assert s.run_length == 1
+
+    def test_zero_delta_establishes_no_interval(self):
+        s = DeepSelfState()
+        s.observe(0x1000)
+        s.observe(0x1040)
+        assert s.run_length == 1
+        s.observe(0x1040)  # same address: no stride, no interval
         assert s.run_length == 0
+
+    def test_break_folds_true_interval_count_into_safe_length(self):
+        """Runs of K accesses have K-1 same-stride intervals; the fold must
+        see that true count (the old accounting under-counted by one, and
+        the segment-boundary jump used to fold as a bogus run of one that
+        reset the learning every segment)."""
+        s = DeepSelfState()
+        for rep in range(40):
+            base = rep * (1 << 20)
+            for k in range(6):  # 5 intra-run intervals per segment
+                s.observe(base + k * 64)
+        # The ratchet in _update_safe_length settles one beyond the observed
+        # run (probing for longer runs): 5 true intervals -> safe length 6.
+        assert s.safe_length == 6
+        assert s.safe_conf == 3
+
+    def test_run_accounting_across_break_and_relearn(self):
+        s = DeepSelfState()
+        addr = 0x1000
+        for _ in range(10):
+            s.observe(addr)
+            addr += 64
+        s.observe(0x900000)          # break; run restarts at 1
+        assert s.run_length == 1 and s.stride_conf == 0
+        out = s.observe(0x900000 + 64)   # new stride's first repeat
+        assert s.run_length == 1 and not out  # conf 0 -> no prefetch yet
+        s.observe(0x900000 + 128)
+        out = s.observe(0x900000 + 192)
+        assert s.run_length == 3
+        assert 0x900000 + 256 in out  # distance-1 resumes once conf >= 2
+
+    def test_length_cap_wraparound_restarts_at_one(self):
+        """A capped run folds into the safe length and restarts its counter
+        at 1 — the same accounting as a stride break."""
+        s = DeepSelfState()
+        addr = 0
+        for i in range(LENGTH_CAP + 1):  # run_length reaches the cap
+            s.observe(addr)
+            addr += 64
+        assert s.run_length == LENGTH_CAP
+        s.observe(addr)  # wraparound: fold + restart
+        assert s.run_length == 1
+        assert s.safe_length == LENGTH_CAP
+        assert s.safe_conf == 1
+        s.observe(addr + 64)
+        assert s.run_length == 2
 
     def test_safe_length_capped(self):
         s = DeepSelfState()
