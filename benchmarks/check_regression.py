@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Gate a fresh kernel-benchmark report against the committed baseline.
+
+CI runs ``bench_kernel.py`` (which already fails on any golden-parity break)
+and then this checker, which compares the fresh ``BENCH_kernel.json``-shaped
+report against the baseline committed at the repo root:
+
+* **parity** — the fresh report must say every pair was byte-identical
+  across kernels, and so must the baseline (a committed report with broken
+  parity would make the gate vacuous);
+* **throughput** — the fast kernel's instructions/second, *normalized by
+  the same run's reference kernel* (``geomean_speedup_vs_reference``), must
+  not regress more than ``--tolerance`` below the committed value.
+
+The normalized ratio is what makes the gate portable: raw i/s depends on
+the CI machine, but both kernels run back-to-back in the same job, so their
+ratio cancels machine speed and measures only what a code change did to the
+span loop relative to the reference loop.  The raw ``fast_ips`` numbers are
+printed for context but never gate.
+
+Usage::
+
+    python benchmarks/bench_kernel.py --output BENCH_fresh.json
+    python benchmarks/check_regression.py BENCH_fresh.json \
+        --baseline BENCH_kernel.json --tolerance 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_kernel.json"
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Return the list of gate violations (empty means the gate passes)."""
+    problems: list[str] = []
+    fresh_agg = fresh["aggregate"]
+    base_agg = baseline["aggregate"]
+    if not fresh_agg["parity"]:
+        problems.append("fresh report has broken golden parity")
+    if not base_agg["parity"]:
+        problems.append("baseline report has broken golden parity")
+    for row in fresh.get("pairs", []):
+        if not row["parity"]:
+            problems.append(
+                f"pair {row['config']}/{row['workload']}: RunResult JSON "
+                f"diverged between kernels"
+            )
+    fresh_speedup = fresh_agg["geomean_speedup_vs_reference"]
+    base_speedup = base_agg["geomean_speedup_vs_reference"]
+    floor = base_speedup * (1.0 - tolerance)
+    if fresh_speedup < floor:
+        problems.append(
+            f"fast-kernel throughput regressed: geomean speedup vs reference "
+            f"{fresh_speedup:.3f}x < floor {floor:.3f}x "
+            f"(baseline {base_speedup:.3f}x, tolerance {tolerance:.0%})"
+        )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("fresh", type=Path, help="report from this build")
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline report (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed fractional drop in geomean speedup vs reference "
+             "(default 0.05 = 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = json.loads(args.fresh.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    problems = check(fresh, baseline, args.tolerance)
+
+    fresh_agg = fresh["aggregate"]
+    base_agg = baseline["aggregate"]
+    print(
+        f"baseline: {base_agg['fast_ips']:.0f} i/s fast, "
+        f"{base_agg['geomean_speedup_vs_reference']:.3f}x vs reference "
+        f"({base_agg['pairs']} pairs)"
+    )
+    print(
+        f"fresh:    {fresh_agg['fast_ips']:.0f} i/s fast, "
+        f"{fresh_agg['geomean_speedup_vs_reference']:.3f}x vs reference "
+        f"({fresh_agg['pairs']} pairs)"
+    )
+    if problems:
+        for problem in problems:
+            print(f"ERROR: {problem}", file=sys.stderr)
+        return 1
+    print(f"gate OK (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,7 +94,13 @@ class HierarchyStats:
 
 @dataclass(frozen=True)
 class LevelSpec:
-    """Size/latency description of one cache level."""
+    """Size/latency description of one cache level.
+
+    ``replacement`` names an entry in the ``repro.plugins`` ``POLICIES``
+    registry (``python -m repro.sim plugins --family replacement-policies``);
+    ``SimConfig.validate()`` resolves it eagerly, so an unknown name fails
+    at configuration time with a did-you-mean rather than at first access.
+    """
 
     size_kb: float
     assoc: int
@@ -430,9 +436,12 @@ class CacheHierarchy:
     ) -> tuple[Level, float] | None:
         """Prefetch a line into the L1 (data or code).
 
-        This is the entry point used by the TACT prefetchers.  Returns the
-        source level and the fill latency, or ``None`` if the line is already
-        in the L1 (no prefetch issued).
+        This is the L1 fill entry point for every prefetcher that targets
+        the L1: the TACT components and any core-scope ``PREFETCHERS``
+        registry entry (in-tree ``next-line``/``ip-stride`` or out-of-tree
+        via ``$REPRO_PLUGINS`` — see ARCHITECTURE.md).  Returns the source
+        level and the fill latency, or ``None`` if the line is already in
+        the L1 (no prefetch issued).
         """
         l1 = self.l1i[core] if code else self.l1d[core]
         if l1.contains(line_addr):

@@ -10,6 +10,16 @@ The paper's baseline machine has two prefetchers that CATCH sits on top of:
 
 These train on the demand stream and issue through the hierarchy's
 ``prefetch_l1`` / ``prefetch_l2`` entry points.
+
+Every prefetcher declares *when* it trains via the ``TRAIN_ON`` class
+attribute the core's kernels dispatch on:
+
+* ``"load"`` — ``train(pc, addr, now)`` on every demand load;
+* ``"miss"`` — ``train(line, now)`` on every load the L1 missed.
+
+New prefetchers register in :data:`repro.plugins.prefetchers.PREFETCHERS`
+and become selectable via ``SimConfig.prefetchers`` / ``--prefetchers``
+(see ``ARCHITECTURE.md`` for a worked example).
 """
 
 from __future__ import annotations
@@ -40,6 +50,8 @@ class L1StridePrefetcher:
         table_size: number of tracked PCs (direct-mapped by PC hash).
         min_confidence: consecutive identical strides needed before issuing.
     """
+
+    TRAIN_ON = "load"
 
     def __init__(
         self,
@@ -103,6 +115,8 @@ class L2StreamPrefetcher:
     stream prefetches ``degree`` further lines ahead.
     """
 
+    TRAIN_ON = "miss"
+
     def __init__(
         self,
         core: int,
@@ -152,3 +166,33 @@ class L2StreamPrefetcher:
                 if 0 <= target_offset < LINES_PER_PAGE:
                     self.hierarchy.prefetch_l2(self.core, base + direction * ahead, now)
                     self.issued += 1
+
+
+class NextLinePrefetcher:
+    """One-block-lookahead prefetcher into the L1 (Smith's classic OBL).
+
+    The simplest conventional baseline: whenever a demand load touches a
+    *new* cache line, prefetch the sequentially next line.  No PC state, no
+    confidence — the registry entry exists so CATCH/TACT can be compared
+    against the cheapest hardware prefetcher that is not "nothing".
+    """
+
+    TRAIN_ON = "load"
+
+    def __init__(self, core: int, hierarchy: CacheHierarchy) -> None:
+        self.core = core
+        self.hierarchy = hierarchy
+        self._last_line = -1
+        self.issued = 0
+        obs.metrics().register_provider(
+            f"prefetch.nextline.core{core}",
+            lambda: {"issued": self.issued},
+        )
+
+    def train(self, pc: int, addr: int, now: float) -> None:
+        """Observe a demand load; issue line+1 on the first touch of a line."""
+        line = addr >> LINE_SHIFT
+        if line != self._last_line:
+            self._last_line = line
+            self.hierarchy.prefetch_l1(self.core, line + 1, now, pc=pc)
+            self.issued += 1

@@ -14,6 +14,8 @@ from __future__ import annotations
 import random
 from typing import TYPE_CHECKING, Protocol
 
+from ..plugins.registry import Registry
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from .cache import CacheLine
 
@@ -137,24 +139,22 @@ class NRUPolicy:
         return next(iter(cache_set))
 
 
-_POLICIES = {
-    "lru": LRUPolicy,
-    "lip": MRUInsertLRUPolicy,
-    "random": RandomPolicy,
-    "srrip": SRRIPPolicy,
-    "nru": NRUPolicy,
-}
+#: Registry of replacement policies; entries are zero-argument policy
+#: classes.  Lives here (not in ``repro.plugins``) because the cache model
+#: itself resolves policies at build time; ``repro.plugins`` re-exports it
+#: alongside the other component registries.
+POLICIES: Registry[type] = Registry("replacement policy")
+POLICIES.register("lru", LRUPolicy, summary="least recently used (paper baseline)")
+POLICIES.register("lip", MRUInsertLRUPolicy, summary="LRU with insertion at LRU position (thrash-resistant)")
+POLICIES.register("random", RandomPolicy, summary="random victim, deterministic per-cache RNG")
+POLICIES.register("srrip", SRRIPPolicy, summary="static re-reference interval prediction (RRIP family)")
+POLICIES.register("nru", NRUPolicy, summary="not-recently-used single reference bit")
 
 
 def make_policy(name: str) -> ReplacementPolicy:
-    """Instantiate a replacement policy by name.
+    """Instantiate a replacement policy by registered name.
 
-    Args:
-        name: one of ``lru``, ``lip``, ``random``, ``srrip``, ``nru``.
+    Unknown names raise :class:`~repro.errors.ConfigError` (a ``ValueError``
+    subclass) listing the registered policies with a did-you-mean hint.
     """
-    try:
-        return _POLICIES[name]()
-    except KeyError:
-        raise ValueError(
-            f"unknown replacement policy {name!r}; choose from {sorted(_POLICIES)}"
-        ) from None
+    return POLICIES.get(name)()

@@ -31,11 +31,18 @@ class CatchConfig:
     #: Detector-only mode: learn criticality but never prefetch (used by the
     #: oracle studies to enumerate critical PCs without perturbing timing).
     detector_only: bool = False
-    #: Criticality identification mechanism: ``"ddg"`` (the paper's buffered
-    #: dependency graph) or one of ``repro.core.heuristics.HEURISTICS``
-    #: (``oldest_in_rob``/``consumer_count``/``branch_feeder``) — the
-    #: related-work comparators.
+    #: Criticality identification mechanism, resolved through
+    #: :data:`repro.plugins.detectors.DETECTORS`: ``"ddg"`` (the paper's
+    #: buffered dependency graph), one of the heuristic comparators
+    #: (``oldest-in-rob``/``consumer-count``/``branch-feeder``/
+    #: ``load-miss-pc``), or ``"oracle"`` (a fixed set from
+    #: :attr:`oracle_pcs`).  ``"none"`` is rejected here — it means
+    #: ``catch=None`` and is resolved at composition time.
     detector: str = "ddg"
+    #: Critical-PC set driving the ``"oracle"`` detector (ignored by the
+    #: online detectors); typically produced by
+    #: :func:`repro.core.oracle.profile_critical_pcs`.
+    oracle_pcs: tuple[int, ...] = ()
     #: Critical-table victim policy: ``"lru"`` (paper) or ``"lfu"`` (the
     #: frequency-aware future-work variant for povray-class applications).
     table_policy: str = "lru"
@@ -57,22 +64,19 @@ class CatchEngine(Engine):
             return  # re-attach on a warmup/measure boundary keeps state
         self._core = core
         cfg = self.config
-        if cfg.detector == "ddg":
-            self.detector = CriticalityDetector(
-                rob_size=core.params.rob_size,
-                table_entries=cfg.table_entries,
-                rename_latency=core.params.rename_latency,
-                epoch_instructions=cfg.epoch_instructions,
-                table_policy=cfg.table_policy,
-            )
-        else:
-            from .heuristics import make_heuristic
+        # Resolved lazily: the registry's entry modules import the full
+        # core/cpu layers and must not load while this module initialises.
+        from ..errors import ConfigError
+        from ..plugins.detectors import DETECTORS
 
-            self.detector = make_heuristic(
-                cfg.detector,
-                table_entries=cfg.table_entries,
-                epoch_instructions=cfg.epoch_instructions,
+        spec = DETECTORS.get(cfg.detector)
+        if spec.factory is None:
+            raise ConfigError(
+                f"detector {cfg.detector!r} cannot drive a CATCH engine; "
+                f"'none' means no criticality engine at all — use catch=None "
+                f"(the --detector none CLI path composes that for you)"
             )
+        self.detector = spec.factory(core, cfg)
         if not cfg.detector_only:
             self.tact = TACTCoordinator(
                 core_id,

@@ -9,12 +9,13 @@ flag many more PCs than are truly critical — for instance, branch
 mis-predictions that lie in the shadow of a load miss to memory may still be
 flagged as critical."
 
-This module implements three classic heuristic families so that claim can be
+This module implements four cheap heuristic families so that claim can be
 tested (see ``experiments/detector_comparison.py`` and the ablation
 benchmarks).  Each exposes the same interface as
 :class:`~repro.core.criticality.CriticalityDetector` (``on_retire`` +
-``is_critical``), so any of them can drive TACT via
-:class:`~repro.core.catch_engine.CatchEngine`'s ``detector_factory`` hook.
+``is_critical``) and is registered in the ``repro.plugins`` ``DETECTORS``
+registry, so any of them can drive TACT via ``CatchConfig.detector`` or
+the ``--detector`` CLI flag.
 
 * :class:`OldestInROBHeuristic` — flag loads that stall retirement (the
   QOLD/"oldest instruction blocks commit" family, Tune et al. [2]).
@@ -22,8 +23,10 @@ benchmarks).  Each exposes the same interface as
   (freeness/consumer-count heuristics, Fields et al. token-passing flavour).
 * :class:`BranchFeederHeuristic` — flag loads that (transitively) feed
   mispredicted branches (Subramaniam et al. [6] style load-criticality cues).
+* :class:`LoadMissPCHeuristic` — flag every load PC that misses the L1, the
+  cheapest possible cue and the natural lower bound for the comparison.
 
-All three reuse the 32-entry critical-load table so the comparison isolates
+All four reuse the 32-entry critical-load table so the comparison isolates
 the *identification* mechanism, not the table.
 """
 
@@ -171,18 +174,50 @@ class BranchFeederHeuristic(_HeuristicBase):
         self.table.tick_retire()
 
 
+class LoadMissPCHeuristic(_HeuristicBase):
+    """Flag every load PC that misses the L1 — the cheapest possible cue.
+
+    No dependency tracking at all: a load served from the L2 or beyond is
+    "critical".  This is the degenerate baseline the registry exposes as
+    ``load-miss-pc``; it maximally over-flags (every miss PC competes for
+    the 32-entry table) and isolates how much the DDG's *selectivity* is
+    worth relative to raw miss information the cache already has.
+    """
+
+    def on_retire(self, record: RetireRecord) -> None:
+        if (
+            record.instr.op is Op.LOAD
+            and record.level is not None
+            and record.level is not Level.L1
+        ):
+            self._flag(record)
+        self.table.tick_retire()
+
+
 HEURISTICS = {
     "oldest_in_rob": OldestInROBHeuristic,
     "consumer_count": ConsumerCountHeuristic,
     "branch_feeder": BranchFeederHeuristic,
+    "load_miss_pc": LoadMissPCHeuristic,
 }
 
 
 def make_heuristic(name: str, **kw) -> _HeuristicBase:
-    """Instantiate a heuristic detector by name."""
+    """Instantiate a heuristic detector by name.
+
+    Unknown names raise :class:`~repro.errors.ConfigError` (a ``ValueError``
+    subclass) with the same choose-from/did-you-mean shape as every plugin
+    registry.
+    """
+    from ..errors import ConfigError
+    from ..plugins.registry import canonical_name, suggest
+
+    key = canonical_name(name).replace("-", "_")
     try:
-        return HEURISTICS[name](**kw)
+        cls = HEURISTICS[key]
     except KeyError:
-        raise ValueError(
-            f"unknown heuristic {name!r}; choose from {sorted(HEURISTICS)}"
+        raise ConfigError(
+            f"unknown heuristic {name!r}; "
+            f"{suggest(name, [k.replace('_', '-') for k in HEURISTICS])}"
         ) from None
+    return cls(**kw)

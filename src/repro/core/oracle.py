@@ -21,12 +21,13 @@ applied across runs instead of within one).
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 
 from ..caches.hierarchy import Level
 from ..cpu.core import CoreParams, OOOCore
-from ..cpu.engine import Engine
-from ..workloads.trace import Instr, Trace
+from ..cpu.engine import Engine, RetireRecord
+from ..workloads.trace import Instr, Op, Trace
 from .catch_engine import CatchConfig, CatchEngine
 
 
@@ -51,6 +52,61 @@ def profile_critical_pcs(
     assert engine.detector is not None
     ranked = engine.detector.top_critical_pcs(top_n or len(engine.detector.critical_pc_counts))
     return ranked
+
+
+class _FixedCriticalSet:
+    """Critical-table stand-in backed by a fixed PC set (oracle detector)."""
+
+    def __init__(self, pcs: frozenset[int]) -> None:
+        self._pcs = pcs
+
+    def critical_count(self) -> int:
+        return len(self._pcs)
+
+    def is_critical(self, pc: int) -> bool:
+        return pc in self._pcs
+
+    def is_tracked(self, pc: int) -> bool:
+        return pc in self._pcs
+
+    def observe_critical(self, pc: int) -> None:
+        pass  # the set is fixed; nothing is learned
+
+    def tick_retire(self) -> None:
+        pass
+
+
+class OracleDetector:
+    """Criticality "detector" that already knows the answer.
+
+    Wraps a fixed critical-PC set (typically from
+    :func:`profile_critical_pcs` on a prior run) behind the same interface
+    as :class:`~repro.core.criticality.CriticalityDetector`, so TACT can be
+    driven by perfect knowledge: registry name ``oracle``, with the set
+    supplied via ``CatchConfig.oracle_pcs``.  Upper-bounds what any online
+    identification mechanism could achieve for a given table size.
+    """
+
+    def __init__(self, pcs) -> None:
+        self.pcs = frozenset(pcs)
+        self.table = _FixedCriticalSet(self.pcs)
+        self.critical_pc_counts: Counter[int] = Counter()
+        self.flagged = 0
+
+    def on_retire(self, record: RetireRecord) -> None:
+        instr = record.instr
+        if instr.op is Op.LOAD and instr.pc in self.pcs:
+            self.flagged += 1
+            self.critical_pc_counts[instr.pc] += 1
+
+    def is_critical(self, pc: int) -> bool:
+        return pc in self.pcs
+
+    def is_tracked(self, pc: int) -> bool:
+        return pc in self.pcs
+
+    def top_critical_pcs(self, n: int) -> list[int]:
+        return [pc for pc, _ in self.critical_pc_counts.most_common(n)]
 
 
 @dataclass

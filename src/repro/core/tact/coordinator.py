@@ -28,6 +28,15 @@ from .trigger_cache import TriggerCache
 
 _OP_LOAD = Op.LOAD
 
+#: Canonical TACT component name -> the ``TACTConfig`` flag enabling it.
+#: The plugin registry exposes these as the ``tact-<name>`` prefetchers.
+COMPONENTS = {
+    "cross": "enable_cross",
+    "deep-self": "enable_deep_self",
+    "feeder": "enable_feeder",
+    "code": "enable_code",
+}
+
 
 @dataclass(frozen=True)
 class TACTConfig:
@@ -41,6 +50,37 @@ class TACTConfig:
     code_runahead_lines: int = 24
     feeder_distance: int = FEEDER_DISTANCE
     deep_max_distance: int = 16
+
+    @classmethod
+    def with_components(cls, names, **overrides) -> "TACTConfig":
+        """Build a config enabling exactly the named components.
+
+        Args:
+            names: iterable of :data:`COMPONENTS` keys (``_``/``-`` and the
+                ``tact-`` registry prefix are accepted).
+            **overrides: any other ``TACTConfig`` field.
+        """
+        from ...errors import ConfigError
+        from ...plugins.registry import canonical_name, suggest
+
+        flags = {flag: False for flag in COMPONENTS.values()}
+        for name in names:
+            key = canonical_name(name)
+            if key.startswith("tact-"):
+                key = key[len("tact-"):]
+            if key not in COMPONENTS:
+                raise ConfigError(
+                    f"unknown TACT component {name!r}; "
+                    f"{suggest(key, list(COMPONENTS))}"
+                )
+            flags[COMPONENTS[key]] = True
+        return cls(**flags, **overrides)
+
+    def components(self) -> tuple[str, ...]:
+        """Canonical names of the enabled components, in registry order."""
+        return tuple(
+            name for name, flag in COMPONENTS.items() if getattr(self, flag)
+        )
 
 
 @dataclass

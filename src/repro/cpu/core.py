@@ -74,6 +74,27 @@ class CoreResult:
         return self.instructions / self.cycles if self.cycles else 0.0
 
 
+def _fold_trainers(trainers):
+    """Collapse a trainer list to one call target for the kernel hot loops.
+
+    ``None`` when empty and the single bound method when there is exactly
+    one (the default composition), so the common case dispatches with the
+    same cost as the pre-registry hard-wired call; only genuinely stacked
+    prefetchers pay for a fan-out closure.
+    """
+    if not trainers:
+        return None
+    if len(trainers) == 1:
+        return trainers[0]
+    folded = tuple(trainers)
+
+    def train_all(*args, _trainers=folded):
+        for train in _trainers:
+            train(*args)
+
+    return train_all
+
+
 class OOOCore:
     """One out-of-order core bound to a shared cache hierarchy.
 
@@ -82,6 +103,12 @@ class OOOCore:
         hierarchy: shared :class:`CacheHierarchy`.
         params: microarchitectural parameters.
         engine: criticality/prefetch engine (CATCH, oracle, or no-op).
+        prefetchers: core-side prefetcher factories, each called as
+            ``factory(core_id, hierarchy)`` (see
+            :data:`repro.plugins.prefetchers.PREFETCHERS`).  ``None`` builds
+            the legacy pair from the ``CoreParams`` enable flags — identical
+            to what :func:`repro.plugins.compose.core_prefetcher_factories`
+            derives for a default config.
     """
 
     def __init__(
@@ -90,6 +117,7 @@ class OOOCore:
         hierarchy: CacheHierarchy,
         params: CoreParams | None = None,
         engine: Engine | None = None,
+        prefetchers=None,
     ) -> None:
         self.core_id = core_id
         self.hierarchy = hierarchy
@@ -97,15 +125,28 @@ class OOOCore:
         self.engine = engine or Engine()
         self.frontend = FrontEnd(core_id, hierarchy, self.params.width)
         self.predictor = GshareBranchPredictor()
-        self.stride_pf = (
-            L1StridePrefetcher(core_id, hierarchy)
-            if self.params.enable_l1_stride
-            else None
+        if prefetchers is None:
+            built = []
+            if self.params.enable_l1_stride:
+                built.append(L1StridePrefetcher(core_id, hierarchy))
+            if self.params.enable_l2_stream:
+                built.append(L2StreamPrefetcher(core_id, hierarchy))
+        else:
+            built = [factory(core_id, hierarchy) for factory in prefetchers]
+        self.prefetchers = built
+        # Named aliases kept for the components other code reaches into
+        # (TACT-Deep-Self extends the stride mechanism; tests assert on both).
+        self.stride_pf = next(
+            (p for p in built if isinstance(p, L1StridePrefetcher)), None
         )
-        self.stream_pf = (
-            L2StreamPrefetcher(core_id, hierarchy)
-            if self.params.enable_l2_stream
-            else None
+        self.stream_pf = next(
+            (p for p in built if isinstance(p, L2StreamPrefetcher)), None
+        )
+        self._train_load = _fold_trainers(
+            [p.train for p in built if p.TRAIN_ON == "load"]
+        )
+        self._train_miss = _fold_trainers(
+            [p.train for p in built if p.TRAIN_ON == "miss"]
         )
         obs.metrics().register_provider(
             f"core.core{core_id}", self._telemetry_snapshot
@@ -161,10 +202,8 @@ class OOOCore:
         self.frontend.code_stall_cycles = 0.0
         self.frontend.code_misses = 0
         self.predictor.stats = type(self.predictor.stats)()
-        if self.stride_pf is not None:
-            self.stride_pf.issued = 0
-        if self.stream_pf is not None:
-            self.stream_pf.issued = 0
+        for prefetcher in self.prefetchers:
+            prefetcher.issued = 0
 
     def run(self, trace: Trace, limit: int | None = None) -> CoreResult:
         """Execute the trace to completion; returns timing results."""
@@ -229,10 +268,10 @@ class OOOCore:
             result = self.hierarchy.load(self.core_id, instr.pc, instr.line, e)
             lat = result.latency
             level = result.level
-            if self.stride_pf is not None:
-                self.stride_pf.train(instr.pc, instr.addr, e)
-            if level is not Level.L1 and self.stream_pf is not None:
-                self.stream_pf.train(instr.line, e)
+            if self._train_load is not None:
+                self._train_load(instr.pc, instr.addr, e)
+            if level is not Level.L1 and self._train_miss is not None:
+                self._train_miss(instr.line, e)
             self.engine.after_load(instr, idx, e, result)
         elif instr.op is Op.STORE:
             lat = float(EXEC_LATENCY[Op.STORE])
@@ -352,12 +391,8 @@ class OOOCore:
         hier_load = self.hierarchy.load
         hier_store = self.hierarchy.store
         predict_and_update = self.predictor.predict_and_update
-        stride_train = (
-            self.stride_pf.train if self.stride_pf is not None else None
-        )
-        stream_train = (
-            self.stream_pf.train if self.stream_pf is not None else None
-        )
+        train_load = self._train_load
+        train_miss = self._train_miss
 
         # An engine hook is "live" only if it is not the Engine base-class
         # no-op.  Instance-attribute hooks (no ``__func__``) are conservatively
@@ -460,10 +495,10 @@ class OOOCore:
                     result = hier_load(core_id, instr.pc, line, e)
                     lat = result.latency
                     level = result.level
-                    if stride_train is not None:
-                        stride_train(instr.pc, addr, e)
-                    if level is not level_l1 and stream_train is not None:
-                        stream_train(line, e)
+                    if train_load is not None:
+                        train_load(instr.pc, addr, e)
+                    if level is not level_l1 and train_miss is not None:
+                        train_miss(line, e)
                     if after_load is not None:
                         after_load(instr, idx, e, result)
                 elif op is op_store:

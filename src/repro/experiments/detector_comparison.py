@@ -20,14 +20,25 @@ from __future__ import annotations
 from dataclasses import replace
 
 from ..obs import console
-from ..core.catch_engine import CatchConfig, CatchEngine
-from ..core.heuristics import HEURISTICS
+from ..core.catch_engine import CatchEngine
+from ..plugins import DETECTORS as DETECTOR_REGISTRY
 from ..sim.config import no_l2, skylake_server, with_catch
 from ..sim.metrics import geomean
 from ..sim.simulator import Simulator
 from .common import resolve_params, workload_names
 
-DETECTORS = ("ddg", *HEURISTICS)
+#: Every registered detector that can drive TACT end to end: ``none`` builds
+#: no engine at all and ``oracle`` needs a workload-specific PC set, so both
+#: are excluded; anything registered via ``$REPRO_PLUGINS`` is picked up.
+_EXCLUDED = frozenset({"none", "oracle"})
+DETECTORS = (
+    "ddg",
+    *(
+        name
+        for name in DETECTOR_REGISTRY.names()
+        if name != "ddg" and name not in _EXCLUDED
+    ),
+)
 
 
 def run(quick: bool = True, n_instrs: int | None = None) -> dict:

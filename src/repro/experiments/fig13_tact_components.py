@@ -19,11 +19,16 @@ from .common import (
     workload_names,
 )
 
-STAGES = (
-    ("Code", TACTConfig(enable_cross=False, enable_deep_self=False, enable_feeder=False)),
-    ("+Cross", TACTConfig(enable_deep_self=False, enable_feeder=False)),
-    ("+Deep", TACTConfig(enable_feeder=False)),
-    ("+Feeder", TACTConfig()),
+#: Cumulative component stacks, built through the registry names so the
+#: stages stay in sync with ``TACTConfig.COMPONENTS`` / ``--prefetchers``.
+_CUMULATIVE = (
+    ("Code", ("tact-code",)),
+    ("+Cross", ("tact-code", "tact-cross")),
+    ("+Deep", ("tact-code", "tact-cross", "tact-deep-self")),
+    ("+Feeder", ("tact-code", "tact-cross", "tact-deep-self", "tact-feeder")),
+)
+STAGES = tuple(
+    (label, TACTConfig.with_components(names)) for label, names in _CUMULATIVE
 )
 
 

@@ -1,0 +1,98 @@
+"""Extension study: TACT vs conventional prefetchers on the two-level stack.
+
+The paper's TACT prefetchers are criticality-*targeted*: they spend L1 fill
+bandwidth only on the handful of loads the DDG detector flags.  The classic
+alternative is criticality-*blind* hardware prefetching (next-line, IP-stride,
+stream).  This experiment puts both families on the same two-level
+(noL2 + 6.5 MB) hierarchy and measures, against a no-prefetch baseline:
+
+* each conventional prefetcher from the ``PREFETCHERS`` registry alone,
+* the baseline's conventional combination (IP-stride L1 + stream L2/LLC),
+* CATCH (DDG detector + all four TACT components) on top of that combination.
+
+The variant list is built by introspecting the registry — a prefetcher
+registered through ``$REPRO_PLUGINS`` (see ARCHITECTURE.md) automatically
+joins the comparison without touching this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..obs import console
+from ..plugins import PREFETCHERS
+from ..sim.config import no_l2, skylake_server, with_catch
+from .common import (
+    format_pct_table,
+    resolve_params,
+    speedup_summary,
+    sweep,
+    workload_names,
+)
+
+
+def conventional_names() -> tuple[str, ...]:
+    """Every core-scope (criticality-blind) prefetcher in the registry."""
+    return tuple(
+        name
+        for name in PREFETCHERS.names()
+        if PREFETCHERS.get(name).scope == "core"
+    )
+
+
+def build_variants() -> tuple:
+    """(no-prefetch baseline, comparison variants) on the noL2 stack."""
+    nol2 = no_l2(skylake_server(), 6.5)
+    nopf = replace(nol2, name="noL2_nopf", prefetchers=())
+    variants = [
+        replace(nol2, name=f"noL2+{name}", prefetchers=(name,))
+        for name in conventional_names()
+    ]
+    variants.append(
+        replace(nol2, name="noL2+conv", prefetchers=("ip-stride", "stream"))
+    )
+    variants.append(with_catch(nol2, name="noL2+conv+CATCH"))
+    return nopf, variants
+
+
+def run(quick: bool = True, n_instrs: int | None = None) -> dict:
+    n = resolve_params(quick, n_instrs)
+    nopf, variants = build_variants()
+    workloads = workload_names(quick)
+    results = sweep([nopf, *variants], workloads, n)
+    summary = {
+        cfg.name: speedup_summary(results[cfg.name], results[nopf.name])
+        for cfg in variants
+    }
+    conventional = {
+        name: row["GeoMean"]
+        for name, row in summary.items()
+        if name != "noL2+conv+CATCH"
+    }
+    best_name = max(conventional, key=conventional.get)
+    return {
+        "experiment": "prefetcher_comparison",
+        "summary": summary,
+        "best_conventional": best_name,
+        "catch_vs_best_conventional": (
+            summary["noL2+conv+CATCH"]["GeoMean"] - conventional[best_name]
+        ),
+    }
+
+
+def main(quick: bool = False) -> dict:
+    data = run(quick=quick)
+    console(
+        "Extension: conventional prefetchers vs CATCH on noL2 "
+        "(speedup over no prefetching)"
+    )
+    console(format_pct_table(data["summary"]))
+    console(
+        f"\nbest conventional: {data['best_conventional']}; CATCH adds "
+        f"{data['catch_vs_best_conventional']:+.1%} GeoMean on top"
+    )
+    return data
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,7 @@ import sys
 import time
 
 from .. import obs
+from ..plugins import add_selection_args, selection_from_args, use_selection
 from ..runner import (
     ExperimentRunner,
     FailureRecord,
@@ -73,6 +74,7 @@ from . import (
     fig15_llc_latency,
     fig16_energy,
     fig17_inclusive,
+    prefetcher_comparison,
     table1_area,
     table2_workloads,
 )
@@ -94,6 +96,7 @@ EXPERIMENTS = {
     "table2": table2_workloads,
     "detectors": detector_comparison,
     "interconnect": interconnect_scaling,
+    "prefetchers": prefetcher_comparison,
 }
 
 
@@ -109,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--render", action="store_true",
         help="additionally draw ASCII bar charts of the summaries",
     )
+    add_selection_args(parser)
     resil = parser.add_argument_group("resilience (see repro.runner)")
     resil.add_argument(
         "--jobs", "-j", type=int, default=1, metavar="N",
@@ -217,7 +221,11 @@ def main(argv: list[str] | None = None) -> int:
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     collected: dict = {}
     failed: list[FailureRecord] = []
-    with obs.observability_session(args):
+    # --prefetchers/--detector/--topology re-compose every configuration the
+    # selected experiments build; the runners apply the active selection
+    # (parent-side under --jobs, so workers receive composed configs).
+    selection = selection_from_args(args)
+    with use_selection(selection), obs.observability_session(args):
         runner = make_runner(args)
         # N-of-M progress with ETA on stderr for multi-experiment sweeps;
         # single-experiment runs keep their output exactly as before.

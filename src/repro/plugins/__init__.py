@@ -1,0 +1,117 @@
+"""Plugin registries for every pluggable simulator component.
+
+The paper's claim is compositional — CATCH = criticality detection + TACT
+prefetchers layered on interchangeable hierarchies — and this package makes
+the reproduction compose the same way: string-keyed, introspectable
+registries for
+
+========================  ====================================================
+``PREFETCHERS``           conventional core prefetchers + TACT components
+``DETECTORS``             criticality identification mechanisms
+``TOPOLOGIES``            hierarchy shapes (baseline / no-L2 / CATCH variants)
+``POLICIES``              cache replacement policies (``caches.replacement``)
+========================  ====================================================
+
+resolved from ``SimConfig`` fields and the ``--prefetchers`` /
+``--detector`` / ``--topology`` CLI flags via :mod:`repro.plugins.compose`.
+External modules named in ``$REPRO_PLUGINS`` are imported before any
+lookup, so out-of-tree components register without touching this package
+(see ``ARCHITECTURE.md`` for the worked example).
+
+Submodules are loaded lazily (PEP 562): the registry *class* is a leaf the
+cache layer imports at interpreter startup, while the concrete entries pull
+in the cache/core/CPU layers and therefore must not load until the package
+tree is fully initialised.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from .registry import (
+    PLUGINS_ENV_VAR,
+    Registry,
+    canonical_name,
+    load_external_plugins,
+    suggest,
+)
+
+__all__ = [
+    "PLUGINS_ENV_VAR",
+    "Registry",
+    "canonical_name",
+    "load_external_plugins",
+    "suggest",
+    # lazily resolved:
+    "PREFETCHERS",
+    "PrefetcherSpec",
+    "register_prefetcher",
+    "DETECTORS",
+    "DetectorSpec",
+    "register_detector",
+    "TOPOLOGIES",
+    "TopologySpec",
+    "register_topology",
+    "POLICIES",
+    "Selection",
+    "apply_selection",
+    "apply_active_selection",
+    "use_selection",
+    "core_prefetcher_names",
+    "core_prefetcher_factories",
+    "split_prefetcher_names",
+    "make_engine",
+    "all_registries",
+]
+
+_LAZY = {
+    "PREFETCHERS": ("prefetchers", "PREFETCHERS"),
+    "PrefetcherSpec": ("prefetchers", "PrefetcherSpec"),
+    "register_prefetcher": ("prefetchers", "register_prefetcher"),
+    "DETECTORS": ("detectors", "DETECTORS"),
+    "DetectorSpec": ("detectors", "DetectorSpec"),
+    "register_detector": ("detectors", "register_detector"),
+    "TOPOLOGIES": ("topologies", "TOPOLOGIES"),
+    "TopologySpec": ("topologies", "TopologySpec"),
+    "register_topology": ("topologies", "register_topology"),
+    "Selection": ("compose", "Selection"),
+    "add_selection_args": ("compose", "add_selection_args"),
+    "selection_from_args": ("compose", "selection_from_args"),
+    "apply_selection": ("compose", "apply_selection"),
+    "apply_active_selection": ("compose", "apply_active_selection"),
+    "use_selection": ("compose", "use_selection"),
+    "core_prefetcher_names": ("compose", "core_prefetcher_names"),
+    "core_prefetcher_factories": ("compose", "core_prefetcher_factories"),
+    "split_prefetcher_names": ("compose", "split_prefetcher_names"),
+    "make_engine": ("compose", "make_engine"),
+}
+
+
+def __getattr__(name: str):
+    if name == "POLICIES":
+        from ..caches.replacement import POLICIES
+
+        return POLICIES
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, attr)
+
+
+def all_registries() -> dict[str, Registry]:
+    """Every component registry, keyed by family name (CLI introspection)."""
+    from ..caches.replacement import POLICIES
+    from .detectors import DETECTORS
+    from .prefetchers import PREFETCHERS
+    from .topologies import TOPOLOGIES
+
+    return {
+        "prefetchers": PREFETCHERS,
+        "detectors": DETECTORS,
+        "topologies": TOPOLOGIES,
+        "replacement-policies": POLICIES,
+    }

@@ -1,0 +1,86 @@
+"""Prefetcher registry: conventional core-side prefetchers + TACT components.
+
+Two scopes share one namespace so ``--prefetchers`` can mix them freely:
+
+* ``scope="core"`` — a per-core trainer built as ``factory(core_id,
+  hierarchy)``; the returned object carries ``TRAIN_ON`` (``"load"`` or
+  ``"miss"``, see :mod:`repro.caches.prefetchers`) and an ``issued``
+  counter.  Selected via ``SimConfig.prefetchers``.
+* ``scope="tact"`` — one of the paper's criticality-driven TACT components
+  (Section IV-B); ``component`` names the
+  :data:`repro.core.tact.coordinator.COMPONENTS` flag.  Selected via
+  ``CatchConfig.tact`` (``TACTConfig.with_components``) because TACT only
+  exists inside a CATCH engine with a detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..caches.prefetchers import (
+    L1StridePrefetcher,
+    L2StreamPrefetcher,
+    NextLinePrefetcher,
+)
+from ..core.tact.coordinator import COMPONENTS
+from .registry import Registry
+
+
+@dataclass(frozen=True)
+class PrefetcherSpec:
+    """One selectable prefetcher."""
+
+    name: str
+    scope: str  #: ``"core"`` (per-core trainer) or ``"tact"`` (TACT component)
+    summary: str
+    factory: Callable | None = None  #: core scope: (core_id, hierarchy) -> trainer
+    component: str = ""              #: tact scope: ``COMPONENTS`` key
+
+
+PREFETCHERS: Registry[PrefetcherSpec] = Registry("prefetcher")
+
+
+def register_prefetcher(
+    name: str, factory: Callable, *, summary: str = ""
+) -> PrefetcherSpec:
+    """Register a core-scope prefetcher (the external-plugin entry point).
+
+    ``factory(core_id, hierarchy)`` must return a trainer with a
+    ``TRAIN_ON`` class attribute and the matching ``train`` signature.
+    """
+    spec = PrefetcherSpec(name=name, scope="core", summary=summary, factory=factory)
+    PREFETCHERS.register(name, spec, summary=summary)
+    return spec
+
+
+register_prefetcher(
+    "ip-stride", L1StridePrefetcher,
+    summary="PC-indexed stride prefetcher into the L1, distance 1 (baseline)",
+)
+register_prefetcher(
+    "stream", L2StreamPrefetcher,
+    summary="multi-stream sequential prefetcher into the L2/LLC (baseline)",
+)
+register_prefetcher(
+    "next-line", NextLinePrefetcher,
+    summary="one-block-lookahead next-line prefetcher into the L1",
+)
+
+_TACT_SUMMARIES = {
+    "cross": "TACT-Cross: trigger-target prefetch across load PCs",
+    "deep-self": "TACT-Deep-Self: deeper stride distance for critical PCs",
+    "feeder": "TACT-Feeder: prefetch via the register-feeder load",
+    "code": "TACT-Code: CNPIP code runahead for critical code misses",
+}
+for _component in COMPONENTS:
+    PREFETCHERS.register(
+        f"tact-{_component}",
+        PrefetcherSpec(
+            name=f"tact-{_component}",
+            scope="tact",
+            summary=_TACT_SUMMARIES[_component],
+            component=_component,
+        ),
+        summary=_TACT_SUMMARIES[_component],
+    )

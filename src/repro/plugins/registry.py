@@ -1,0 +1,159 @@
+"""Generic string-keyed plugin registry (the componentization substrate).
+
+Every pluggable family in the simulator — prefetchers, criticality
+detectors, replacement policies, hierarchy topologies — is a
+:class:`Registry` instance mapping a canonical name to a small spec object.
+The registry is deliberately a *leaf* module (stdlib imports only) so the
+cache/CPU/core layers can depend on it without import cycles; the concrete
+entries live next to the code they construct (``repro.plugins.prefetchers``,
+``repro.caches.replacement`` …).
+
+Lookup semantics shared by all registries:
+
+* names are case-insensitive and ``_``/``-`` agnostic (``oldest_in_rob``
+  and ``oldest-in-rob`` resolve to the same entry, so serialized configs
+  written before the registry existed keep loading);
+* an unknown name raises :class:`~repro.errors.ConfigError` listing every
+  registered name plus a did-you-mean nearest match;
+* registering a name twice raises ``ValueError`` (a programming error, not
+  a configuration error).
+
+External plugins: modules named in the ``REPRO_PLUGINS`` environment
+variable (comma-separated import paths) are imported before any lookup, so
+out-of-tree components can register themselves without touching this
+package.  The variable is re-read when it changes, which makes it usable
+from tests and — because spawn-based fleet workers inherit the environment
+and ``sys.path`` — from parallel campaigns.
+"""
+
+from __future__ import annotations
+
+import difflib
+import importlib
+import os
+from typing import Generic, Iterator, TypeVar
+
+from ..errors import ConfigError
+
+#: Environment variable naming external plugin modules (comma-separated).
+PLUGINS_ENV_VAR = "REPRO_PLUGINS"
+
+T = TypeVar("T")
+
+
+def canonical_name(name: str) -> str:
+    """Normalise a registry key: lowercase, ``_`` treated as ``-``."""
+    return name.strip().lower().replace("_", "-")
+
+
+def suggest(name: str, known: "list[str]") -> str:
+    """Uniform "unknown name" error text: sorted choices + did-you-mean."""
+    message = f"choose from {sorted(known)}"
+    close = difflib.get_close_matches(canonical_name(name), known, n=1)
+    if close:
+        message += f" (did you mean {close[0]!r}?)"
+    return message
+
+
+_loaded_modules: set[str] = set()
+_last_env: str | None = None
+
+
+def load_external_plugins() -> None:
+    """Import every module named in ``REPRO_PLUGINS`` (idempotent).
+
+    Called before each registry lookup; a no-op unless the variable changed
+    since the last call.  A module that fails to import raises
+    :class:`ConfigError` naming it, and will be retried on the next lookup
+    (so a transient failure does not poison the process).
+    """
+    global _last_env
+    env = os.environ.get(PLUGINS_ENV_VAR, "")
+    if env == _last_env:
+        return
+    pending = [
+        mod for mod in (m.strip() for m in env.split(","))
+        if mod and mod not in _loaded_modules
+    ]
+    for mod in pending:
+        try:
+            importlib.import_module(mod)
+        except ConfigError:
+            raise
+        except Exception as exc:
+            raise ConfigError(
+                f"plugin module {mod!r} (from ${PLUGINS_ENV_VAR}) failed to "
+                f"import: {type(exc).__name__}: {exc}"
+            ) from exc
+        _loaded_modules.add(mod)
+    _last_env = env
+
+
+class Registry(Generic[T]):
+    """One pluggable component family: canonical name -> spec object.
+
+    Args:
+        kind: human label used in error messages ("prefetcher",
+            "replacement policy", ...).
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, T] = {}
+        self._summaries: dict[str, str] = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def register(self, name: str, entry: T, *, summary: str = "") -> T:
+        """Add an entry; a duplicate (canonical) name raises ``ValueError``."""
+        key = canonical_name(name)
+        if key in self._entries:
+            raise ValueError(
+                f"duplicate {self.kind} registration: {name!r} is already "
+                f"registered (as {key!r})"
+            )
+        self._entries[key] = entry
+        self._summaries[key] = summary or (
+            (getattr(entry, "summary", "") or "").strip()
+        )
+        return entry
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry (test seam; unknown names are a no-op)."""
+        key = canonical_name(name)
+        self._entries.pop(key, None)
+        self._summaries.pop(key, None)
+
+    # ------------------------------------------------------------- lookup
+
+    def get(self, name: str) -> T:
+        """Resolve a name; unknown names raise :class:`ConfigError`."""
+        load_external_plugins()
+        key = canonical_name(name)
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown {self.kind} {name!r}; "
+                f"{suggest(name, list(self._entries))}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        load_external_plugins()
+        return canonical_name(name) in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def names(self) -> tuple[str, ...]:
+        """Sorted canonical names of every registered entry."""
+        load_external_plugins()
+        return tuple(sorted(self._entries))
+
+    def describe(self) -> dict[str, str]:
+        """Canonical name -> one-line summary, for CLI/doc introspection."""
+        load_external_plugins()
+        return {name: self._summaries[name] for name in sorted(self._entries)}

@@ -1,0 +1,88 @@
+"""Hierarchy-topology registry: named transforms over ``SimConfig``.
+
+A topology entry is a pure transform ``SimConfig -> SimConfig`` reusing the
+factories in :mod:`repro.sim.config`, so ``--topology no-l2`` on any
+baseline produces exactly the machine the corresponding factory would have
+built (on the Skylake-server baseline, ``no-l2`` yields the paper's
+``noL2_6.5MB`` and ``no-l2-iso-area`` the ``noL2_9.5MB`` of Figure 10).
+
+The capacity rules follow the paper's Section III framing: removing the L2
+folds its capacity into the LLC (same total on-die SRAM), and the iso-area
+variant grows the LLC by 4x the L2 capacity (the L2's area is dominated by
+its higher-speed arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigError
+from .registry import Registry
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One selectable cache-hierarchy shape."""
+
+    name: str
+    summary: str
+    transform: Callable  #: (SimConfig) -> SimConfig
+
+
+TOPOLOGIES: Registry[TopologySpec] = Registry("topology")
+
+
+def register_topology(
+    name: str, transform: Callable, *, summary: str = ""
+) -> TopologySpec:
+    """Register a topology transform (the external-plugin entry point)."""
+    spec = TopologySpec(name=name, summary=summary, transform=transform)
+    TOPOLOGIES.register(name, spec, summary=summary)
+    return spec
+
+
+def _drop_l2(config, l2_area_factor: float):
+    from ..sim.config import no_l2
+
+    if config.l2 is None:
+        return config  # already two-level; the transform is idempotent
+    if config.llc is None:
+        raise ConfigError(
+            f"{config.name}: topology 'no-l2' requires an LLC to absorb the "
+            f"L2 capacity"
+        )
+    llc_mb = (config.llc.size_kb + l2_area_factor * config.l2.size_kb) / 1024
+    return no_l2(config, llc_mb)
+
+
+def _with_catch(config):
+    from ..sim.config import with_catch
+
+    return config if config.catch is not None else with_catch(config)
+
+
+register_topology(
+    "baseline", lambda config: config,
+    summary="the configuration's own L1/L2/LLC stack, unchanged",
+)
+register_topology(
+    "no-l2", lambda config: _drop_l2(config, 1.0),
+    summary="drop the L2, LLC grows by its capacity (iso-SRAM two-level)",
+)
+register_topology(
+    "no-l2-iso-area", lambda config: _drop_l2(config, 4.0),
+    summary="drop the L2, LLC grows by 4x its capacity (iso-area two-level)",
+)
+register_topology(
+    "catch", _with_catch,
+    summary="attach the CATCH engine (detector + TACT) to the stack",
+)
+register_topology(
+    "no-l2-catch", lambda config: _with_catch(_drop_l2(config, 1.0)),
+    summary="iso-SRAM two-level stack with CATCH (Figure 10's proposal)",
+)
+register_topology(
+    "no-l2-iso-area-catch", lambda config: _with_catch(_drop_l2(config, 4.0)),
+    summary="iso-area two-level stack with CATCH",
+)

@@ -217,11 +217,16 @@ class FleetRunner(ExperimentRunner):
         ``KeyboardInterrupt`` after flushing state if the campaign is
         interrupted.
         """
+        from ..plugins.compose import apply_active_selection
+
         ordered: list[RunResult | None] = [None] * len(jobs)
         misses: list[_Job] = []
         first_dispatch: dict[tuple, int] = {}
         duplicates: list[tuple[int, int]] = []
         for i, (config, workload, n_instrs) in enumerate(jobs):
+            # Selection overrides are applied in the parent, so workers
+            # receive already re-composed configurations.
+            config = apply_active_selection(config)
             config.validate()
             cached = self.store.get(config, workload, n_instrs)
             if cached is not None:

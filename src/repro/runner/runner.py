@@ -190,9 +190,17 @@ class ExperimentRunner:
     def run(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
         """Run (or recall) one measurement; raises ``RunFailure`` when spent.
 
+        A :class:`~repro.plugins.compose.Selection` activated via
+        ``use_selection`` (the ``--prefetchers``/``--detector``/``--topology``
+        CLI flags) re-composes the configuration here, so every experiment
+        routed through a runner honours the overrides.
+
         :class:`~repro.errors.ConfigError` propagates as-is — an invalid
         machine is a caller bug, not a run-level fault to retry or absorb.
         """
+        from ..plugins.compose import apply_active_selection
+
+        config = apply_active_selection(config)
         config.validate()
         cached = self.store.get(config, workload, n_instrs)
         if cached is not None:

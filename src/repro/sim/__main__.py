@@ -3,9 +3,13 @@
 Usage::
 
     python -m repro.sim list
+    python -m repro.sim plugins
     python -m repro.sim describe CATCH --out catch.json
     python -m repro.sim run baseline_server hmmer_like --n 40000
     python -m repro.sim run catch.json mcf_like
+    python -m repro.sim run baseline_server mcf_like --prefetchers ip-stride \
+        --detector none
+    python -m repro.sim run baseline_server mcf_like --topology no-l2
 
 ``run`` accepts the observability flags (``--trace-out``, ``--profile``,
 ``--metrics-out``, ``--log-level``, ``--log-json``, ``--log-file``); see
@@ -74,6 +78,15 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("list", help="list the named machine configurations")
 
+    plugins = sub.add_parser(
+        "plugins", help="list the pluggable component registries"
+    )
+    plugins.add_argument(
+        "--family", metavar="NAME", default=None,
+        help="show only one registry (prefetchers, detectors, topologies, "
+             "replacement-policies)",
+    )
+
     describe = sub.add_parser("describe", help="show or export a configuration")
     describe.add_argument("config")
     describe.add_argument("--out", help="write the configuration as JSON")
@@ -92,12 +105,30 @@ def main(argv: list[str] | None = None) -> int:
         help="wall-clock deadline in seconds (cooperative; with --jobs the "
              "parent also hard-kills a hung worker)",
     )
+    from ..plugins import add_selection_args
+
+    add_selection_args(run)
     obs.add_observability_args(run)
 
     args = parser.parse_args(argv)
     if args.command == "list":
         for name, cfg in _named_configs().items():
             print(f"  {name:22s} {cfg.describe()}")
+    elif args.command == "plugins":
+        from ..plugins import all_registries
+
+        registries = all_registries()
+        if args.family is not None and args.family not in registries:
+            raise SystemExit(
+                f"unknown registry family {args.family!r}; "
+                f"choose from {sorted(registries)}"
+            )
+        for family, registry in registries.items():
+            if args.family is not None and family != args.family:
+                continue
+            print(f"{family}:")
+            for name, summary in registry.describe().items():
+                print(f"  {name:22s} {summary}")
     elif args.command == "describe":
         cfg = _resolve(args.config)
         print(cfg.describe())
@@ -105,8 +136,13 @@ def main(argv: list[str] | None = None) -> int:
             save_config(cfg, args.out)
             print(f"written to {args.out}")
     elif args.command == "run":
+        from ..plugins import apply_selection, selection_from_args
+
         cfg = _resolve(args.config)
         try:
+            selection = selection_from_args(args)
+            if selection:
+                cfg = apply_selection(cfg, selection)
             sim = Simulator(cfg)
         except ConfigError as exc:
             raise SystemExit(f"invalid configuration: {exc}")

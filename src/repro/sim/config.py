@@ -55,6 +55,12 @@ class SimConfig:
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     fixed_memory_latency: int | None = None
     catch: CatchConfig | None = None
+    #: Core-scope prefetcher names resolved through
+    #: :data:`repro.plugins.prefetchers.PREFETCHERS` (e.g. ``("ip-stride",
+    #: "stream")``).  ``None`` derives the legacy pair from the
+    #: ``CoreParams`` enable flags; ``()`` disables core prefetching.  TACT
+    #: components are *not* valid here — they live in ``catch.tact``.
+    prefetchers: tuple[str, ...] | None = None
 
     def scaled(self, spec: LevelSpec | None) -> LevelSpec | None:
         """Apply the capacity scale to one level spec.
@@ -116,7 +122,75 @@ class SimConfig:
                     f"{self.name}: negative extra latency {cycles} at "
                     f"{Level(level).name}"
                 )
+        self._validate_components()
         return self
+
+    def _validate_components(self) -> None:
+        """Check every plugin name against its registry (with did-you-mean).
+
+        Imported lazily: the registries pull in the full component modules,
+        which must not load while the package tree is still initialising.
+        """
+        from ..caches.replacement import POLICIES
+        from ..core.tact.coordinator import COMPONENTS
+        from ..plugins.detectors import DETECTORS
+        from ..plugins.prefetchers import PREFETCHERS
+
+        for label, spec in (
+            ("l1i", self.l1i),
+            ("l1d", self.l1d),
+            ("l2", self.l2),
+            ("llc", self.llc),
+        ):
+            if spec is None:
+                continue
+            try:
+                POLICIES.get(spec.replacement)
+            except ConfigError as exc:
+                raise ConfigError(f"{self.name}: {label}: {exc}") from None
+        if self.prefetchers is not None:
+            for name in self.prefetchers:
+                try:
+                    prefetcher = PREFETCHERS.get(name)
+                except ConfigError as exc:
+                    raise ConfigError(
+                        f"{self.name}: prefetchers: {exc}"
+                    ) from None
+                if prefetcher.scope != "core":
+                    catch_desc = (
+                        "catch=None"
+                        if self.catch is None
+                        else f"catch.detector={self.catch.detector!r}"
+                    )
+                    raise ConfigError(
+                        f"{self.name}: prefetcher {name!r} is a TACT "
+                        f"component and needs a criticality detector "
+                        f"(conflicting fields: prefetchers="
+                        f"{self.prefetchers!r}, {catch_desc}); enable it "
+                        f"via catch.tact — TACTConfig.with_components"
+                        f"({[name]!r}) — or the --prefetchers CLI flag with "
+                        f"a detector"
+                    )
+        if self.catch is not None:
+            try:
+                detector = DETECTORS.get(self.catch.detector)
+            except ConfigError as exc:
+                raise ConfigError(
+                    f"{self.name}: catch.detector: {exc}"
+                ) from None
+            if detector.factory is None:
+                enabled = [
+                    f"catch.tact.{flag}"
+                    for flag in COMPONENTS.values()
+                    if getattr(self.catch.tact, flag)
+                ]
+                raise ConfigError(
+                    f"{self.name}: catch.detector='none' conflicts with the "
+                    f"attached CATCH engine "
+                    f"({', '.join(enabled) if enabled else 'detector_only'})"
+                    f"; a CATCH config needs a real detector — use "
+                    f"catch=None for no criticality engine at all"
+                )
 
     def _validate_level(self, label: str, spec: LevelSpec) -> None:
         if spec.size_kb <= 0:

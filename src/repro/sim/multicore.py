@@ -19,7 +19,6 @@ import heapq
 from dataclasses import dataclass, field, replace as dc_replace
 
 from .. import obs
-from ..cpu.core import OOOCore
 from ..workloads.suites import build_trace, get_spec
 from ..workloads.trace import Instr, Trace
 from .config import SimConfig
@@ -87,7 +86,7 @@ class MultiCoreSimulator:
                 traces.append(relocate_trace(trace, core_id))
             engines = [sim.make_engine() for _ in range(self.n_cores)]
             cores = [
-                OOOCore(c, hierarchy, self.config.core, engines[c])
+                sim.make_core(c, hierarchy, engines[c])
                 for c in range(self.n_cores)
             ]
             for core, trace in zip(cores, traces):

@@ -52,6 +52,9 @@ def config_to_dict(config: SimConfig) -> dict:
         "dram": dataclasses.asdict(config.dram),
         "fixed_memory_latency": config.fixed_memory_latency,
         "catch": None,
+        "prefetchers": (
+            list(config.prefetchers) if config.prefetchers is not None else None
+        ),
     }
     if config.catch is not None:
         payload["catch"] = {
@@ -61,6 +64,7 @@ def config_to_dict(config: SimConfig) -> dict:
             "detector_only": config.catch.detector_only,
             "detector": config.catch.detector,
             "table_policy": config.catch.table_policy,
+            "oracle_pcs": list(config.catch.oracle_pcs),
         }
     return payload
 
@@ -81,6 +85,7 @@ def config_from_dict(payload: dict) -> SimConfig:
             detector_only=c["detector_only"],
             detector=c.get("detector", "ddg"),
             table_policy=c.get("table_policy", "lru"),
+            oracle_pcs=tuple(c.get("oracle_pcs", ())),
         )
     return SimConfig(
         name=payload["name"],
@@ -98,6 +103,11 @@ def config_from_dict(payload: dict) -> SimConfig:
         dram=DRAMConfig(**payload["dram"]),
         fixed_memory_latency=payload["fixed_memory_latency"],
         catch=catch,
+        prefetchers=(
+            tuple(payload["prefetchers"])
+            if payload.get("prefetchers") is not None
+            else None
+        ),
     )
 
 

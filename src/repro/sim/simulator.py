@@ -21,6 +21,7 @@ from ..caches.hierarchy import CacheHierarchy, Level
 from ..core.catch_engine import CatchEngine
 from ..cpu.core import OOOCore
 from ..cpu.engine import Engine
+from ..plugins import compose
 from ..workloads.suites import build_trace, get_spec
 from ..workloads.trace import Trace
 from .config import SimConfig
@@ -83,9 +84,24 @@ class Simulator:
 
     def make_engine(self) -> Engine:
         """Engine matching the config (CATCH when configured, else no-op)."""
-        if self.config.catch is not None:
-            return CatchEngine(self.config.catch)
-        return Engine()
+        return compose.make_engine(self.config)
+
+    def make_core(
+        self, core_id: int, hierarchy: CacheHierarchy, engine: Engine
+    ) -> OOOCore:
+        """Build one core with registry-composed prefetchers.
+
+        The prefetcher set comes from ``SimConfig.prefetchers`` (or, when
+        unset, the legacy ``CoreParams`` flags) via
+        :func:`repro.plugins.compose.core_prefetcher_factories`.
+        """
+        return OOOCore(
+            core_id,
+            hierarchy,
+            self.config.core,
+            engine,
+            prefetchers=compose.core_prefetcher_factories(self.config),
+        )
 
     # ------------------------------------------------------------- running
 
@@ -150,7 +166,7 @@ class Simulator:
             if latency_policy is not None:
                 hierarchy.latency_policy = latency_policy
             engine = engine or self.make_engine()
-            core = OOOCore(0, hierarchy, self.config.core, engine)
+            core = self.make_core(0, hierarchy, engine)
             core.start(trace)
         phase_s["trace_build"] = clock() - t_phase
         if deadline is not None:

@@ -1,0 +1,80 @@
+"""Tests for the kernel-benchmark regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "check_regression", REPO_ROOT / "benchmarks" / "check_regression.py"
+)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def report(*, parity=True, speedup=1.36, fast_ips=50_000.0, pairs=None):
+    return {
+        "benchmark": "kernel",
+        "aggregate": {
+            "pairs": len(pairs or []),
+            "parity": parity,
+            "reference_ips": fast_ips / speedup,
+            "fast_ips": fast_ips,
+            "geomean_speedup_vs_reference": speedup,
+        },
+        "pairs": pairs or [],
+    }
+
+
+class TestCheck:
+    def test_identical_reports_pass(self):
+        assert check_regression.check(report(), report(), 0.05) == []
+
+    def test_within_tolerance_passes(self):
+        fresh = report(speedup=1.36 * 0.96)  # 4% down, 5% allowed
+        assert check_regression.check(fresh, report(), 0.05) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        fresh = report(speedup=1.36 * 0.90)
+        problems = check_regression.check(fresh, report(), 0.05)
+        assert len(problems) == 1
+        assert "regressed" in problems[0]
+
+    def test_machine_speed_alone_does_not_gate(self):
+        # Same ratio, half the absolute i/s (slower CI machine): passes.
+        fresh = report(fast_ips=25_000.0)
+        assert check_regression.check(fresh, report(), 0.05) == []
+
+    def test_broken_parity_fails_even_when_fast(self):
+        fresh = report(parity=False, speedup=2.0)
+        problems = check_regression.check(fresh, report(), 0.05)
+        assert any("parity" in p for p in problems)
+
+    def test_diverged_pair_is_named(self):
+        pair = {"config": "CATCH", "workload": "mcf_like", "parity": False}
+        fresh = report(pairs=[pair])
+        problems = check_regression.check(fresh, report(), 0.05)
+        assert any("CATCH/mcf_like" in p for p in problems)
+
+    def test_vacuous_baseline_rejected(self):
+        problems = check_regression.check(report(), report(parity=False), 0.05)
+        assert any("baseline" in p for p in problems)
+
+
+class TestMain:
+    def test_cli_pass_and_fail(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        fresh_ok = tmp_path / "ok.json"
+        fresh_bad = tmp_path / "bad.json"
+        base.write_text(json.dumps(report()))
+        fresh_ok.write_text(json.dumps(report(speedup=1.35)))
+        fresh_bad.write_text(json.dumps(report(speedup=1.0)))
+        assert check_regression.main(
+            [str(fresh_ok), "--baseline", str(base)]
+        ) == 0
+        assert "gate OK" in capsys.readouterr().out
+        assert check_regression.main(
+            [str(fresh_bad), "--baseline", str(base)]
+        ) == 1
+        assert "regressed" in capsys.readouterr().err

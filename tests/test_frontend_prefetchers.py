@@ -3,7 +3,11 @@
 import pytest
 
 from repro.caches.hierarchy import CacheHierarchy, Level, LevelSpec
-from repro.caches.prefetchers import L1StridePrefetcher, L2StreamPrefetcher
+from repro.caches.prefetchers import (
+    L1StridePrefetcher,
+    L2StreamPrefetcher,
+    NextLinePrefetcher,
+)
 from repro.core.catch_engine import CatchEngine
 from repro.core.tact.coordinator import TACTConfig, TACTCoordinator
 from repro.cpu.core import CoreParams, OOOCore
@@ -98,6 +102,40 @@ class TestL1StridePrefetcher:
         for pc in range(16):
             pf.train(0x400 + pc * 4, pc * 1 << 12, 0.0)
         assert len(pf._table) <= 4
+
+
+class TestNextLinePrefetcher:
+    def test_prefetches_next_line_on_new_line(self):
+        h = make_hierarchy()
+        pf = NextLinePrefetcher(0, h)
+        pf.train(0x400, 0x10000, 0.0)
+        assert pf.issued == 1
+        assert h.l1d[0].contains((0x10000 >> 6) + 1)
+
+    def test_same_line_accesses_do_not_reissue(self):
+        h = make_hierarchy()
+        pf = NextLinePrefetcher(0, h)
+        for offset in (0, 8, 16, 56):
+            pf.train(0x400, 0x10000 + offset, float(offset))
+        assert pf.issued == 1
+
+    def test_follows_any_access_pattern(self):
+        # Criticality- and stride-blind: even a random walk issues one
+        # prefetch per distinct line touched.
+        import random
+
+        rng = random.Random(1)
+        h = make_hierarchy()
+        pf = NextLinePrefetcher(0, h)
+        lines = [rng.randrange(1 << 18) << 6 for _ in range(10)]
+        for i, addr in enumerate(lines):
+            pf.train(0x400, addr, float(i))
+        assert pf.issued == len(lines)
+
+    def test_trains_on_loads_not_misses(self):
+        assert NextLinePrefetcher.TRAIN_ON == "load"
+        assert L1StridePrefetcher.TRAIN_ON == "load"
+        assert L2StreamPrefetcher.TRAIN_ON == "miss"
 
 
 class TestL2StreamPrefetcher:

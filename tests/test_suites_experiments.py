@@ -68,7 +68,7 @@ class TestExperimentRegistry:
         expected = {
             "fig01", "fig03", "fig04", "fig05", "fig10", "fig11", "fig12",
             "fig13", "fig14", "fig15", "fig16", "fig17", "table1", "table2",
-            "detectors", "interconnect",
+            "detectors", "interconnect", "prefetchers",
         }
         assert set(EXPERIMENTS) == expected
 
