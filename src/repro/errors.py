@@ -18,6 +18,14 @@ so callers (the resilient runner, the experiment CLI, tests) can distinguish
   RSS guard; raised/recorded only by :mod:`repro.runner.fleet`.
 * :class:`RunFailure` — terminal wrapper raised by the runner once retries
   are exhausted; carries the structured context a failure report needs.
+* :class:`JournalError` — misuse of the campaign service's write-ahead
+  journal (torn tails are *not* errors: replay truncates them).
+* :class:`AdmissionError` and its subclasses :class:`QueueFull`,
+  :class:`QuotaExceeded`, :class:`CircuitOpen` — typed submission
+  rejections from the campaign service, each carrying a ``retry_after_s``
+  hint (HTTP 429 + ``Retry-After`` at the API boundary).
+* :class:`JobNotFound` / :class:`JobStateError` — bad job id, or an
+  operation invalid for the job's current state-machine state.
 """
 
 from __future__ import annotations
@@ -79,6 +87,53 @@ class WorkerOOMError(WorkerError):
         super().__init__(message)
         self.rss_mb = rss_mb
         self.limit_mb = limit_mb
+
+
+class JournalError(ReproError):
+    """The service's write-ahead journal hit an unrecoverable condition.
+
+    Torn or corrupt *tails* are not errors (they are truncated with a
+    warning during replay, mirroring checkpoint quarantine); this is for
+    genuine misuse — appending to a closed journal, an unwritable path.
+    """
+
+
+class AdmissionError(ReproError):
+    """Base class for typed submission rejections from the campaign service.
+
+    Every admission rejection carries ``retry_after_s`` — a hint for when
+    the caller should try again (surfaced as the HTTP ``Retry-After``
+    header) — so clients can back off instead of hammering a full queue.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class QueueFull(AdmissionError):
+    """The durable job queue is at its bounded depth; nothing was enqueued."""
+
+
+class QuotaExceeded(AdmissionError):
+    """The submitter already holds its full quota of active jobs."""
+
+
+class CircuitOpen(AdmissionError):
+    """This configuration is quarantined: its workers repeatedly crashed.
+
+    The breaker re-admits a single probe job after the cooldown
+    (``retry_after_s``); a successful probe closes the circuit.
+    """
+
+
+class JobNotFound(ReproError, KeyError):
+    """No job with the requested id exists in the queue."""
+
+
+class JobStateError(ReproError):
+    """An operation is invalid for the job's current state (e.g. cancelling
+    a job that already completed, completing a job nobody holds a lease on)."""
 
 
 class RunFailure(ReproError):

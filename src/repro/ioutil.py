@@ -1,0 +1,80 @@
+"""Durable filesystem primitives shared by every persistence layer.
+
+Three subsystems write files whose loss or truncation would cost more than
+one re-simulation: the checkpoint store (:mod:`repro.runner.store`), the
+fleet's resume manifest (:mod:`repro.runner.fleet`), and the campaign
+service's write-ahead journal (:mod:`repro.service.journal`).  All of them
+route their writes through this module so the crash-safety contract lives in
+exactly one place:
+
+* :func:`atomic_write_json` — the classic temp-file + ``os.replace`` dance,
+  *with* the two fsyncs the old in-line versions skipped: the temp file's
+  contents are flushed to stable storage **before** the rename (so the
+  rename can never install an empty or truncated file), and the parent
+  directory is fsync'd **after** it (so the rename itself survives a power
+  cut).
+* :func:`fsync_dir` — directory fsync, tolerated to fail on filesystems
+  that refuse ``O_RDONLY`` directory handles (the write is still atomic
+  there, just not durably ordered — same guarantee as before this module).
+
+``os.fsync`` failures on the *data* are real errors and propagate;
+directory-fsync failures degrade silently because several platforms
+(and some network filesystems) simply do not support it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+def fsync_dir(path: str | Path) -> bool:
+    """Fsync a directory so a completed rename inside it is durable.
+
+    Returns ``True`` when the fsync happened, ``False`` when the platform
+    or filesystem would not allow it (never raises — the caller's write is
+    already atomic, this only strengthens ordering).
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Durably replace ``path`` with ``text`` (temp file + fsync + rename).
+
+    A crash at any instant leaves either the old complete file or the new
+    complete file — never a hybrid, never a zero-length husk.  The temp
+    file lives next to the target (same filesystem, so the rename is
+    atomic) and is cleaned up on failure.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    fd = os.open(os.fspath(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+def atomic_write_json(path: str | Path, payload, *, indent: int | None = 2) -> None:
+    """Durably write ``payload`` as JSON to ``path`` (see module docstring)."""
+    atomic_write_text(path, json.dumps(payload, indent=indent) + "\n")

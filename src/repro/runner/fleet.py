@@ -37,7 +37,6 @@ property that makes crashes containable makes results reproducible.
 
 from __future__ import annotations
 
-import json
 import logging
 import os
 import queue as queue_mod
@@ -57,6 +56,7 @@ from ..errors import (
     WorkerCrashError,
     WorkerOOMError,
 )
+from ..ioutil import atomic_write_json
 from ..obs import get_logger, log_event
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult
@@ -723,9 +723,7 @@ class FleetRunner(ExperimentRunner):
         directory = self.store.checkpoint_dir
         if directory is not None:
             path = Path(directory) / MANIFEST_NAME
-            tmp = path.with_suffix(".tmp")
-            tmp.write_text(json.dumps(manifest, indent=2) + "\n")
-            os.replace(tmp, path)
+            atomic_write_json(path, manifest)
             log_event(
                 logger, logging.INFO, "resume manifest written",
                 path=str(path), status=manifest["status"], **counts,

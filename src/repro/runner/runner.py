@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import logging
 import math
+import random
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Iterable
@@ -153,8 +154,15 @@ class ExperimentRunner:
         store: result store (defaults to a fresh memory-only store).
         timeout_s: per-run wall-clock deadline; ``None`` disables it.
         retries: additional attempts after a transient failure.
-        backoff_s: base of the exponential retry backoff
-            (``backoff_s * 2**attempt`` before attempt ``attempt+1``).
+        backoff_s: cap base of the exponential retry backoff: before
+            attempt ``attempt+1`` the runner sleeps a *full-jitter* draw
+            ``uniform(0, backoff_s * 2**attempt)``, so a fleet of workers
+            hitting one shared transient fault (an NFS blip, a saturated
+            disk) spreads its retries out instead of thundering back in
+            lockstep at exactly the same instant.
+        rng: uniform ``[0, 1)`` source for the jitter draw (defaults to
+            ``random.random``); tests inject a deterministic callable —
+            ``lambda: 1.0`` reproduces the old un-jittered ceiling.
         simulator_factory: ``config -> Simulator``-like; the fault-injection
             harness substitutes its wrapper here.
         clock / sleep: injectable time sources (tests use fakes).
@@ -167,6 +175,7 @@ class ExperimentRunner:
         timeout_s: float | None = None,
         retries: int = 0,
         backoff_s: float = 0.25,
+        rng: Callable[[], float] = random.random,
         simulator_factory: Callable[[SimConfig], Simulator] = Simulator,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
@@ -175,6 +184,7 @@ class ExperimentRunner:
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.rng = rng
         self.simulator_factory = simulator_factory
         self.clock = clock
         self.sleep = sleep
@@ -239,7 +249,10 @@ class ExperimentRunner:
                 attempt_errors.append(repr(exc))
                 if attempts <= self.retries:
                     self.stats.retries += 1
-                    backoff = self.backoff_s * (2 ** (attempts - 1))
+                    # Full jitter: uniform over [0, exponential ceiling).
+                    backoff = (
+                        self.backoff_s * (2 ** (attempts - 1)) * self.rng()
+                    )
                     log_event(
                         logger, logging.WARNING, "retrying after failure",
                         config=config.name, workload=workload,

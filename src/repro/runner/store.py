@@ -9,8 +9,10 @@ them.  The config ``name`` participates through the payload, so two different
 machines that were merely given the same label do not collide.
 
 Layout: one JSON file per completed run under ``checkpoint_dir``, written
-atomically (``.tmp`` + ``os.replace``) so an interrupt mid-write never leaves
-a half checkpoint that a later ``--resume`` would trip over.  Unreadable or
+durably and atomically (:func:`repro.ioutil.atomic_write_json`: fsync'd
+temp file + ``os.replace`` + directory fsync) so a crash at any instant —
+including right after the rename — never leaves a half checkpoint that a
+later ``--resume`` would trip over.  Unreadable or
 wrong-schema files found while resuming are *quarantined* (renamed to
 ``*.corrupt`` with a WARNING) and counted, never fatal — a corrupt
 checkpoint costs one re-simulation, not the campaign, and subsequent
@@ -27,6 +29,7 @@ import re
 from pathlib import Path
 
 from ..errors import CheckpointError
+from ..ioutil import atomic_write_json
 from ..obs import get_logger, log_event
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult
@@ -147,10 +150,10 @@ class ResultStore:
             "n_instrs": n_instrs,
             "result": result_to_dict(result),
         }
-        path = self._path(config, workload, n_instrs)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, indent=2) + "\n")
-        os.replace(tmp, path)
+        # Durable atomic write: fsync'd temp + rename + directory fsync, so
+        # a crash right after the replace cannot leave a truncated
+        # checkpoint for a later --resume to quarantine.
+        atomic_write_json(self._path(config, workload, n_instrs), payload)
 
     def _quarantine(self, path: Path) -> Path | None:
         """Move a corrupt checkpoint aside so no later resume re-parses it.

@@ -1,0 +1,60 @@
+"""Durable campaign service: crash-safe queue, leases, admission, HTTP API.
+
+The serving layer the roadmap's "simulation-as-a-service" arc builds on
+(see ARCHITECTURE.md "Campaign service").  The pieces, bottom up:
+
+* :mod:`repro.service.journal` — checksummed, fsync'd append-only
+  write-ahead journal; replay-on-start recovery, torn tails truncated.
+* :mod:`repro.service.queue` — the WAL-backed job state machine
+  (``pending → leased → done | failed | cancelled``) with lease-based
+  ownership, idempotent dedup by config fingerprint, priority scheduling,
+  bounded-depth/quota admission control, a per-config circuit breaker and
+  low-priority load shedding.
+* :mod:`repro.service.daemon` — :class:`CampaignService`: executor
+  threads over the existing runner stack, housekeeping, graceful shutdown.
+* :mod:`repro.service.http` — the stdlib HTTP JSON API.
+* :mod:`repro.service.cli` — ``python -m repro.service`` daemon + client.
+
+The core guarantee, enforced end to end by kill ``-9`` recovery tests: an
+acknowledged job is never lost and never double-runs — the journal commit
+is the acknowledgement, replay rebuilds the queue, and the resuming
+checkpoint store makes any re-execution a byte-identical cache hit.
+"""
+
+from __future__ import annotations
+
+from .daemon import CampaignService, build_service
+from .http import make_server, preset_configs, serve_in_thread
+from .journal import Journal, ReplayStats
+from .queue import (
+    CANCELLED,
+    CRASH_ERROR_TYPES,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    PRIORITIES,
+    Job,
+    JobQueue,
+    QueueCounters,
+)
+
+__all__ = [
+    "CANCELLED",
+    "CRASH_ERROR_TYPES",
+    "CampaignService",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobQueue",
+    "Journal",
+    "LEASED",
+    "PENDING",
+    "PRIORITIES",
+    "QueueCounters",
+    "ReplayStats",
+    "build_service",
+    "make_server",
+    "preset_configs",
+    "serve_in_thread",
+]

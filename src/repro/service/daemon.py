@@ -1,0 +1,376 @@
+"""The long-lived campaign service: executors, housekeeping, lifecycle.
+
+:class:`CampaignService` glues the durable queue (:mod:`repro.service.queue`)
+to the existing execution stack (:mod:`repro.runner`):
+
+* **Executor threads** lease jobs, run them through a per-thread runner
+  bound to one shared :class:`~repro.runner.store.ResultStore` (opened with
+  ``resume=True``, so a job re-run after a crash is a checkpoint hit and
+  its payload is byte-identical to the first run), then journal the
+  outcome.  Two isolation modes:
+
+  - ``thread`` (default): an in-process
+    :class:`~repro.runner.runner.ExperimentRunner`; the simulator's
+    per-instruction hook renews the lease and honours cancellation.
+  - ``process``: a per-thread single-worker
+    :class:`~repro.runner.fleet.FleetRunner`, buying crash/OOM containment
+    and hard timeouts; worker-death evidence
+    (``WorkerCrashError``/``WorkerOOMError``) feeds the queue's circuit
+    breaker.  While an executor is blocked in the fleet, the housekeeping
+    thread renews its lease — hang protection is the fleet's hard kill.
+
+* A **housekeeping thread** expires stale leases, publishes queue gauges
+  to the active :mod:`repro.obs` registry and (in process mode) renews
+  in-flight leases.
+
+* **Graceful shutdown** (:meth:`stop`): executors stop leasing, the
+  in-flight jobs finish or are released back to ``pending``, the journal
+  is compacted and closed.  Ungraceful death needs no handling at all —
+  that is the journal's job: on the next start, replay reclaims every
+  leased job and the store serves everything already completed.
+
+Exactly-once contract: a run's checkpoint (``store.put``) lands *before*
+its ``done`` journal record.  A crash between the two re-runs the job, but
+the re-run is a store hit returning the identical payload — so an
+acknowledged job completes exactly once as observed by any client, and its
+result bytes never depend on how many crashes it survived.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from typing import Callable
+
+from .. import obs
+from ..errors import ReproError, RunFailure
+from ..obs import get_logger, log_event
+from ..runner import (
+    ExperimentRunner,
+    FleetRunner,
+    ResultStore,
+    config_fingerprint,
+)
+from ..sim.serialization import config_from_dict, config_to_dict, result_to_dict
+from .journal import Journal
+from .queue import DONE, Job, JobQueue
+
+logger = get_logger("service")
+
+#: Retired instructions between lease-renewal/cancellation checks in the
+#: in-process executor's instruction hook.
+RENEW_CHECK_INTERVAL = 8192
+
+
+class _JobCancelled(ReproError):
+    """Internal: a leased job's cancellation flag was honoured mid-run."""
+
+
+class _ExecutorHook:
+    """Per-instruction hook: renew the lease, honour cancellation."""
+
+    def __init__(self, service: "CampaignService", job: Job, owner: str) -> None:
+        self._service = service
+        self._job_id = job.job_id
+        self._owner = owner
+        self._countdown = RENEW_CHECK_INTERVAL
+
+    def __call__(self, _retired: int) -> None:
+        self._countdown -= 1
+        if self._countdown > 0:
+            return
+        self._countdown = RENEW_CHECK_INTERVAL
+        queue = self._service.queue
+        job = queue.get(self._job_id)
+        if job.cancel_requested:
+            raise _JobCancelled(f"job {self._job_id} cancelled mid-run")
+        queue.renew(self._job_id, self._owner)
+
+
+class CampaignService:
+    """The serving loop around a :class:`JobQueue` and a result store.
+
+    Args:
+        queue: the durable queue (already recovered via journal replay).
+        store: shared result store; must be constructed with
+            ``resume=True`` so post-crash re-runs are checkpoint hits.
+        workers: executor threads.
+        isolation: ``"thread"`` (in-process runs) or ``"process"``
+            (per-job worker subprocesses via a single-worker fleet).
+        timeout_s / retries / max_rss_mb: forwarded to each executor's
+            runner (``max_rss_mb`` needs process isolation).
+        poll_s: idle executor sleep between lease attempts.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        store: ResultStore,
+        *,
+        workers: int = 1,
+        isolation: str = "thread",
+        timeout_s: float | None = None,
+        retries: int = 0,
+        max_rss_mb: float | None = None,
+        poll_s: float = 0.1,
+        runner_factory: Callable[[], ExperimentRunner] | None = None,
+    ) -> None:
+        if isolation not in ("thread", "process"):
+            raise ValueError(f"unknown isolation {isolation!r}")
+        if max_rss_mb is not None and isolation != "process":
+            raise ValueError("max_rss_mb requires isolation='process'")
+        self.queue = queue
+        self.store = store
+        self.workers = max(1, workers)
+        self.isolation = isolation
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.max_rss_mb = max_rss_mb
+        self.poll_s = poll_s
+        self._runner_factory = runner_factory or self._default_runner
+        self._stop = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self._inflight: dict[str, str] = {}   # thread name -> job id
+        self._inflight_lock = threading.Lock()
+        self._register_metrics()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Spawn the executor and housekeeping threads."""
+        if self._threads:
+            raise RuntimeError("service already started")
+        self._stop.clear()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._executor_loop, name=f"svc-exec-{i}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        keeper = threading.Thread(
+            target=self._housekeeping_loop, name="svc-keeper", daemon=True
+        )
+        keeper.start()
+        self._threads.append(keeper)
+        log_event(
+            logger, logging.INFO, "service started",
+            workers=self.workers, isolation=self.isolation,
+            queue_depth=self.queue.depth(),
+        )
+
+    def stop(self, *, timeout: float | None = None) -> None:
+        """Graceful shutdown: drain executors, compact and close the journal.
+
+        In-flight jobs finish (their results are checkpointed and
+        journaled); nothing new is leased.  Safe to call more than once.
+        """
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads.clear()
+        self.queue.compact()
+        self.queue.journal.close()
+        log_event(
+            logger, logging.INFO, "service stopped",
+            **{k: v for k, v in self.queue.stats()["states"].items()},
+        )
+
+    def wait_idle(self, timeout: float | None = None, poll_s: float = 0.05) -> bool:
+        """Block until no job is pending or leased (testing/drain helper)."""
+        import time as _time
+
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while not self.queue.idle():
+            if deadline is not None and _time.monotonic() > deadline:
+                return False
+            _time.sleep(poll_s)
+        return True
+
+    # ------------------------------------------------------------ admission
+
+    def submit_config(
+        self,
+        config_payload: dict,
+        workload: str,
+        n_instrs: int,
+        *,
+        priority: int | str = "normal",
+        submitter: str = "anonymous",
+    ) -> tuple[Job, bool]:
+        """Validate and admit one submission (the HTTP layer's entry point).
+
+        The configuration is round-tripped through the canonical serializer
+        and eagerly validated, so a nonsense machine is rejected at the
+        API boundary (:class:`~repro.errors.ConfigError`), never leased.
+        """
+        config = config_from_dict(config_payload)
+        config.validate()
+        return self.queue.submit(
+            config_to_dict(config),
+            workload,
+            int(n_instrs),
+            fingerprint=config_fingerprint(config),
+            config_name=config.name,
+            priority=priority,
+            submitter=submitter,
+        )
+
+    def result_payload(self, job: Job) -> dict | None:
+        """The stored :class:`RunResult` for a done job, serialized."""
+        if job.state != DONE:
+            return None
+        config = config_from_dict(job.config)
+        result = self.store.get(config, job.workload, job.n_instrs)
+        return result_to_dict(result) if result is not None else None
+
+    # ------------------------------------------------------------ executors
+
+    def _default_runner(self) -> ExperimentRunner:
+        if self.isolation == "process":
+            return FleetRunner(
+                self.store,
+                jobs=1,
+                timeout_s=self.timeout_s,
+                retries=self.retries,
+                max_rss_mb=self.max_rss_mb,
+            )
+        return ExperimentRunner(
+            self.store, timeout_s=self.timeout_s, retries=self.retries
+        )
+
+    def _executor_loop(self) -> None:
+        owner = threading.current_thread().name
+        runner = self._runner_factory()
+        while not self._stop.is_set():
+            job = self.queue.lease(owner)
+            if job is None:
+                self._stop.wait(self.poll_s)
+                continue
+            with self._inflight_lock:
+                self._inflight[owner] = job.job_id
+            try:
+                self._run_job(runner, job, owner)
+            finally:
+                with self._inflight_lock:
+                    self._inflight.pop(owner, None)
+
+    def _run_job(self, runner: ExperimentRunner, job: Job, owner: str) -> None:
+        config = config_from_dict(job.config)
+        if self.isolation == "thread":
+            runner.instruction_hook = _ExecutorHook(self, job, owner)
+        try:
+            result = runner.run(config, job.workload, job.n_instrs)
+        except _JobCancelled:
+            self.queue.fail(
+                job.job_id, owner,
+                error_type="Cancelled", message="cancelled mid-run",
+                crash=False,
+            )
+            return
+        except RunFailure:
+            record = runner.failures[-1] if runner.failures else None
+            self.queue.fail(
+                job.job_id, owner,
+                error_type=record.error_type if record else "RunFailure",
+                message=record.message if record else "run failed",
+            )
+            return
+        except Exception as exc:  # containment: an executor never dies
+            log_event(
+                logger, logging.ERROR, "executor error",
+                job=job.job_id, error=repr(exc),
+            )
+            self.queue.fail(
+                job.job_id, owner,
+                error_type=type(exc).__name__, message=str(exc), crash=False,
+            )
+            return
+        summary = {
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "avg_load_latency": result.avg_load_latency,
+            "degraded": job.degraded,
+        }
+        try:
+            self.queue.complete(job.job_id, owner, summary)
+        except ReproError as exc:
+            # Lease lost mid-run (expired and reclaimed, or cancelled):
+            # the result is checkpointed either way, so a re-run is a hit.
+            log_event(
+                logger, logging.WARNING, "completion rejected",
+                job=job.job_id, error=repr(exc),
+            )
+
+    # ---------------------------------------------------------- housekeeping
+
+    def _housekeeping_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.queue.expire_leases()
+                if self.isolation == "process":
+                    self._renew_inflight()
+                self._publish_gauges()
+            except Exception as exc:  # housekeeping must never die
+                log_event(
+                    logger, logging.ERROR, "housekeeping error",
+                    error=repr(exc),
+                )
+            self._stop.wait(max(self.poll_s, 0.05))
+
+    def _renew_inflight(self) -> None:
+        """Keep leases alive while executors block inside the fleet.
+
+        Hang protection is not lost: the fleet's hard deadline kills a
+        stuck worker, the executor returns, and renewal stops with it.
+        """
+        with self._inflight_lock:
+            inflight = dict(self._inflight)
+        for owner, job_id in inflight.items():
+            try:
+                self.queue.renew(job_id, owner)
+            except ReproError:
+                pass  # job finished or was reclaimed between snapshots
+
+    # ------------------------------------------------------------- metrics
+
+    def _register_metrics(self) -> None:
+        registry = obs.metrics()
+        if registry.enabled:
+            registry.register_provider("service", self.queue.stats)
+
+    def _publish_gauges(self) -> None:
+        registry = obs.metrics()
+        if not registry.enabled:
+            return
+        stats = self.queue.stats()
+        registry.gauge("service.queue.depth").set(stats["depth"])
+        registry.gauge("service.queue.leased").set(stats["states"]["leased"])
+        counters = stats["counters"]
+        for name in (
+            "completed", "failed", "cancelled", "shed_degraded",
+            "rejected_full", "rejected_quota", "rejected_breaker",
+            "leases_expired",
+        ):
+            registry.gauge(f"service.{name}").set(counters[name])
+
+
+def build_service(
+    journal_path,
+    checkpoint_dir,
+    *,
+    fsync: bool = True,
+    queue_kwargs: dict | None = None,
+    **service_kwargs,
+) -> CampaignService:
+    """Convenience constructor: journal + recovered queue + resuming store.
+
+    This is the one true recipe for standing the service up — the CLI and
+    the tests both use it, so crash recovery is exercised the same way
+    everywhere: replay the journal, reclaim dead leases, and open the
+    store with ``resume=True`` so completed work is never re-simulated.
+    """
+    journal = Journal(journal_path, fsync=fsync)
+    queue = JobQueue(journal, **(queue_kwargs or {}))
+    store = ResultStore(checkpoint_dir, resume=True)
+    return CampaignService(queue, store, **service_kwargs)

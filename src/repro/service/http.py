@@ -1,0 +1,253 @@
+"""Stdlib HTTP API over the campaign service (no new dependencies).
+
+A thin, threaded JSON layer (``http.server.ThreadingHTTPServer``) over
+:class:`~repro.service.daemon.CampaignService`.  Endpoints (all under
+``/api/v1``):
+
+=======  ==========================  ===========================================
+Method   Path                        Meaning
+=======  ==========================  ===========================================
+POST     ``/api/v1/jobs``            submit ``{config|preset, workload,
+                                     n_instrs, priority?, submitter?}`` —
+                                     202 with the job row (``deduped`` marks
+                                     an idempotent hit)
+GET      ``/api/v1/jobs/<id>``       job status (the full state-machine row)
+GET      ``/api/v1/jobs/<id>/result``serialized RunResult — 200 when done,
+                                     202 while pending/leased, 410 for
+                                     failed/cancelled
+POST     ``/api/v1/jobs/<id>/cancel``cancel (immediate for pending, flagged
+                                     for leased)
+GET      ``/api/v1/jobs``            all job rows
+GET      ``/api/v1/stats``           queue statistics + journal replay stats
+GET      ``/api/v1/healthz``         liveness probe
+=======  ==========================  ===========================================
+
+Typed admission rejections (:class:`~repro.errors.QueueFull`,
+:class:`~repro.errors.QuotaExceeded`, :class:`~repro.errors.CircuitOpen`)
+map to **429** with a ``Retry-After`` header carrying the queue's hint;
+:class:`~repro.errors.ConfigError` and malformed bodies map to **400**,
+unknown jobs to **404**, invalid state transitions to **409**.
+
+``preset`` names a server-side configuration
+(:func:`preset_configs`: the Skylake baselines plus the fig10 variants) so
+clients can drive paper campaigns without shipping a config payload.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..errors import (
+    AdmissionError,
+    ConfigError,
+    JobNotFound,
+    JobStateError,
+)
+from ..obs import get_logger, log_event
+from ..sim.config import fig10_configs, skylake_client, skylake_server
+from ..sim.serialization import config_to_dict
+from .daemon import CampaignService
+
+logger = get_logger("service.http")
+
+_JOB_PATH = re.compile(r"^/api/v1/jobs/([A-Za-z0-9_-]+)(/result|/cancel)?$")
+
+#: Cap on request bodies; a config payload is a few KiB.
+MAX_BODY_BYTES = 1 << 20
+
+
+def preset_configs() -> dict:
+    """Named server-side configurations clients may submit by ``preset``."""
+    presets = {}
+    for config in (skylake_server(), skylake_client(), *fig10_configs()):
+        presets[config.name] = config
+    return presets
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests to the service; one instance per request (threaded)."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+    service: CampaignService  # injected by make_server's subclass
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        log_event(
+            logger, logging.DEBUG, "http", request=format % args,
+            client=self.client_address[0],
+        )
+
+    def _json(self, status: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload, indent=2).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str, *, error_type: str = "",
+               headers: dict | None = None) -> None:
+        self._json(
+            status,
+            {"error": message, "error_type": error_type or "Error"},
+            headers,
+        )
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ValueError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b"{}"
+        payload = json.loads(raw or b"{}")
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/api/v1/healthz":
+                self._json(200, {"status": "ok"})
+            elif self.path == "/api/v1/stats":
+                self._json(200, self.service.queue.stats())
+            elif self.path == "/api/v1/jobs":
+                self._json(
+                    200,
+                    {"jobs": [job.to_dict() for job in self.service.queue.jobs()]},
+                )
+            else:
+                match = _JOB_PATH.match(self.path)
+                if match and match.group(2) is None:
+                    self._job_status(match.group(1))
+                elif match and match.group(2) == "/result":
+                    self._job_result(match.group(1))
+                else:
+                    self._error(404, f"no route {self.path}")
+        except JobNotFound as exc:
+            self._error(404, str(exc), error_type="JobNotFound")
+        except Exception as exc:  # the server must outlive any request
+            log_event(logger, logging.ERROR, "request error", error=repr(exc))
+            self._error(500, repr(exc), error_type="InternalError")
+
+    def do_POST(self) -> None:  # noqa: N802
+        try:
+            if self.path == "/api/v1/jobs":
+                self._submit()
+                return
+            match = _JOB_PATH.match(self.path)
+            if match and match.group(2) == "/cancel":
+                self._cancel(match.group(1))
+                return
+            self._error(404, f"no route {self.path}")
+        except AdmissionError as exc:
+            self._error(
+                429, str(exc), error_type=type(exc).__name__,
+                headers={"Retry-After": str(int(exc.retry_after_s + 0.5) or 1)},
+            )
+        except JobNotFound as exc:
+            # Before the 400 clause: JobNotFound is also a KeyError.
+            self._error(404, str(exc), error_type="JobNotFound")
+        except (ConfigError, ValueError, KeyError, TypeError) as exc:
+            self._error(400, str(exc) or repr(exc), error_type=type(exc).__name__)
+        except JobStateError as exc:
+            self._error(409, str(exc), error_type="JobStateError")
+        except Exception as exc:
+            log_event(logger, logging.ERROR, "request error", error=repr(exc))
+            self._error(500, repr(exc), error_type="InternalError")
+
+    # -------------------------------------------------------------- handlers
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        config_payload = body.get("config")
+        preset = body.get("preset")
+        if (config_payload is None) == (preset is None):
+            raise ValueError("submit exactly one of 'config' or 'preset'")
+        if preset is not None:
+            presets = preset_configs()
+            if preset not in presets:
+                raise ValueError(
+                    f"unknown preset {preset!r} "
+                    f"(choices: {', '.join(sorted(presets))})"
+                )
+            config_payload = config_to_dict(presets[preset])
+        workload = body.get("workload")
+        if not isinstance(workload, str) or not workload:
+            raise ValueError("'workload' must be a non-empty string")
+        n_instrs = body.get("n_instrs")
+        if not isinstance(n_instrs, int) or n_instrs <= 0:
+            raise ValueError("'n_instrs' must be a positive integer")
+        job, deduped = self.service.submit_config(
+            config_payload,
+            workload,
+            n_instrs,
+            priority=body.get("priority", "normal"),
+            submitter=str(body.get("submitter", "anonymous")),
+        )
+        self._json(202, dict(job.to_dict(), deduped=deduped))
+
+    def _job_status(self, job_id: str) -> None:
+        self._json(200, self.service.queue.get(job_id).to_dict())
+
+    def _job_result(self, job_id: str) -> None:
+        job = self.service.queue.get(job_id)
+        if job.state in ("pending", "leased"):
+            self._json(202, {"state": job.state, "job_id": job_id})
+            return
+        if job.state != "done":
+            self._error(
+                410, f"job {job_id} is {job.state}", error_type="JobStateError",
+            )
+            return
+        payload = self.service.result_payload(job)
+        if payload is None:
+            # Done per the journal but the checkpoint is gone (deleted or
+            # quarantined): surface it rather than 500 on a KeyError.
+            self._error(
+                503, f"result for {job_id} is not in the store",
+                error_type="CheckpointError",
+            )
+            return
+        self._json(200, {
+            "job_id": job_id,
+            "degraded": job.degraded,
+            "requested_n_instrs": job.requested_n_instrs,
+            "result": payload,
+        })
+
+    def _cancel(self, job_id: str) -> None:
+        job = self.service.queue.cancel(job_id)
+        self._json(202, job.to_dict())
+
+
+def make_server(
+    service: CampaignService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """Build the HTTP server bound to ``service`` (port 0 = OS-assigned)."""
+
+    class _Handler(ServiceHandler):
+        pass
+
+    _Handler.service = service
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    return server
+
+
+def serve_in_thread(server: ThreadingHTTPServer) -> threading.Thread:
+    """Run ``server.serve_forever`` on a daemon thread (tests and the CLI)."""
+    thread = threading.Thread(
+        target=server.serve_forever, name="svc-http", daemon=True,
+        kwargs={"poll_interval": 0.1},
+    )
+    thread.start()
+    return thread

@@ -1,0 +1,251 @@
+"""Crash-safe append-only write-ahead journal for the campaign service.
+
+The journal is the durability backbone of :mod:`repro.service.queue`: every
+queue mutation is appended here *before* it is applied in memory, so the
+full queue state is a pure function of the journal and a process killed at
+any instant — ``kill -9`` included — recovers by replay.
+
+Record format (one record per line, text so the journal is greppable)::
+
+    J1 <crc32:08x> <nbytes> <payload>\\n
+
+where ``payload`` is compact JSON (no embedded newlines), ``nbytes`` its
+UTF-8 byte length, and the CRC-32 covers the payload bytes.  Appends are
+flushed and ``fsync``'d before :meth:`Journal.append` returns (the
+directory too, on the first append of a journal's life), which is the
+commit point: a record the caller saw acknowledged survives any crash.
+
+Replay walks records from the start and stops at the first torn or corrupt
+entry: a missing trailing newline, a malformed header, a length or checksum
+mismatch.  Everything from that point on is a *tail* the crash tore — it is
+truncated (the bad bytes are preserved in a ``*.torn`` sidecar first) with
+a WARNING, mirroring the checkpoint store's quarantine semantics: recovery
+costs re-submitting at most the one un-acknowledged record, never the
+journal.  Because records are only ever appended, a prefix of bytes is a
+prefix of committed records — the property ``tests/test_service_journal.py``
+proves by killing the writer at every byte boundary.
+
+:meth:`Journal.rewrite` compacts: it atomically replaces the journal with a
+snapshot set of records (fsync'd temp + rename + directory fsync via
+:mod:`repro.ioutil`), so a long-lived service's replay cost is bounded by
+live state, not lifetime history.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import JournalError
+from ..ioutil import fsync_dir
+from ..obs import get_logger, log_event
+
+logger = get_logger("service.journal")
+
+#: Record magic / format version tag; bump on any layout change.
+MAGIC = b"J1"
+
+
+@dataclass
+class ReplayStats:
+    """What a replay found — published through the service metrics."""
+
+    records: int = 0            #: committed records recovered
+    committed_bytes: int = 0    #: byte offset of the last committed record
+    torn_bytes: int = 0         #: bytes truncated from a torn/corrupt tail
+    torn_sidecar: str | None = None  #: where the bad tail was preserved
+    errors: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "records": self.records,
+            "committed_bytes": self.committed_bytes,
+            "torn_bytes": self.torn_bytes,
+            "torn_sidecar": self.torn_sidecar,
+            "errors": list(self.errors),
+        }
+
+
+def encode_record(payload: dict) -> bytes:
+    """One committed record as bytes (exactly what :meth:`append` writes)."""
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+    return b"%s %08x %d " % (MAGIC, zlib.crc32(body), len(body)) + body + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one full record line (without trusting it); raises ValueError."""
+    if not line.endswith(b"\n"):
+        raise ValueError("record has no trailing newline (torn write)")
+    head = line[:-1]
+    parts = head.split(b" ", 3)
+    if len(parts) != 4 or parts[0] != MAGIC:
+        raise ValueError("malformed record header")
+    _, crc_hex, nbytes_s, body = parts
+    try:
+        crc = int(crc_hex, 16)
+        nbytes = int(nbytes_s)
+    except ValueError:
+        raise ValueError("malformed record header fields")
+    if len(body) != nbytes:
+        raise ValueError(f"record length mismatch ({len(body)} != {nbytes})")
+    if zlib.crc32(body) != crc:
+        raise ValueError("record checksum mismatch")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"record payload is not JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise ValueError("record payload is not an object")
+    return payload
+
+
+class Journal:
+    """Append-only, checksummed, fsync-per-append record log.
+
+    Args:
+        path: journal file (created, with parents, on first use).
+        fsync: flush every append to stable storage before acknowledging
+            it (the production default).  Tests that hammer the journal
+            may disable it — the *format* guarantees are unchanged, only
+            power-loss durability is.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+        self._dir_synced = False
+
+    # ------------------------------------------------------------- writing
+
+    def append(self, payload: dict) -> None:
+        """Durably commit one record; returns only once it would survive."""
+        if self._fh is None:
+            self._open_for_append()
+        record = encode_record(payload)
+        try:
+            self._fh.write(record)
+            self._fh.flush()
+            if self.fsync:
+                os.fsync(self._fh.fileno())
+        except ValueError as exc:  # write on a closed underlying file
+            raise JournalError(f"journal {self.path} is closed: {exc}")
+        if not self._dir_synced:
+            # First durable record of this journal's life: make the file's
+            # *existence* durable too.
+            if self.fsync:
+                fsync_dir(self.path.parent)
+            self._dir_synced = True
+
+    def _open_for_append(self) -> None:
+        try:
+            self._fh = open(self.path, "ab")
+        except OSError as exc:
+            raise JournalError(f"cannot open journal {self.path}: {exc}")
+
+    # ------------------------------------------------------------- reading
+
+    def replay(self) -> tuple[list[dict], ReplayStats]:
+        """Recover the committed record prefix, truncating any torn tail.
+
+        Safe to call on a missing journal (no records, no stats).  Must be
+        called before :meth:`append` re-opens the file, i.e. at service
+        start — the normal lifecycle — so truncation never races a writer.
+        """
+        stats = ReplayStats()
+        if not self.path.exists():
+            return [], stats
+        if self._fh is not None:
+            raise JournalError("replay() on a journal already open for append")
+        data = self.path.read_bytes()
+        records: list[dict] = []
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            line = data[offset : len(data) if newline < 0 else newline + 1]
+            try:
+                records.append(decode_line(line))
+            except ValueError as exc:
+                stats.errors.append(str(exc))
+                break
+            offset += len(line)
+        stats.records = len(records)
+        stats.committed_bytes = offset
+        if offset < len(data):
+            stats.torn_bytes = len(data) - offset
+            stats.torn_sidecar = str(self._truncate_tail(data, offset))
+            log_event(
+                logger, logging.WARNING, "truncated torn journal tail",
+                path=str(self.path), committed_records=stats.records,
+                torn_bytes=stats.torn_bytes, sidecar=stats.torn_sidecar,
+                error=stats.errors[-1] if stats.errors else None,
+            )
+        return records, stats
+
+    def _truncate_tail(self, data: bytes, offset: int) -> Path:
+        """Preserve the bad tail in a ``*.torn`` sidecar, then truncate."""
+        sidecar = self.path.with_suffix(self.path.suffix + ".torn")
+        serial = 0
+        while sidecar.exists():
+            serial += 1
+            sidecar = self.path.with_suffix(f"{self.path.suffix}.torn.{serial}")
+        try:
+            sidecar.write_bytes(data[offset:])
+        except OSError:
+            pass  # forensics are best-effort; the truncation is not
+        with open(self.path, "r+b") as fh:
+            fh.truncate(offset)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        return sidecar
+
+    # ---------------------------------------------------------- compaction
+
+    def rewrite(self, payloads: list[dict]) -> None:
+        """Atomically replace the journal's contents with ``payloads``.
+
+        Used for compaction: the caller snapshots live state as records and
+        the journal swaps wholesale — a crash leaves either the old or the
+        new journal, both complete.
+        """
+        was_open = self._fh is not None
+        if was_open:
+            self.close()
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as fh:
+            for payload in payloads:
+                fh.write(encode_record(payload))
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        if self.fsync:
+            fsync_dir(self.path.parent)
+        self._dir_synced = True
+        if was_open:
+            self._open_for_append()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        if self._fh is not None:
+            try:
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+            except (OSError, ValueError):
+                pass
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

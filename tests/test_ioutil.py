@@ -1,0 +1,78 @@
+"""Tests for the shared durable-write primitives (repro.ioutil)."""
+
+import json
+import os
+
+import pytest
+
+from repro import ioutil
+from repro.ioutil import atomic_write_json, atomic_write_text, fsync_dir
+
+
+class TestAtomicWriteJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"a": 1, "b": [2, 3]})
+        assert json.loads(path.read_text()) == {"a": 1, "b": [2, 3]}
+        assert path.read_text().endswith("\n")
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"v": 1})
+        atomic_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_no_temp_residue(self, tmp_path):
+        atomic_write_json(tmp_path / "out.json", {"v": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_data_fsynced_before_rename(self, tmp_path, monkeypatch):
+        """The temp file's bytes hit stable storage before os.replace runs."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (events.append("fsync"), real_fsync(fd))
+        )
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (events.append("replace"), real_replace(a, b)),
+        )
+        atomic_write_json(tmp_path / "out.json", {"v": 1})
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")
+
+    def test_directory_fsynced_after_rename(self, tmp_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(
+            ioutil, "fsync_dir", lambda path: synced.append(path) or True
+        )
+        atomic_write_json(tmp_path / "out.json", {"v": 1})
+        assert synced == [tmp_path]
+
+    def test_failed_write_cleans_temp_and_keeps_old(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.json"
+        atomic_write_json(path, {"v": 1})
+
+        def boom(fd):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "fsync", boom)
+        with pytest.raises(OSError, match="disk full"):
+            atomic_write_text(path, "new contents")
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+
+class TestFsyncDir:
+    def test_syncs_a_real_directory(self, tmp_path):
+        assert fsync_dir(tmp_path) is True
+
+    def test_missing_directory_degrades_to_false(self, tmp_path):
+        assert fsync_dir(tmp_path / "nope") is False
+
+    def test_unsupported_fsync_degrades_to_false(self, tmp_path, monkeypatch):
+        def refuse(fd):
+            raise OSError("EINVAL")
+
+        monkeypatch.setattr(os, "fsync", refuse)
+        assert fsync_dir(tmp_path) is False

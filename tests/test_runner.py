@@ -120,6 +120,26 @@ class TestStore:
         assert len(names) == 3
         assert names[1].endswith(".corrupt.1") and names[2].endswith(".corrupt.2")
 
+    def test_quarantine_rename_failure_degrades_to_skip(
+        self, tmp_path, monkeypatch
+    ):
+        """If the .corrupt rename itself fails (read-only dir, races), the
+        resume degrades to the old count-and-skip path instead of dying."""
+        import os
+
+        make_runner(store=ResultStore(tmp_path)).run(CFG, "hmmer_like", N)
+        (checkpoint,) = tmp_path.glob("*.json")
+        checkpoint.write_text("{ not json")
+
+        def refuse(src, dst):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(os, "replace", refuse)
+        store = ResultStore(tmp_path, resume=True)
+        assert store._quarantine(checkpoint) is None
+        assert store.quarantined == []
+        assert checkpoint.exists()  # left in place, counted, not re-parsed
+
     def test_wrong_schema_checkpoint_rejected(self, tmp_path):
         store = ResultStore(tmp_path)
         make_runner(store=store).run(CFG, "hmmer_like", N)
@@ -175,6 +195,37 @@ class TestIsolationAndRetry:
         assert runner.failures == []
 
     def test_backoff_is_exponential(self):
+        # rng=1.0 pins the full-jitter draw to the deterministic ceiling.
+        naps = []
+        injector = FaultInjector(kind="raise", at_instruction=300, times=2)
+        runner = ExperimentRunner(
+            simulator_factory=injector.simulator_factory,
+            retries=2,
+            backoff_s=0.5,
+            sleep=naps.append,
+            rng=lambda: 1.0,
+        )
+        runner.run(CFG, "hmmer_like", N)
+        assert naps == [0.5, 1.0]
+
+    def test_backoff_is_fully_jittered(self):
+        """Each nap is uniform over [0, ceiling): the injected rng draw
+        scales the exponential ceiling, so a fleet of retrying runners
+        never synchronises into a retry storm."""
+        naps = []
+        draws = iter([0.5, 0.25])
+        injector = FaultInjector(kind="raise", at_instruction=300, times=2)
+        runner = ExperimentRunner(
+            simulator_factory=injector.simulator_factory,
+            retries=2,
+            backoff_s=0.5,
+            sleep=naps.append,
+            rng=lambda: next(draws),
+        )
+        runner.run(CFG, "hmmer_like", N)
+        assert naps == [0.5 * 0.5, 1.0 * 0.25]
+
+    def test_default_backoff_never_exceeds_the_ceiling(self):
         naps = []
         injector = FaultInjector(kind="raise", at_instruction=300, times=2)
         runner = ExperimentRunner(
@@ -184,7 +235,9 @@ class TestIsolationAndRetry:
             sleep=naps.append,
         )
         runner.run(CFG, "hmmer_like", N)
-        assert naps == [0.5, 1.0]
+        assert len(naps) == 2
+        assert 0.0 <= naps[0] < 0.5
+        assert 0.0 <= naps[1] < 1.0
 
     def test_failure_record_shape(self):
         injector = FaultInjector(kind="raise", at_instruction=300, times=99)

@@ -1,0 +1,293 @@
+"""Tests for the campaign daemon: execution parity with the serial runner,
+degraded-mode provenance, the crash circuit breaker, graceful restart —
+and the headline robustness contract, exercised against a real daemon
+subprocess: ``kill -9`` mid-campaign loses no acknowledged job and every
+result is byte-identical to a serial run."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.errors import CircuitOpen, RunFailure
+from repro.runner import ExperimentRunner, FailureRecord, ResultStore
+from repro.service import DONE, FAILED, build_service
+from repro.service.http import preset_configs
+from repro.sim.serialization import config_to_dict, result_to_dict
+
+N = 2000
+
+
+def make_service(tmp_path, **kwargs):
+    queue_kwargs = kwargs.pop("queue_kwargs", {})
+    return build_service(
+        tmp_path / "journal.wal", tmp_path / "ckpt", fsync=False,
+        queue_kwargs=queue_kwargs, **kwargs,
+    )
+
+
+def submit_preset(service, preset="baseline_server", workload="hmmer_like",
+                  n=N, **kwargs):
+    payload = config_to_dict(preset_configs()[preset])
+    job, _ = service.submit_config(payload, workload, n, **kwargs)
+    return job
+
+
+def wait_for(predicate, timeout=30.0, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return predicate()
+
+
+class TestExecution:
+    def test_result_matches_serial_runner_byte_for_byte(self, tmp_path):
+        service = make_service(tmp_path / "svc")
+        job = submit_preset(service)
+        service.start()
+        try:
+            assert service.wait_idle(timeout=30)
+        finally:
+            service.stop()
+        done = service.queue.get(job.job_id)
+        assert done.state == DONE
+        assert done.summary["ipc"] > 0
+        assert done.summary["degraded"] is False
+
+        serial_dir = tmp_path / "serial"
+        serial = ExperimentRunner(store=ResultStore(serial_dir))
+        expected = serial.run(
+            preset_configs()["baseline_server"], "hmmer_like", N
+        )
+        assert service.result_payload(done) == result_to_dict(expected)
+        # The checkpoints themselves are byte-identical across runners.
+        (serial_file,) = serial_dir.glob("*.json")
+        service_file = tmp_path / "svc" / "ckpt" / serial_file.name
+        assert service_file.read_bytes() == serial_file.read_bytes()
+
+    def test_shed_job_runs_degraded_with_provenance(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            queue_kwargs={
+                "max_depth": 4, "shed_watermark": 0.5, "shed_n_instrs": 1000,
+            },
+        )
+        submit_preset(service, "baseline_server", "hmmer_like")
+        submit_preset(service, "baseline_client", "hmmer_like")
+        shed = submit_preset(
+            service, "baseline_server", "mcf_like", n=50_000, priority="low"
+        )
+        assert shed.degraded and shed.n_instrs == 1000
+        service.start()
+        try:
+            assert service.wait_idle(timeout=60)
+        finally:
+            service.stop()
+        done = service.queue.get(shed.job_id)
+        assert done.state == DONE
+        assert done.summary["degraded"] is True
+        assert done.requested_n_instrs == 50_000
+        payload = service.result_payload(done)
+        assert payload["instructions"] < 50_000  # the quick estimate ran
+
+    def test_cancelled_pending_job_never_executes(self, tmp_path):
+        service = make_service(tmp_path)
+        job = submit_preset(service)
+        service.queue.cancel(job.job_id)
+        service.start()
+        try:
+            assert service.wait_idle(timeout=10)
+        finally:
+            service.stop()
+        assert service.queue.get(job.job_id).state == "cancelled"
+        assert list((tmp_path / "ckpt").glob("*.json")) == []
+
+    def test_graceful_stop_then_restart_serves_done_work(self, tmp_path):
+        service = make_service(tmp_path)
+        job = submit_preset(service)
+        service.start()
+        assert service.wait_idle(timeout=30)
+        service.stop()
+
+        reopened = make_service(tmp_path)
+        recovered = reopened.queue.get(job.job_id)
+        assert recovered.state == DONE
+        assert reopened.result_payload(recovered) is not None
+        # Resubmission of the completed point dedups instead of re-running.
+        again, deduped = reopened.submit_config(
+            config_to_dict(preset_configs()["baseline_server"]),
+            "hmmer_like", N,
+        )
+        assert deduped and again.job_id == job.job_id
+        reopened.queue.journal.close()
+
+
+class CrashingRunner:
+    """Stands in for a fleet whose worker dies on this config every time."""
+
+    def run(self, config, workload, n_instrs):
+        self.failures.append(FailureRecord(
+            config_name=config.name, workload=workload, n_instrs=n_instrs,
+            error_type="WorkerCrashError", message="simulated worker death",
+            elapsed_s=0.0, attempts=1,
+        ))
+        raise RunFailure(
+            f"worker crashed on {config.name}",
+            config_name=config.name, workload=workload, n_instrs=n_instrs,
+            attempts=1, elapsed_s=0.0,
+        )
+
+    def __init__(self):
+        self.failures = []
+
+
+class TestCircuitBreaker:
+    def test_repeated_worker_crashes_quarantine_the_config(self, tmp_path):
+        service = make_service(
+            tmp_path,
+            queue_kwargs={"breaker_threshold": 2, "max_attempts": 10},
+            runner_factory=CrashingRunner,
+            poll_s=0.01,
+        )
+        job = submit_preset(service)
+        service.start()
+        try:
+            assert wait_for(
+                lambda: service.queue.get(job.job_id).state == FAILED
+            )
+        finally:
+            service.stop()
+        failed = service.queue.get(job.job_id)
+        assert failed.error["error_type"] == "WorkerCrashError"
+        with pytest.raises(CircuitOpen):
+            submit_preset(service, "baseline_server", "mcf_like")
+
+
+@pytest.mark.slow
+class TestKillDashNine:
+    """The ISSUE's robustness gate, against a real ``python -m repro.service``
+    daemon: SIGKILL mid-campaign, restart, and every acknowledged job must
+    complete exactly once with results byte-identical to a serial run."""
+
+    N_INSTRS = 24_000
+    POINTS = [
+        ("baseline_server", "hmmer_like"),
+        ("baseline_server", "mcf_like"),
+        ("baseline_client", "hmmer_like"),
+        ("baseline_client", "mcf_like"),
+    ]
+
+    def _spawn(self, state_dir):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1])
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.service", "serve", str(state_dir),
+             "--workers", "1", "--lease-s", "10"],
+            env=env,
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+
+    def _wait_ready(self, state_dir, timeout=30.0):
+        ready = state_dir / "service.json"
+        assert wait_for(ready.exists, timeout=timeout), "daemon never bound"
+        return json.loads(ready.read_text())["url"]
+
+    def _request(self, url, method="GET", payload=None):
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        with urllib.request.urlopen(req, timeout=15) as resp:
+            return resp.status, json.loads(resp.read())
+
+    def _stats(self, url):
+        return self._request(f"{url}/api/v1/stats")[1]
+
+    def test_sigkill_mid_campaign_loses_nothing(self, tmp_path):
+        state_dir = tmp_path / "state"
+        proc = self._spawn(state_dir)
+        try:
+            url = self._wait_ready(state_dir)
+            acked = []
+            for preset, workload in self.POINTS:
+                status, body = self._request(
+                    f"{url}/api/v1/jobs", "POST",
+                    {"preset": preset, "workload": workload,
+                     "n_instrs": self.N_INSTRS},
+                )
+                assert status == 202
+                acked.append(body["job_id"])
+
+            # Kill -9 in the window where work is demonstrably mid-flight:
+            # at least one job done, at least one still pending or leased.
+            def mid_campaign():
+                states = self._stats(url)["states"]
+                return states["done"] >= 1 and (
+                    states["pending"] + states["leased"] >= 1
+                )
+
+            assert wait_for(mid_campaign, timeout=60), (
+                "never observed a mid-campaign window to kill in"
+            )
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.wait(timeout=10)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+        # Same command again: replay the journal, reclaim the dead lease,
+        # finish the campaign.
+        (state_dir / "service.json").unlink()  # stale ready file (kill -9)
+        proc = self._spawn(state_dir)
+        try:
+            url = self._wait_ready(state_dir)
+
+            def all_done():
+                states = self._stats(url)["states"]
+                return states["done"] == len(self.POINTS)
+
+            assert wait_for(all_done, timeout=120), (
+                f"campaign did not finish: {self._stats(url)['states']}"
+            )
+            stats = self._stats(url)
+            assert stats["journal_replay"]["records"] > 0
+            # Exactly once, per job identity: every acked id is done, no
+            # duplicate rows were minted for the same work.
+            _, listing = self._request(f"{url}/api/v1/jobs")
+            by_id = {job["job_id"]: job for job in listing["jobs"]}
+            assert sorted(by_id) == sorted(acked)
+            assert all(job["state"] == "done" for job in by_id.values())
+
+            results = {}
+            for job_id in acked:
+                status, body = self._request(
+                    f"{url}/api/v1/jobs/{job_id}/result"
+                )
+                assert status == 200
+                key = (by_id[job_id]["config_name"], by_id[job_id]["workload"])
+                results[key] = body["result"]
+        finally:
+            proc.send_signal(signal.SIGINT)
+            assert proc.wait(timeout=30) == 0
+
+        # Byte-identical to a from-scratch serial run of the same points.
+        serial_dir = tmp_path / "serial"
+        serial = ExperimentRunner(store=ResultStore(serial_dir))
+        presets = preset_configs()
+        for preset, workload in self.POINTS:
+            expected = serial.run(presets[preset], workload, self.N_INSTRS)
+            assert results[(preset, workload)] == result_to_dict(expected)
+        for serial_file in sorted(serial_dir.glob("*.json")):
+            service_file = state_dir / "ckpt" / serial_file.name
+            assert service_file.read_bytes() == serial_file.read_bytes()

@@ -1,0 +1,190 @@
+"""Tests for the crash-safe write-ahead journal (repro.service.journal).
+
+The centrepiece is the byte-boundary crash property: a journal truncated at
+*every possible byte offset* — simulating ``kill -9`` at any instant of a
+write — must replay to an exact prefix of the committed records, never to
+garbage, a suffix, or an error.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.journal import Journal, decode_line, encode_record
+
+
+def record(i: int) -> dict:
+    return {"op": "test", "seq": i, "payload": f"value-{i}" * (i % 3 + 1)}
+
+
+def write_journal(path, n: int) -> list[dict]:
+    records = [record(i) for i in range(n)]
+    with Journal(path) as journal:
+        for payload in records:
+            journal.append(payload)
+    return records
+
+
+class TestFormat:
+    def test_encode_decode_round_trip(self):
+        payload = {"op": "x", "nested": {"a": [1, 2]}, "s": "héllo"}
+        assert decode_line(encode_record(payload)) == payload
+
+    def test_missing_newline_is_torn(self):
+        line = encode_record({"op": "x"})
+        with pytest.raises(ValueError, match="torn"):
+            decode_line(line[:-1])
+
+    def test_flipped_byte_fails_checksum(self):
+        line = bytearray(encode_record({"op": "x", "v": 12345}))
+        line[-5] ^= 0xFF
+        with pytest.raises(ValueError, match="checksum|length|header"):
+            decode_line(bytes(line))
+
+
+class TestAppendReplay:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.wal"
+        records = write_journal(path, 5)
+        replayed, stats = Journal(path).replay()
+        assert replayed == records
+        assert stats.records == 5
+        assert stats.torn_bytes == 0
+        assert stats.errors == []
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        replayed, stats = Journal(tmp_path / "absent.wal").replay()
+        assert replayed == []
+        assert stats.records == 0
+
+    def test_each_append_is_fsynced(self, tmp_path, monkeypatch):
+        fsyncs = []
+        real = os.fsync
+        monkeypatch.setattr(os, "fsync", lambda fd: fsyncs.append(fd) or real(fd))
+        with Journal(tmp_path / "j.wal") as journal:
+            journal.append({"op": "a"})
+            first = len(fsyncs)
+            journal.append({"op": "b"})
+        assert first >= 1
+        assert len(fsyncs) > first
+
+    def test_no_fsync_mode_skips_fsync(self, tmp_path, monkeypatch):
+        fsyncs = []
+        monkeypatch.setattr(os, "fsync", lambda fd: fsyncs.append(fd))
+        with Journal(tmp_path / "j.wal", fsync=False) as journal:
+            journal.append({"op": "a"})
+        assert fsyncs == []
+
+    def test_replay_on_open_journal_refused(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.append({"op": "a"})
+        with pytest.raises(JournalError, match="open for append"):
+            journal.replay()
+        journal.close()
+
+    def test_append_after_interpreter_close_raises_journal_error(self, tmp_path):
+        journal = Journal(tmp_path / "j.wal")
+        journal.append({"op": "a"})
+        journal._fh.close()  # simulate the handle dying under us
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({"op": "b"})
+
+
+class TestCrashRecovery:
+    """Kill the writer at every byte boundary; replay must yield a prefix."""
+
+    def test_every_byte_boundary_replays_to_a_prefix(self, tmp_path):
+        records = [record(i) for i in range(4)]
+        encoded = [encode_record(r) for r in records]
+        blob = b"".join(encoded)
+        # Committed-record count as a function of intact byte length.
+        boundaries = []
+        total = 0
+        for line in encoded:
+            total += len(line)
+            boundaries.append(total)
+
+        for cut in range(len(blob) + 1):
+            path = tmp_path / f"cut-{cut}.wal"
+            path.write_bytes(blob[:cut])
+            replayed, stats = Journal(path).replay()
+            expected = sum(1 for b in boundaries if b <= cut)
+            assert replayed == records[:expected], f"cut at byte {cut}"
+            assert stats.records == expected
+            # The torn tail was truncated: the file now holds exactly the
+            # committed prefix, so a second replay is clean.
+            assert path.read_bytes() == blob[: boundaries[expected - 1] if expected else 0]
+            again, stats2 = Journal(path).replay()
+            assert again == records[:expected]
+            assert stats2.torn_bytes == 0
+
+    def test_corrupt_middle_byte_truncates_from_there(self, tmp_path):
+        path = tmp_path / "j.wal"
+        records = write_journal(path, 6)
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the 4th record's payload.
+        offset = sum(len(encode_record(r)) for r in records[:3]) + 20
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        replayed, stats = Journal(path).replay()
+        assert replayed == records[:3]
+        assert stats.torn_bytes > 0
+        assert stats.errors
+
+    def test_torn_tail_preserved_in_sidecar(self, tmp_path):
+        path = tmp_path / "j.wal"
+        write_journal(path, 2)
+        good = path.read_bytes()
+        path.write_bytes(good + b"J1 deadbeef 99 {torn")
+        _, stats = Journal(path).replay()
+        assert stats.torn_sidecar is not None
+        sidecar = tmp_path / "j.wal.torn"
+        assert sidecar.read_bytes() == b"J1 deadbeef 99 {torn"
+        assert path.read_bytes() == good
+
+    def test_sidecar_collisions_are_numbered(self, tmp_path):
+        path = tmp_path / "j.wal"
+        for _ in range(3):
+            write_journal(path, 1)
+            with open(path, "ab") as fh:
+                fh.write(b"garbage-tail")
+            Journal(path).replay()
+            path.unlink()
+        names = sorted(p.name for p in tmp_path.glob("*.torn*"))
+        assert names == ["j.wal.torn", "j.wal.torn.1", "j.wal.torn.2"]
+
+    def test_append_resumes_after_truncated_replay(self, tmp_path):
+        path = tmp_path / "j.wal"
+        records = write_journal(path, 3)
+        with open(path, "ab") as fh:
+            fh.write(b"half a reco")
+        journal = Journal(path)
+        replayed, _ = journal.replay()
+        assert replayed == records
+        journal.append({"op": "after-crash"})
+        journal.close()
+        final, stats = Journal(path).replay()
+        assert final == records + [{"op": "after-crash"}]
+        assert stats.torn_bytes == 0
+
+
+class TestRewrite:
+    def test_compaction_replaces_contents(self, tmp_path):
+        path = tmp_path / "j.wal"
+        write_journal(path, 10)
+        journal = Journal(path)
+        journal.rewrite([{"op": "snapshot", "n": 1}])
+        replayed, stats = Journal(path).replay()
+        assert replayed == [{"op": "snapshot", "n": 1}]
+        assert stats.records == 1
+
+    def test_rewrite_keeps_journal_appendable(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal = Journal(path)
+        journal.append({"op": "a"})
+        journal.rewrite([{"op": "s"}])
+        journal.append({"op": "b"})
+        journal.close()
+        replayed, _ = Journal(path).replay()
+        assert replayed == [{"op": "s"}, {"op": "b"}]
