@@ -44,7 +44,18 @@ from .registry import (
     NULL_REGISTRY,
     NullRegistry,
 )
-from .trace import TraceCollector, load_trace, validate_trace_events
+from .expo import (
+    CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    validate_exposition,
+)
+from .flightrec import (
+    FlightRecorder,
+    NULL_FLIGHT_RECORDER,
+    NullFlightRecorder,
+    load_flight_dump,
+)
+from .trace import TraceCollector, current_tid, load_trace, validate_trace_events
 
 # --------------------------------------------------------- active registry
 
@@ -120,17 +131,19 @@ def use_tracer(collector: TraceCollector | None = None):
         set_tracer(previous)
 
 
-def span(name: str, cat: str = "sim", args: Mapping | None = None):
+def span(name: str, cat: str = "sim", args: Mapping | None = None, tid: int = 0):
     """A trace span over the ``with`` block; free no-op when tracing is off."""
     if _tracer is None:
         return _NULL_SPAN
-    return _tracer.span(name, cat, args)
+    return _tracer.span(name, cat, args, tid)
 
 
-def instant(name: str, cat: str = "sim", args: Mapping | None = None) -> None:
+def instant(
+    name: str, cat: str = "sim", args: Mapping | None = None, tid: int = 0
+) -> None:
     """A zero-duration trace marker; no-op when tracing is off."""
     if _tracer is not None:
-        _tracer.instant(name, cat, args)
+        _tracer.instant(name, cat, args, tid)
 
 
 from .cli import add_observability_args, observability_session  # noqa: E402
@@ -138,12 +151,16 @@ from .cli import add_observability_args, observability_session  # noqa: E402
 __all__ = [
     "LOAD_LATENCY_BUCKETS",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "JsonlFormatter",
     "MetricsRegistry",
+    "NULL_FLIGHT_RECORDER",
     "NULL_REGISTRY",
+    "NullFlightRecorder",
     "NullRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "PhaseTimer",
     "Progress",
     "TraceCollector",
@@ -151,13 +168,16 @@ __all__ = [
     "configure_logging",
     "console",
     "console_json_enabled",
+    "current_tid",
     "get_logger",
     "instant",
+    "load_flight_dump",
     "load_trace",
     "log_event",
     "metrics",
     "observability_session",
     "profiled",
+    "render_prometheus",
     "reset_logging",
     "set_console_json",
     "set_registry",
@@ -166,5 +186,6 @@ __all__ = [
     "tracer",
     "use_metrics",
     "use_tracer",
+    "validate_exposition",
     "validate_trace_events",
 ]

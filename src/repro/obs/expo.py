@@ -1,0 +1,355 @@
+"""Prometheus text-format exposition of a metrics-registry snapshot.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot
+<repro.obs.registry.MetricsRegistry.snapshot>` dict into the Prometheus
+text exposition format (version ``0.0.4`` — the format every Prometheus
+server scrapes):
+
+* **counters** become ``repro_<name>_total`` samples with ``# TYPE counter``;
+* **gauges** become ``repro_<name>`` samples with ``# TYPE gauge``;
+* **histograms** become full Prometheus histograms — *cumulative*
+  ``_bucket{le="..."}`` samples ending in ``le="+Inf"``, plus ``_sum`` and
+  ``_count`` (the registry stores per-bucket counts; the cumulative sum
+  happens here, at exposition time);
+* **provider snapshots** (the per-component stats dicts) are flattened to
+  one labeled gauge family, ``repro_snapshot{provider="...",key="..."}``,
+  keeping nested keys as dotted paths and skipping non-numeric leaves.
+
+Metric names are sanitised to the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` alphabet
+(dots in registry names become underscores) and label values are escaped
+per the spec (backslash, double quote, newline).
+
+:func:`validate_exposition` is the checker the CI smoke job runs over a
+live scrape: line syntax, metric-name alphabet, family grouping, duplicate
+series, and histogram bucket cumulativity/completeness.  It can be invoked
+standalone::
+
+    python -m repro.obs.expo check metrics.prom     # '-' reads stdin
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Mapping
+
+#: Default metric-name prefix for everything this package exposes.
+NAMESPACE = "repro"
+
+#: Content-Type a conforming scrape endpoint must serve.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_BAD_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+# One sample line: name{labels} value  (we never emit timestamps).
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)"
+    r"(?: (?P<timestamp>-?[0-9]+))?$"
+)
+
+
+def sanitize_metric_name(name: str, namespace: str = NAMESPACE) -> str:
+    """Map a registry name onto the Prometheus metric-name alphabet."""
+    base = _BAD_NAME_CHARS.sub("_", name)
+    if namespace:
+        base = f"{namespace}_{base}"
+    if not _NAME_RE.match(base):
+        base = "_" + base
+    return base
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP docstring per the text-format spec."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def format_value(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _labels(pairs: "list[tuple[str, str]]") -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(str(value))}"' for name, value in pairs
+    )
+    return "{" + inner + "}"
+
+
+def _flatten(prefix: str, value: object, out: "list[tuple[str, float]]") -> None:
+    if isinstance(value, Mapping):
+        for key in sorted(value, key=str):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            _flatten(child, value[key], out)
+        return
+    if isinstance(value, bool):
+        out.append((prefix, 1.0 if value else 0.0))
+    elif isinstance(value, (int, float)):
+        out.append((prefix, float(value)))
+    # strings, lists, None: not representable as a gauge sample — skipped.
+
+
+def render_prometheus(snapshot: Mapping, namespace: str = NAMESPACE) -> str:
+    """Render a registry snapshot as Prometheus text exposition format.
+
+    Accepts the dict shape :meth:`MetricsRegistry.snapshot` produces —
+    ``{"counters": ..., "gauges": ..., "histograms": ..., "providers":
+    ...}`` — with every section optional, so an empty snapshot renders to
+    an empty (but valid) exposition.
+    """
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters") or {}):
+        value = snapshot["counters"][name]
+        metric = sanitize_metric_name(name, namespace)
+        if not metric.endswith("_total"):
+            metric += "_total"
+        lines.append(f"# HELP {metric} Counter {escape_help(name)} from the metrics registry.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges") or {}):
+        value = snapshot["gauges"][name]
+        metric = sanitize_metric_name(name, namespace)
+        lines.append(f"# HELP {metric} Gauge {escape_help(name)} from the metrics registry.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {format_value(value)}")
+
+    for name in sorted(snapshot.get("histograms") or {}):
+        hist = snapshot["histograms"][name]
+        metric = sanitize_metric_name(name, namespace)
+        bounds = list(hist.get("bounds") or [])
+        counts = list(hist.get("counts") or [])
+        total = hist.get("sum", 0.0)
+        count = hist.get("count", 0)
+        lines.append(f"# HELP {metric} Histogram {escape_help(name)} from the metrics registry.")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += bucket_count
+            labels = _labels([("le", format_value(bound))])
+            lines.append(f"{metric}_bucket{labels} {cumulative}")
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {format_value(total)}")
+        lines.append(f"{metric}_count {count}")
+
+    providers = snapshot.get("providers") or {}
+    if providers:
+        metric = sanitize_metric_name("snapshot", namespace)
+        lines.append(
+            f"# HELP {metric} Provider snapshot values flattened to "
+            f"(provider, key) labels."
+        )
+        lines.append(f"# TYPE {metric} gauge")
+        for provider in sorted(providers):
+            flat: list[tuple[str, float]] = []
+            _flatten("", providers[provider], flat)
+            for key, value in flat:
+                labels = _labels([("provider", provider), ("key", key)])
+                lines.append(f"{metric}{labels} {format_value(value)}")
+
+    return "".join(line + "\n" for line in lines)
+
+
+# ------------------------------------------------------------------ checker
+
+
+def _parse_labels(raw: str) -> "list[tuple[str, str]] | None":
+    """Parse a label body (``a="b",c="d"``); None on syntax errors."""
+    pairs: list[tuple[str, str]] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        eq = raw.find("=", i)
+        if eq < 0:
+            return None
+        name = raw[i:eq]
+        if not _LABEL_NAME_RE.match(name):
+            return None
+        if eq + 1 >= n or raw[eq + 1] != '"':
+            return None
+        j = eq + 2
+        value_chars: list[str] = []
+        while j < n:
+            ch = raw[j]
+            if ch == "\\":
+                if j + 1 >= n:
+                    return None
+                nxt = raw[j + 1]
+                value_chars.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        else:
+            return None
+        pairs.append((name, "".join(value_chars)))
+        i = j + 1
+        if i < n:
+            if raw[i] != ",":
+                return None
+            i += 1
+    return pairs
+
+
+def _family_of(sample_name: str, types: Mapping[str, str]) -> str:
+    """The metric family a sample belongs to (histogram suffix aware)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        base = sample_name[: -len(suffix)] if sample_name.endswith(suffix) else None
+        if base and types.get(base) in ("histogram", "summary", "counter"):
+            return base
+    return sample_name
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Check text against the Prometheus exposition format (0.0.4 subset).
+
+    Returns a list of problem strings (empty = valid).  Beyond line syntax
+    it verifies the properties a broken renderer is most likely to violate:
+    histogram buckets must be *cumulative* (non-decreasing as ``le``
+    increases), end in ``le="+Inf"``, and agree with ``_count``; a series
+    (name + label set) must be unique; a family's samples must be grouped.
+    """
+    problems: list[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("exposition must end with a newline")
+    types: dict[str, str] = {}
+    seen_series: set[tuple] = set()
+    family_done: set[str] = set()
+    current_family: str | None = None
+    # family -> {"buckets": [(le, value)], "count": int|None}
+    histograms: dict[str, dict] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                if not _NAME_RE.match(name):
+                    problems.append(f"line {lineno}: bad metric name {name!r}")
+                if parts[1] == "TYPE":
+                    if name in types:
+                        problems.append(
+                            f"line {lineno}: duplicate TYPE for {name}"
+                        )
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        problems.append(
+                            f"line {lineno}: unknown type {kind!r} for {name}"
+                        )
+                    types[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            problems.append(f"line {lineno}: unparsable sample {line!r}")
+            continue
+        name = match.group("name")
+        raw_labels = match.group("labels")
+        labels = _parse_labels(raw_labels) if raw_labels else []
+        if labels is None:
+            problems.append(f"line {lineno}: bad label syntax {raw_labels!r}")
+            continue
+        value_s = match.group("value")
+        if value_s not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_s)
+            except ValueError:
+                problems.append(f"line {lineno}: bad value {value_s!r}")
+                continue
+        series = (name, tuple(sorted(labels)))
+        if series in seen_series:
+            problems.append(f"line {lineno}: duplicate series {name}{dict(labels)}")
+        seen_series.add(series)
+        family = _family_of(name, types)
+        if family != current_family:
+            if family in family_done:
+                problems.append(
+                    f"line {lineno}: samples of {family} are not grouped"
+                )
+            if current_family is not None:
+                family_done.add(current_family)
+            current_family = family
+        if types.get(family) == "histogram":
+            entry = histograms.setdefault(family, {"buckets": [], "count": None})
+            if name == family + "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: {name} sample has no 'le' label"
+                    )
+                else:
+                    bound = float("inf") if le == "+Inf" else float(le)
+                    entry["buckets"].append((bound, float(value_s)))
+            elif name == family + "_count":
+                entry["count"] = float(value_s)
+
+    for family, entry in histograms.items():
+        buckets = entry["buckets"]
+        if not buckets or buckets[-1][0] != float("inf"):
+            problems.append(f"histogram {family}: missing le=\"+Inf\" bucket")
+        bounds = [b for b, _ in buckets]
+        if bounds != sorted(bounds):
+            problems.append(f"histogram {family}: 'le' bounds not ascending")
+        values = [v for _, v in buckets]
+        if any(b > a for a, b in zip(values[1:], values)):
+            problems.append(
+                f"histogram {family}: bucket values not cumulative "
+                f"(must be non-decreasing in le)"
+            )
+        if (
+            buckets
+            and buckets[-1][0] == float("inf")
+            and entry["count"] is not None
+            and buckets[-1][1] != entry["count"]
+        ):
+            problems.append(
+                f"histogram {family}: +Inf bucket {buckets[-1][1]:g} "
+                f"!= _count {entry['count']:g}"
+            )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """``python -m repro.obs.expo check FILE`` — exit 0 iff valid."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 2 or argv[0] != "check":
+        print("usage: python -m repro.obs.expo check FILE|-", file=sys.stderr)
+        return 2
+    source = argv[1]
+    text = sys.stdin.read() if source == "-" else open(source).read()
+    problems = validate_exposition(text)
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        samples = sum(
+            1 for line in text.splitlines() if line and not line.startswith("#")
+        )
+        print(f"OK: {samples} samples")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI
+    sys.exit(main())

@@ -1,0 +1,157 @@
+"""Crash flight recorder: a bounded ring of recent structured events.
+
+A :class:`FlightRecorder` keeps the last *N* operationally interesting
+events (admissions, rejections, lease churn, worker crashes, breaker
+transitions) in memory at a fixed cost — one dict append per event, no
+I/O — and can dump them as JSONL the moment something goes wrong: a worker
+crash, an unhandled daemon exception, or an operator ``SIGQUIT``.
+
+The dump is the post-mortem the journal cannot be: the journal records
+*committed state transitions*, the flight recorder records *what the
+service saw happening* — including rejections and expiries that never
+become journal records — in arrival order with sequence numbers, so the
+tail of a dump reads as the last seconds before the incident.
+
+Dump files are named ``flightrec-<unix-ts>.jsonl`` (a serial suffix on
+collision) and start with one header record carrying the dump reason.
+:data:`NULL_FLIGHT_RECORDER` is the shared no-op used where recording is
+not wired up, so callers never branch.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Callable
+
+#: Default ring capacity: enough for minutes of service churn, small
+#: enough that a dump is instant.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Thread-safe bounded event ring with JSONL dumping.
+
+    Args:
+        capacity: events retained (oldest evicted first).
+        clock: wall-clock source (injectable for tests).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"flight recorder capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.clock = clock
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.recorded = 0  #: total events ever recorded (ring may be smaller)
+        self.dumps = 0     #: dump files written
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one event; returns the stored record."""
+        with self._lock:
+            self._seq += 1
+            self.recorded += 1
+            event = {"seq": self._seq, "ts": self.clock(), "kind": kind}
+            event.update(fields)
+            self._ring.append(event)
+            return event
+
+    def events(self, n: int | None = None, kind: str | None = None) -> list[dict]:
+        """The retained events, oldest first; optionally the last ``n``
+        and/or only one ``kind``."""
+        with self._lock:
+            events = list(self._ring)
+        if kind is not None:
+            events = [e for e in events if e.get("kind") == kind]
+        if n is not None and n >= 0:
+            events = events[-n:]
+        return events
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    # ---------------------------------------------------------------- dumps
+
+    def dump(self, path: str | Path, *, reason: str = "manual") -> Path:
+        """Write a header record plus every retained event as JSONL."""
+        path = Path(path)
+        events = self.events()
+        header = {
+            "kind": "flightrec-dump",
+            "reason": reason,
+            "dumped_at": self.clock(),
+            "events": len(events),
+            "recorded_total": self.recorded,
+            "capacity": self.capacity,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines += [json.dumps(event, sort_keys=True, default=repr) for event in events]
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("".join(line + "\n" for line in lines))
+        with self._lock:
+            self.dumps += 1
+        return path
+
+    def dump_to_dir(self, directory: str | Path, *, reason: str = "manual") -> Path:
+        """Dump to ``<directory>/flightrec-<ts>.jsonl`` (serial on collision)."""
+        directory = Path(directory)
+        stamp = int(self.clock())
+        path = directory / f"flightrec-{stamp}.jsonl"
+        serial = 0
+        while path.exists():
+            serial += 1
+            path = directory / f"flightrec-{stamp}-{serial}.jsonl"
+        return self.dump(path, reason=reason)
+
+
+class NullFlightRecorder:
+    """The disabled recorder: every operation is a free no-op."""
+
+    enabled = False
+    capacity = 0
+    recorded = 0
+    dumps = 0
+
+    def record(self, kind: str, **fields) -> dict:
+        return {}
+
+    def events(self, n: int | None = None, kind: str | None = None) -> list[dict]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+    def dump(self, path: str | Path, *, reason: str = "manual") -> Path:
+        raise RuntimeError("cannot dump the null flight recorder")
+
+    def dump_to_dir(self, directory: str | Path, *, reason: str = "manual") -> Path:
+        raise RuntimeError("cannot dump the null flight recorder")
+
+
+#: Shared no-op recorder for call sites without a wired-up recorder.
+NULL_FLIGHT_RECORDER = NullFlightRecorder()
+
+
+def load_flight_dump(path: str | Path) -> tuple[dict, list[dict]]:
+    """Read a dump back as ``(header, events)`` (tests and CI)."""
+    lines = [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    if not lines or lines[0].get("kind") != "flightrec-dump":
+        raise ValueError(f"{path} is not a flight-recorder dump")
+    return lines[0], lines[1:]

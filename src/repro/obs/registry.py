@@ -88,12 +88,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by linear interpolation within buckets.
+
+        The estimator mirrors Prometheus's ``histogram_quantile``: the first
+        bucket's lower edge is taken as 0 (all recorded metrics here are
+        non-negative latencies/sizes), values inside a bucket are assumed
+        uniformly distributed, and anything in the overflow bucket clamps to
+        the last boundary — a histogram cannot extrapolate past its bounds.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self.counts[i]
+            if in_bucket and cumulative + in_bucket >= target:
+                fraction = (target - cumulative) / in_bucket
+                return lower + fraction * (bound - lower)
+            cumulative += in_bucket
+            lower = bound
+        return self.bounds[-1]
+
     def to_dict(self) -> dict:
+        # The original four keys are part of the checkpointed telemetry
+        # format — keep them exactly so old snapshots still compare equal
+        # key-for-key; the quantile estimates ride along as new keys.
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "sum": self.total,
             "count": self.count,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 

@@ -9,19 +9,32 @@ The trace-event format reference is the "Trace Event Format" document; only
 the small subset we emit (``X``, ``i`` and ``C`` phases) is validated by
 :func:`validate_trace_events`, which the CI smoke run and the round-trip
 tests both use.
+
+Cross-process merging: a fleet worker records into its own collector and
+ships ``(wall_t0, events)`` back with its result; the parent calls
+:meth:`TraceCollector.merge_events`, which rebases the shipped timestamps
+onto the parent's timeline using the wall-clock anchor each collector
+captures at construction.  Shipped events keep their worker ``pid``, so
+Perfetto renders each worker as its own process track under one timeline.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Callable, Mapping
+from typing import Callable, Iterable, Mapping
 
 #: Phases validate_trace_events accepts (the subset this module emits).
 _KNOWN_PHASES = {"X", "i", "C"}
+
+#: Minimum µs gap enforced between successive counter samples so a coarse
+#: injected clock cannot emit duplicate timestamps (Perfetto renders
+#: duplicate-ts counter samples in arbitrary — i.e. wrong — order).
+_TS_EPSILON_US = 1e-3
 
 
 class TraceCollector:
@@ -34,16 +47,30 @@ class TraceCollector:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self._t0 = clock()
+        #: Wall-clock anchor for cross-process merging: the wall time at
+        #: which this collector's timeline origin (``ts == 0``) was taken.
+        self.wall_t0 = time.time()
         self.pid = os.getpid()
         self.events: list[dict] = []
+        self._last_counter_ts = -1.0
 
     def _now_us(self) -> float:
         return (self._clock() - self._t0) * 1e6
 
+    def now_us(self) -> float:
+        """The current timestamp on this collector's timeline (µs)."""
+        return self._now_us()
+
     # -------------------------------------------------------------- emitting
 
     @contextmanager
-    def span(self, name: str, cat: str = "sim", args: Mapping | None = None):
+    def span(
+        self,
+        name: str,
+        cat: str = "sim",
+        args: Mapping | None = None,
+        tid: int = 0,
+    ):
         """Record a complete event covering the ``with`` block."""
         start = self._now_us()
         try:
@@ -56,13 +83,47 @@ class TraceCollector:
                 "ts": start,
                 "dur": self._now_us() - start,
                 "pid": self.pid,
-                "tid": 0,
+                "tid": tid,
             }
             if args:
                 event["args"] = dict(args)
             self.events.append(event)
 
-    def instant(self, name: str, cat: str = "sim", args: Mapping | None = None) -> None:
+    def complete(
+        self,
+        name: str,
+        ts_us: float,
+        dur_us: float,
+        cat: str = "sim",
+        args: Mapping | None = None,
+        tid: int = 0,
+    ) -> None:
+        """Record a complete event with explicit timestamps.
+
+        Used for *retroactive* spans whose start was only a remembered
+        timestamp — e.g. a job's queue-wait span, emitted at lease time
+        covering ``submit → lease``.
+        """
+        event = {
+            "name": name,
+            "cat": cat,
+            "ph": "X",
+            "ts": max(0.0, ts_us),
+            "dur": max(0.0, dur_us),
+            "pid": self.pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def instant(
+        self,
+        name: str,
+        cat: str = "sim",
+        args: Mapping | None = None,
+        tid: int = 0,
+    ) -> None:
         """Record a zero-duration marker."""
         event = {
             "name": name,
@@ -71,25 +132,71 @@ class TraceCollector:
             "s": "t",
             "ts": self._now_us(),
             "pid": self.pid,
-            "tid": 0,
+            "tid": tid,
         }
         if args:
             event["args"] = dict(args)
         self.events.append(event)
 
     def counter(self, name: str, values: Mapping[str, float], cat: str = "sim") -> None:
-        """Record a counter sample (rendered as a stacked track)."""
+        """Record a counter sample (rendered as a stacked track).
+
+        Timestamps are forced strictly monotonic: a coarse injected clock
+        (or two samples inside one clock tick) would otherwise produce
+        duplicate ``ts`` values, which Perfetto renders out of order.
+        """
+        ts = self._now_us()
+        if ts <= self._last_counter_ts:
+            ts = self._last_counter_ts + _TS_EPSILON_US
+        self._last_counter_ts = ts
         self.events.append(
             {
                 "name": name,
                 "cat": cat,
                 "ph": "C",
-                "ts": self._now_us(),
+                "ts": ts,
                 "pid": self.pid,
                 "tid": 0,
                 "args": dict(values),
             }
         )
+
+    # -------------------------------------------------------------- merging
+
+    def merge_events(
+        self,
+        events: Iterable[Mapping],
+        *,
+        wall_t0: float | None = None,
+        extra_args: Mapping | None = None,
+    ) -> int:
+        """Fold another collector's events onto this timeline.
+
+        Args:
+            events: the other collector's ``events`` list (its timestamps
+                are relative to *its* origin).
+            wall_t0: the other collector's wall-clock anchor; when given,
+                timestamps are rebased so both timelines share this
+                collector's origin.  Without it events are appended as-is.
+            extra_args: merged into each event's ``args`` (e.g. a
+                ``trace_id`` tag), without overwriting existing keys.
+
+        Returns the number of events merged.
+        """
+        offset_us = 0.0
+        if wall_t0 is not None:
+            offset_us = (wall_t0 - self.wall_t0) * 1e6
+        merged = 0
+        for event in events:
+            event = dict(event)
+            event["ts"] = max(0.0, float(event.get("ts", 0.0)) + offset_us)
+            if extra_args:
+                merged_args = dict(extra_args)
+                merged_args.update(event.get("args") or {})
+                event["args"] = merged_args
+            self.events.append(event)
+            merged += 1
+        return merged
 
     # --------------------------------------------------------------- output
 
@@ -100,6 +207,11 @@ class TraceCollector:
     def write(self, path: str | Path) -> None:
         """Write the trace as JSON (Perfetto-loadable)."""
         Path(path).write_text(json.dumps(self.to_payload()) + "\n")
+
+
+def current_tid() -> int:
+    """A small per-thread id for trace events (stable within a process)."""
+    return threading.get_ident() % 1_000_000
 
 
 def validate_trace_events(payload: object) -> list[str]:

@@ -195,6 +195,11 @@ class FleetRunner(ExperimentRunner):
         #: The last manifest written (also persisted under the checkpoint
         #: dir when one is configured).
         self.last_manifest: dict | None = None
+        #: Extra args stamped onto the ``worker:run`` span of every job
+        #: dispatched while set — the campaign service points this at the
+        #: current job's ``{job_id, trace_id}`` so worker spans correlate
+        #: with the daemon's lifecycle spans after the trace merge.
+        self.trace_args: dict = {}
         self._next_worker_id = 0
 
     # ------------------------------------------------------------- running
@@ -388,6 +393,7 @@ class FleetRunner(ExperimentRunner):
         self.stats.executed += job_stats.get("executed", 0)
         self.stats.retries += job_stats.get("retries", 0)
         self.stats.timeouts += job_stats.get("timeouts", 0)
+        self._merge_trace(job_stats)
         if kind == "done":
             result = result_from_dict(body)
             self.store.put(job.config, job.workload, job.n_instrs, result)
@@ -522,6 +528,7 @@ class FleetRunner(ExperimentRunner):
         init = {
             "heartbeat_s": self.heartbeat_s,
             "metrics": obs.metrics().enabled,
+            "trace": obs.tracer() is not None,
             "log_level": self._worker_log_level(),
         }
         proc = ctx.Process(
@@ -605,6 +612,7 @@ class FleetRunner(ExperimentRunner):
             "retries": self.retries,
             "backoff_s": self.backoff_s,
             "fault": job.fault,
+            "trace_args": dict(self.trace_args),
         }
 
     def _arm_fault(self, config_name: str, workload: str) -> dict | None:
@@ -627,6 +635,23 @@ class FleetRunner(ExperimentRunner):
         ):
             return root.level
         return None
+
+    def _merge_trace(self, job_stats: dict) -> None:
+        """Rebase a worker's shipped spans onto the parent's timeline.
+
+        Workers record into their own collector and ship
+        ``{wall_t0, events}`` with their terminal message; the wall-clock
+        anchor lets :meth:`TraceCollector.merge_events` line both
+        timelines up, and the worker's own ``pid`` keeps it on a separate
+        Perfetto process track.
+        """
+        trace = job_stats.get("trace")
+        collector = obs.tracer()
+        if not trace or collector is None:
+            return
+        collector.merge_events(
+            trace.get("events", ()), wall_t0=trace.get("wall_t0")
+        )
 
     def _merge_obs(self, job: _Job, result: RunResult) -> None:
         """Fold a worker's shipped telemetry into the parent's registry."""

@@ -159,9 +159,30 @@ def _run_one(worker_id: int, job: dict, result_q, init: dict) -> None:
         interval_s=init.get("heartbeat_s", HEARTBEAT_INTERVAL_S),
     )
     metrics_ctx = obs.use_metrics() if init.get("metrics") else nullcontext()
+    # With tracing on, the worker records into its own collector and ships
+    # (wall_t0, events) with its terminal message; the parent rebases them
+    # onto its timeline.  The worker:run span carries the parent-supplied
+    # trace_args (job_id/trace_id) so the merged trace reads end-to-end.
+    collector = obs.TraceCollector() if init.get("trace") else None
+    trace_ctx = obs.use_tracer(collector) if collector is not None else nullcontext()
+    span_args = dict(
+        job.get("trace_args") or {},
+        config=config.name, workload=job["workload"], worker=worker_id,
+    )
+
+    def job_stats() -> dict:
+        stats = _job_stats(runner)
+        if collector is not None:
+            stats["trace"] = {
+                "wall_t0": collector.wall_t0,
+                "events": list(collector.events),
+            }
+        return stats
+
     try:
-        with metrics_ctx:
-            result = runner.run(config, job["workload"], job["n_instrs"])
+        with metrics_ctx, trace_ctx:
+            with obs.span("worker:run", "worker", span_args):
+                result = runner.run(config, job["workload"], job["n_instrs"])
     except BaseException as exc:
         # Containment boundary: *every* in-process failure — RunFailure,
         # ConfigError, genuine bugs — becomes a structured record and the
@@ -179,10 +200,10 @@ def _run_one(worker_id: int, job: dict, result_q, init: dict) -> None:
                 attempts=max(1, runner.stats.executed),
                 attempt_errors=[repr(exc)],
             )
-        result_q.put(("fail", worker_id, index, record.to_dict(), _job_stats(runner)))
+        result_q.put(("fail", worker_id, index, record.to_dict(), job_stats()))
         return
     result_q.put((
-        "done", worker_id, index, result_to_dict(result), _job_stats(runner),
+        "done", worker_id, index, result_to_dict(result), job_stats(),
     ))
 
 
@@ -195,7 +216,8 @@ def worker_main(worker_id: int, job_q, result_q, init: dict) -> None:
             time, so the parent always knows which job a kill abandons).
         result_q: the shared message stream back to the parent.
         init: worker settings — ``heartbeat_s``, ``metrics`` (attach
-            telemetry to results) and ``log_level`` (ship log events).
+            telemetry to results), ``trace`` (record spans and ship them
+            with the terminal message) and ``log_level`` (ship log events).
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     handler = None

@@ -20,6 +20,10 @@ are reclaimed, completed results are served from the store.
 
 SIGINT/SIGTERM shut down gracefully: in-flight jobs finish or are
 released, the journal is compacted and fsync'd, the ready file is removed.
+SIGQUIT is the diagnostics signal: the daemon dumps its flight-recorder
+ring to ``STATE_DIR/flightrec-<ts>.jsonl`` and keeps serving; the same
+dump fires automatically on worker-crash evidence and on an unhandled
+daemon exception.
 
 Clients (plain stdlib ``urllib``, talking to a running daemon)::
 
@@ -29,6 +33,12 @@ Clients (plain stdlib ``urllib``, talking to a running daemon)::
     python -m repro.service result --url URL JOB_ID
     python -m repro.service cancel --url URL JOB_ID
     python -m repro.service stats  --url URL
+    python -m repro.service metrics --url URL
+    python -m repro.service events --url URL [--n N] [--kind K]
+
+``metrics`` prints the daemon's Prometheus text exposition verbatim (what
+a scraper sees at ``GET /metrics``); ``events`` prints the flight-recorder
+ring as JSON.
 
 Exit codes: 0 success; 1 request/served error; 2 usage; 4 a ``--wait``
 ended on a job that failed or was cancelled.
@@ -133,12 +143,40 @@ def build_parser() -> argparse.ArgumentParser:
     client("result", "fetch a done job's full RunResult payload")
     client("cancel", "cancel a pending (or flag a leased) job")
     client("stats", "queue statistics and journal replay stats", job_arg=False)
+    client("metrics", "print the daemon's Prometheus text exposition",
+           job_arg=False)
+    events = client("events", "print the flight-recorder event ring",
+                    job_arg=False)
+    events.add_argument("--n", type=int, metavar="N",
+                        help="only the most recent N events")
+    events.add_argument("--kind", metavar="K",
+                        help="only events of one kind (e.g. lease_expired)")
     wait = client("wait", "block until a job is terminal")
     wait.add_argument("--poll-s", type=float, default=0.5)
     return parser
 
 
 # ----------------------------------------------------------------- daemon
+
+
+def make_sigquit_handler(service):
+    """The SIGQUIT action: dump the flight recorder, keep serving.
+
+    Factored out so tests can exercise the dump path without delivering a
+    real signal.  The handler never raises — a diagnostics request must
+    not become the incident.
+    """
+
+    def _on_sigquit(_signum, _frame):
+        try:
+            path = service.dump_flight_recorder("sigquit")
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"flight-recorder dump failed: {exc!r}", file=sys.stderr)
+            return
+        if path is not None:
+            print(f"flight recorder dumped to {path}", file=sys.stderr)
+
+    return _on_sigquit
 
 
 def _serve(args: argparse.Namespace) -> int:
@@ -185,6 +223,8 @@ def _serve(args: argparse.Namespace) -> int:
 
         signal.signal(signal.SIGINT, _on_signal)
         signal.signal(signal.SIGTERM, _on_signal)
+        if hasattr(signal, "SIGQUIT"):
+            signal.signal(signal.SIGQUIT, make_sigquit_handler(service))
         service.start()
         replay = service.queue.replay_stats
         print(
@@ -199,6 +239,11 @@ def _serve(args: argparse.Namespace) -> int:
         try:
             while not stopping:
                 time.sleep(0.1)
+        except BaseException:
+            # An unhandled daemon exception is exactly what the flight
+            # recorder exists for: dump the last seconds, then die loudly.
+            service.dump_flight_recorder("daemon-exception")
+            raise
         finally:
             print("shutting down: draining in-flight jobs", file=sys.stderr)
             server.shutdown()
@@ -230,6 +275,16 @@ def _request(url: str, *, method: str = "GET", payload: dict | None = None):
             return exc.code, json.loads(body or b"{}")
         except json.JSONDecodeError:
             return exc.code, {"error": body.decode(errors="replace")}
+
+
+def _request_text(url: str) -> tuple[int, str]:
+    """GET a non-JSON endpoint (the Prometheus exposition) verbatim."""
+    request = urllib.request.Request(url)
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return response.status, response.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode(errors="replace")
 
 
 def _print(payload: dict) -> None:
@@ -284,6 +339,18 @@ def _client(args: argparse.Namespace) -> int:
         )
     elif args.command == "stats":
         status, payload = _request(f"{base}/api/v1/stats")
+    elif args.command == "metrics":
+        status, text = _request_text(f"{base}/metrics")
+        sys.stdout.write(text)
+        return EXIT_OK if status == 200 else EXIT_ERROR
+    elif args.command == "events":
+        params = []
+        if args.n is not None:
+            params.append(f"n={args.n}")
+        if args.kind:
+            params.append(f"kind={args.kind}")
+        suffix = "?" + "&".join(params) if params else ""
+        status, payload = _request(f"{base}/api/v1/events{suffix}")
     elif args.command == "wait":
         return _wait_terminal(base, args.job_id, args.poll_s)
     else:  # pragma: no cover - argparse guards this

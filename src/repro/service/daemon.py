@@ -20,8 +20,7 @@ to the existing execution stack (:mod:`repro.runner`):
     thread renews its lease — hang protection is the fleet's hard kill.
 
 * A **housekeeping thread** expires stale leases, publishes queue gauges
-  to the active :mod:`repro.obs` registry and (in process mode) renews
-  in-flight leases.
+  to the service registry and (in process mode) renews in-flight leases.
 
 * **Graceful shutdown** (:meth:`stop`): executors stop leasing, the
   in-flight jobs finish or are released back to ``pending``, the journal
@@ -34,17 +33,51 @@ its ``done`` journal record.  A crash between the two re-runs the job, but
 the re-run is a store hit returning the identical payload — so an
 acknowledged job completes exactly once as observed by any client, and its
 result bytes never depend on how many crashes it survived.
+
+Observability (see OBSERVABILITY.md, "Operating the service"):
+
+* **Metrics** — the service records into :attr:`CampaignService.registry`:
+  the *global* obs registry when one is active, otherwise a private
+  always-on :class:`~repro.obs.registry.MetricsRegistry`.  Service-side
+  events are per-*job* (a handful per second at most), so they are exempt
+  from the per-instruction zero-overhead contract — the global
+  ``NULL_REGISTRY`` stays empty either way, which
+  ``tests/test_obs_overhead.py`` asserts.  :meth:`telemetry_snapshot`
+  feeds the daemon's ``GET /metrics`` Prometheus exposition.
+* **SLO latency accounting** — per-job phase durations (queue-wait,
+  lease-to-start, run, result-write) land in quantile-capable histograms
+  named ``job.<phase>_seconds``; :meth:`service_stats` summarises them as
+  p50/p95/p99 for ``/api/v1/stats``.  Run latency covers *successful*
+  runs; failures are visible through ``error_rate`` instead.
+* **Tracing** — when a global tracer is active, every job emits lifecycle
+  spans: ``job:submit`` (instant) → ``job:queue-wait`` (a retroactive span
+  covering submit→lease) → ``job:run`` → ``job:result-write`` →
+  ``job:done`` (instant), all tagged with the job's ``trace_id`` so one
+  request is followable HTTP → queue → worker in a single Perfetto view.
+* **Flight recorder** — the queue records operational events into the
+  shared ring; :meth:`dump_flight_recorder` writes it to
+  ``<flightrec_dir>/flightrec-<ts>.jsonl`` on worker-crash evidence (and
+  is the hook the CLI wires to ``SIGQUIT`` and daemon crash paths).
 """
 
 from __future__ import annotations
 
 import logging
 import threading
+import time
+from pathlib import Path
 from typing import Callable
 
-from .. import obs
+from .. import __version__, obs
 from ..errors import ReproError, RunFailure
-from ..obs import get_logger, log_event
+from ..obs import (
+    MetricsRegistry,
+    NULL_FLIGHT_RECORDER,
+    FlightRecorder,
+    current_tid,
+    get_logger,
+    log_event,
+)
 from ..runner import (
     ExperimentRunner,
     FleetRunner,
@@ -53,13 +86,28 @@ from ..runner import (
 )
 from ..sim.serialization import config_from_dict, config_to_dict, result_to_dict
 from .journal import Journal
-from .queue import DONE, Job, JobQueue
+from .queue import CRASH_ERROR_TYPES, DONE, Job, JobQueue
 
 logger = get_logger("service")
 
 #: Retired instructions between lease-renewal/cancellation checks in the
 #: in-process executor's instruction hook.
 RENEW_CHECK_INTERVAL = 8192
+
+#: Bucket upper bounds (seconds) for the per-job SLO phase histograms:
+#: sub-millisecond result writes up to multi-minute runs.
+SLO_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+#: The SLO phases and their registry histogram names.
+SLO_PHASES: dict[str, str] = {
+    "queue_wait": "job.queue_wait_seconds",
+    "lease_to_start": "job.lease_to_start_seconds",
+    "run": "job.run_seconds",
+    "result_write": "job.result_write_seconds",
+}
 
 
 class _JobCancelled(ReproError):
@@ -100,6 +148,9 @@ class CampaignService:
         timeout_s / retries / max_rss_mb: forwarded to each executor's
             runner (``max_rss_mb`` needs process isolation).
         poll_s: idle executor sleep between lease attempts.
+        recorder: the flight recorder shared with the queue (the no-op
+            one unless :func:`build_service` wired a real ring).
+        flightrec_dir: where :meth:`dump_flight_recorder` writes dumps.
     """
 
     def __init__(
@@ -114,6 +165,8 @@ class CampaignService:
         max_rss_mb: float | None = None,
         poll_s: float = 0.1,
         runner_factory: Callable[[], ExperimentRunner] | None = None,
+        recorder=None,
+        flightrec_dir: str | Path | None = None,
     ) -> None:
         if isolation not in ("thread", "process"):
             raise ValueError(f"unknown isolation {isolation!r}")
@@ -127,12 +180,37 @@ class CampaignService:
         self.retries = retries
         self.max_rss_mb = max_rss_mb
         self.poll_s = poll_s
+        self.recorder = recorder if recorder is not None else NULL_FLIGHT_RECORDER
+        self.flightrec_dir = Path(flightrec_dir) if flightrec_dir else None
         self._runner_factory = runner_factory or self._default_runner
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
         self._inflight: dict[str, str] = {}   # thread name -> job id
         self._inflight_lock = threading.Lock()
-        self._register_metrics()
+        self.started_at: float | None = None
+        #: Pending queue-wait span anchors: job id -> submit ts (µs on the
+        #: active tracer's timeline), consumed at lease time.
+        self._marks: dict[str, float] = {}
+        self._marks_lock = threading.Lock()
+        #: The service's metrics home.  When global obs is enabled (e.g.
+        #: ``serve --trace-out/--metrics-out``) the service *adopts* that
+        #: registry and detaches it from the global slot: service-level
+        #: accounting lands where the operator asked for it, while job
+        #: runs execute uninstrumented — results and checkpoints stay
+        #: byte-identical to a serial run no matter how the daemon itself
+        #: is observed.  Otherwise a private always-on registry that only
+        #: ``/metrics`` ever reads.
+        active = obs.metrics()
+        if active.enabled:
+            self.registry: MetricsRegistry = active
+            obs.set_registry(None)
+        else:
+            self.registry = MetricsRegistry()
+        self._slo = {
+            phase: self.registry.histogram(name, SLO_LATENCY_BUCKETS)
+            for phase, name in SLO_PHASES.items()
+        }
+        self.registry.register_provider("service", self.queue.stats)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -141,6 +219,7 @@ class CampaignService:
         if self._threads:
             raise RuntimeError("service already started")
         self._stop.clear()
+        self.started_at = time.time()
         for i in range(self.workers):
             thread = threading.Thread(
                 target=self._executor_loop, name=f"svc-exec-{i}", daemon=True
@@ -196,16 +275,19 @@ class CampaignService:
         *,
         priority: int | str = "normal",
         submitter: str = "anonymous",
+        trace_id: str = "",
     ) -> tuple[Job, bool]:
         """Validate and admit one submission (the HTTP layer's entry point).
 
         The configuration is round-tripped through the canonical serializer
         and eagerly validated, so a nonsense machine is rejected at the
         API boundary (:class:`~repro.errors.ConfigError`), never leased.
+        ``trace_id`` is the request's correlation id; it is journaled with
+        the job and tagged onto every downstream span and flight event.
         """
         config = config_from_dict(config_payload)
         config.validate()
-        return self.queue.submit(
+        job, deduped = self.queue.submit(
             config_to_dict(config),
             workload,
             int(n_instrs),
@@ -213,7 +295,22 @@ class CampaignService:
             config_name=config.name,
             priority=priority,
             submitter=submitter,
+            trace_id=trace_id,
         )
+        tracer = obs.tracer()
+        if tracer is not None:
+            args = {
+                "job_id": job.job_id, "trace_id": job.trace_id,
+                "config": job.config_name, "workload": job.workload,
+            }
+            tracer.instant(
+                "job:dedup" if deduped else "job:submit",
+                "service", args, tid=current_tid(),
+            )
+            if not deduped:
+                with self._marks_lock:
+                    self._marks[job.job_id] = tracer.now_us()
+        return job, deduped
 
     def result_payload(self, job: Job) -> dict | None:
         """The stored :class:`RunResult` for a done job, serialized."""
@@ -246,20 +343,65 @@ class CampaignService:
             if job is None:
                 self._stop.wait(self.poll_s)
                 continue
+            leased_pc = time.perf_counter()
+            self._observe_lease(job)
             with self._inflight_lock:
                 self._inflight[owner] = job.job_id
             try:
-                self._run_job(runner, job, owner)
+                self._run_job(runner, job, owner, leased_pc)
             finally:
                 with self._inflight_lock:
                     self._inflight.pop(owner, None)
 
-    def _run_job(self, runner: ExperimentRunner, job: Job, owner: str) -> None:
+    def _observe_lease(self, job: Job) -> None:
+        """Account the queue-wait phase and close its trace span."""
+        now = self.queue.clock()
+        if job.submitted_at:
+            self._slo["queue_wait"].record(max(0.0, now - job.submitted_at))
+        tracer = obs.tracer()
+        if tracer is None:
+            return
+        with self._marks_lock:
+            mark = self._marks.pop(job.job_id, None)
+        args = {"job_id": job.job_id, "trace_id": job.trace_id}
+        if mark is not None:
+            end = tracer.now_us()
+            tracer.complete(
+                "job:queue-wait", mark, end - mark, "service", args,
+                tid=current_tid(),
+            )
+        else:
+            # No submit mark on this tracer's timeline (a job recovered
+            # from the journal, or submitted before tracing started).
+            tracer.instant("job:leased", "service", args, tid=current_tid())
+
+    def _run_job(
+        self,
+        runner: ExperimentRunner,
+        job: Job,
+        owner: str,
+        leased_pc: float | None = None,
+    ) -> None:
         config = config_from_dict(job.config)
         if self.isolation == "thread":
             runner.instruction_hook = _ExecutorHook(self, job, owner)
+        if isinstance(runner, FleetRunner):
+            # Workers tag every span they ship back with the job identity,
+            # so the merged trace reads end-to-end by trace_id.
+            runner.trace_args = {
+                "job_id": job.job_id, "trace_id": job.trace_id,
+            }
+        span_args = {
+            "job_id": job.job_id, "trace_id": job.trace_id,
+            "config": job.config_name, "workload": job.workload,
+            "n_instrs": job.n_instrs,
+        }
+        start_pc = time.perf_counter()
+        if leased_pc is not None:
+            self._slo["lease_to_start"].record(max(0.0, start_pc - leased_pc))
         try:
-            result = runner.run(config, job.workload, job.n_instrs)
+            with obs.span("job:run", "service", span_args, tid=current_tid()):
+                result = runner.run(config, job.workload, job.n_instrs)
         except _JobCancelled:
             self.queue.fail(
                 job.job_id, owner,
@@ -269,11 +411,14 @@ class CampaignService:
             return
         except RunFailure:
             record = runner.failures[-1] if runner.failures else None
+            error_type = record.error_type if record else "RunFailure"
             self.queue.fail(
                 job.job_id, owner,
-                error_type=record.error_type if record else "RunFailure",
+                error_type=error_type,
                 message=record.message if record else "run failed",
             )
+            if error_type in CRASH_ERROR_TYPES:
+                self.dump_flight_recorder("worker-crash")
             return
         except Exception as exc:  # containment: an executor never dies
             log_event(
@@ -285,6 +430,7 @@ class CampaignService:
                 error_type=type(exc).__name__, message=str(exc), crash=False,
             )
             return
+        self._slo["run"].record(time.perf_counter() - start_pc)
         summary = {
             "ipc": result.ipc,
             "cycles": result.cycles,
@@ -292,8 +438,14 @@ class CampaignService:
             "avg_load_latency": result.avg_load_latency,
             "degraded": job.degraded,
         }
+        write_pc = time.perf_counter()
         try:
-            self.queue.complete(job.job_id, owner, summary)
+            with obs.span(
+                "job:result-write", "service",
+                {"job_id": job.job_id, "trace_id": job.trace_id},
+                tid=current_tid(),
+            ):
+                self.queue.complete(job.job_id, owner, summary)
         except ReproError as exc:
             # Lease lost mid-run (expired and reclaimed, or cancelled):
             # the result is checkpointed either way, so a re-run is a hit.
@@ -301,6 +453,13 @@ class CampaignService:
                 logger, logging.WARNING, "completion rejected",
                 job=job.job_id, error=repr(exc),
             )
+            return
+        self._slo["result_write"].record(time.perf_counter() - write_pc)
+        obs.instant(
+            "job:done", "service",
+            {"job_id": job.job_id, "trace_id": job.trace_id},
+            tid=current_tid(),
+        )
 
     # ---------------------------------------------------------- housekeeping
 
@@ -332,17 +491,58 @@ class CampaignService:
             except ReproError:
                 pass  # job finished or was reclaimed between snapshots
 
-    # ------------------------------------------------------------- metrics
+    # ------------------------------------------------------------- telemetry
 
-    def _register_metrics(self) -> None:
-        registry = obs.metrics()
-        if registry.enabled:
-            registry.register_provider("service", self.queue.stats)
+    def service_stats(self) -> dict:
+        """Queue stats plus daemon identity and SLO latency quantiles
+        (the ``/api/v1/stats`` payload)."""
+        stats = self.queue.stats()
+        stats["uptime_s"] = (
+            round(time.time() - self.started_at, 3)
+            if self.started_at is not None else 0.0
+        )
+        stats["version"] = __version__
+        stats["latency"] = {
+            phase: {
+                "count": hist.count,
+                "mean_s": round(hist.mean, 6),
+                "p50_s": round(hist.quantile(0.50), 6),
+                "p95_s": round(hist.quantile(0.95), 6),
+                "p99_s": round(hist.quantile(0.99), 6),
+            }
+            for phase, hist in self._slo.items()
+        }
+        return stats
+
+    def telemetry_snapshot(self) -> dict:
+        """The service registry's snapshot (the ``GET /metrics`` source)."""
+        return self.registry.snapshot()
+
+    def dump_flight_recorder(self, reason: str) -> Path | None:
+        """Write the flight-recorder ring to ``flightrec_dir`` (post-mortem).
+
+        A no-op (returning ``None``) when no real recorder or directory is
+        wired; dump failures are logged, never raised — a broken disk must
+        not take the incident path down with it.
+        """
+        if not self.recorder.enabled or self.flightrec_dir is None:
+            return None
+        try:
+            path = self.recorder.dump_to_dir(self.flightrec_dir, reason=reason)
+        except OSError as exc:
+            log_event(
+                logger, logging.ERROR, "flight-recorder dump failed",
+                reason=reason, error=repr(exc),
+            )
+            return None
+        log_event(
+            logger, logging.WARNING, "flight recorder dumped",
+            path=str(path), reason=reason, events=len(self.recorder),
+        )
+        return path
 
     def _publish_gauges(self) -> None:
-        registry = obs.metrics()
-        if not registry.enabled:
-            return
+        registry = self.registry
         stats = self.queue.stats()
         registry.gauge("service.queue.depth").set(stats["depth"])
         registry.gauge("service.queue.leased").set(stats["states"]["leased"])
@@ -350,7 +550,7 @@ class CampaignService:
         for name in (
             "completed", "failed", "cancelled", "shed_degraded",
             "rejected_full", "rejected_quota", "rejected_breaker",
-            "leases_expired",
+            "leases_expired", "lease_expiry_failed",
         ):
             registry.gauge(f"service.{name}").set(counters[name])
 
@@ -361,6 +561,8 @@ def build_service(
     *,
     fsync: bool = True,
     queue_kwargs: dict | None = None,
+    recorder: FlightRecorder | None = None,
+    flightrec_dir: str | Path | None = None,
     **service_kwargs,
 ) -> CampaignService:
     """Convenience constructor: journal + recovered queue + resuming store.
@@ -369,8 +571,23 @@ def build_service(
     the tests both use it, so crash recovery is exercised the same way
     everywhere: replay the journal, reclaim dead leases, and open the
     store with ``resume=True`` so completed work is never re-simulated.
+
+    One :class:`FlightRecorder` ring is created here (unless injected) and
+    shared by the queue and the service, so queue-side events (admissions,
+    lease churn) and service-side dumps see the same history; dumps land
+    next to the journal unless ``flightrec_dir`` says otherwise.
     """
     journal = Journal(journal_path, fsync=fsync)
-    queue = JobQueue(journal, **(queue_kwargs or {}))
+    if recorder is None:
+        recorder = FlightRecorder()
+    qkw = dict(queue_kwargs or {})
+    qkw.setdefault("recorder", recorder)
+    queue = JobQueue(journal, **qkw)
     store = ResultStore(checkpoint_dir, resume=True)
-    return CampaignService(queue, store, **service_kwargs)
+    if flightrec_dir is None:
+        flightrec_dir = Path(journal_path).parent
+    return CampaignService(
+        queue, store,
+        recorder=recorder, flightrec_dir=flightrec_dir,
+        **service_kwargs,
+    )

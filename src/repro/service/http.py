@@ -1,8 +1,7 @@
 """Stdlib HTTP API over the campaign service (no new dependencies).
 
 A thin, threaded JSON layer (``http.server.ThreadingHTTPServer``) over
-:class:`~repro.service.daemon.CampaignService`.  Endpoints (all under
-``/api/v1``):
+:class:`~repro.service.daemon.CampaignService`.  Endpoints:
 
 =======  ==========================  ===========================================
 Method   Path                        Meaning
@@ -18,8 +17,12 @@ GET      ``/api/v1/jobs/<id>/result``serialized RunResult — 200 when done,
 POST     ``/api/v1/jobs/<id>/cancel``cancel (immediate for pending, flagged
                                      for leased)
 GET      ``/api/v1/jobs``            all job rows
-GET      ``/api/v1/stats``           queue statistics + journal replay stats
-GET      ``/api/v1/healthz``         liveness probe
+GET      ``/api/v1/stats``           queue statistics + SLO latency quantiles
+                                     + daemon identity
+GET      ``/api/v1/events``          flight-recorder ring (``?n=``, ``?kind=``)
+GET      ``/api/v1/healthz``         liveness probe (uptime, version)
+GET      ``/metrics``                Prometheus text exposition of the
+                                     service registry
 =======  ==========================  ===========================================
 
 Typed admission rejections (:class:`~repro.errors.QueueFull`,
@@ -31,6 +34,14 @@ unknown jobs to **404**, invalid state transitions to **409**.
 ``preset`` names a server-side configuration
 (:func:`preset_configs`: the Skylake baselines plus the fig10 variants) so
 clients can drive paper campaigns without shipping a config payload.
+
+Request correlation: every request is assigned a correlation id — the
+inbound ``X-Request-Id`` header when it is well-formed, a fresh random id
+otherwise — which is echoed back as ``X-Request-Id`` on the response.  A
+submission's correlation id becomes the job's ``trace_id``: journaled with
+the job, tagged onto every lifecycle span and flight-recorder event, and
+shipped back from fleet workers, so one id follows a request end-to-end
+(HTTP → queue → worker) through the merged trace.
 """
 
 from __future__ import annotations
@@ -39,15 +50,25 @@ import json
 import logging
 import re
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from .. import __version__, obs
 from ..errors import (
     AdmissionError,
     ConfigError,
     JobNotFound,
     JobStateError,
 )
-from ..obs import get_logger, log_event
+from ..obs import (
+    PROMETHEUS_CONTENT_TYPE,
+    current_tid,
+    get_logger,
+    log_event,
+    render_prometheus,
+)
 from ..sim.config import fig10_configs, skylake_client, skylake_server
 from ..sim.serialization import config_to_dict
 from .daemon import CampaignService
@@ -55,6 +76,10 @@ from .daemon import CampaignService
 logger = get_logger("service.http")
 
 _JOB_PATH = re.compile(r"^/api/v1/jobs/([A-Za-z0-9_-]+)(/result|/cancel)?$")
+
+#: Inbound ``X-Request-Id`` values we are willing to adopt: short, printable,
+#: header/JSON/label-safe.  Anything else gets a fresh generated id.
+_REQUEST_ID = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
 
 #: Cap on request bodies; a config payload is a few KiB.
 MAX_BODY_BYTES = 1 << 20
@@ -74,22 +99,47 @@ class ServiceHandler(BaseHTTPRequestHandler):
     server_version = "repro-service/1"
     protocol_version = "HTTP/1.1"
     service: CampaignService  # injected by make_server's subclass
+    request_id: str = ""
 
     # ------------------------------------------------------------- plumbing
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         log_event(
             logger, logging.DEBUG, "http", request=format % args,
-            client=self.client_address[0],
+            client=self.client_address[0], request_id=self.request_id,
         )
+
+    def _assign_request_id(self) -> str:
+        """Adopt a well-formed inbound ``X-Request-Id`` or mint one."""
+        inbound = self.headers.get("X-Request-Id") or ""
+        if _REQUEST_ID.match(inbound):
+            self.request_id = inbound
+        else:
+            self.request_id = uuid.uuid4().hex[:16]
+        return self.request_id
 
     def _json(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = json.dumps(payload, indent=2).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _text(
+        self, status: int, text: str,
+        content_type: str = "text/plain; charset=utf-8",
+    ) -> None:
+        body = text.encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        if self.request_id:
+            self.send_header("X-Request-Id", self.request_id)
         self.end_headers()
         self.wfile.write(body)
 
@@ -114,57 +164,104 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802
-        try:
-            if self.path == "/api/v1/healthz":
-                self._json(200, {"status": "ok"})
-            elif self.path == "/api/v1/stats":
-                self._json(200, self.service.queue.stats())
-            elif self.path == "/api/v1/jobs":
-                self._json(
-                    200,
-                    {"jobs": [job.to_dict() for job in self.service.queue.jobs()]},
-                )
-            else:
-                match = _JOB_PATH.match(self.path)
-                if match and match.group(2) is None:
-                    self._job_status(match.group(1))
-                elif match and match.group(2) == "/result":
-                    self._job_result(match.group(1))
+        path, _, query = self.path.partition("?")
+        rid = self._assign_request_id()
+        with obs.span(
+            "http:GET", "http", {"path": path, "trace_id": rid},
+            tid=current_tid(),
+        ):
+            try:
+                if path == "/metrics":
+                    self._text(
+                        200,
+                        render_prometheus(self.service.telemetry_snapshot()),
+                        PROMETHEUS_CONTENT_TYPE,
+                    )
+                elif path == "/api/v1/healthz":
+                    self._json(200, self._health())
+                elif path == "/api/v1/stats":
+                    self._json(200, self.service.service_stats())
+                elif path == "/api/v1/events":
+                    self._events(query)
+                elif path == "/api/v1/jobs":
+                    self._json(
+                        200,
+                        {"jobs": [job.to_dict() for job in self.service.queue.jobs()]},
+                    )
                 else:
-                    self._error(404, f"no route {self.path}")
-        except JobNotFound as exc:
-            self._error(404, str(exc), error_type="JobNotFound")
-        except Exception as exc:  # the server must outlive any request
-            log_event(logger, logging.ERROR, "request error", error=repr(exc))
-            self._error(500, repr(exc), error_type="InternalError")
+                    match = _JOB_PATH.match(path)
+                    if match and match.group(2) is None:
+                        self._job_status(match.group(1))
+                    elif match and match.group(2) == "/result":
+                        self._job_result(match.group(1))
+                    else:
+                        self._error(404, f"no route {path}")
+            except JobNotFound as exc:
+                self._error(404, str(exc), error_type="JobNotFound")
+            except ValueError as exc:
+                self._error(400, str(exc) or repr(exc), error_type="ValueError")
+            except Exception as exc:  # the server must outlive any request
+                log_event(
+                    logger, logging.ERROR, "request error",
+                    error=repr(exc), request_id=rid,
+                )
+                self._error(500, repr(exc), error_type="InternalError")
 
     def do_POST(self) -> None:  # noqa: N802
-        try:
-            if self.path == "/api/v1/jobs":
-                self._submit()
-                return
-            match = _JOB_PATH.match(self.path)
-            if match and match.group(2) == "/cancel":
-                self._cancel(match.group(1))
-                return
-            self._error(404, f"no route {self.path}")
-        except AdmissionError as exc:
-            self._error(
-                429, str(exc), error_type=type(exc).__name__,
-                headers={"Retry-After": str(int(exc.retry_after_s + 0.5) or 1)},
-            )
-        except JobNotFound as exc:
-            # Before the 400 clause: JobNotFound is also a KeyError.
-            self._error(404, str(exc), error_type="JobNotFound")
-        except (ConfigError, ValueError, KeyError, TypeError) as exc:
-            self._error(400, str(exc) or repr(exc), error_type=type(exc).__name__)
-        except JobStateError as exc:
-            self._error(409, str(exc), error_type="JobStateError")
-        except Exception as exc:
-            log_event(logger, logging.ERROR, "request error", error=repr(exc))
-            self._error(500, repr(exc), error_type="InternalError")
+        path, _, _query = self.path.partition("?")
+        rid = self._assign_request_id()
+        with obs.span(
+            "http:POST", "http", {"path": path, "trace_id": rid},
+            tid=current_tid(),
+        ):
+            try:
+                if path == "/api/v1/jobs":
+                    self._submit()
+                    return
+                match = _JOB_PATH.match(path)
+                if match and match.group(2) == "/cancel":
+                    self._cancel(match.group(1))
+                    return
+                self._error(404, f"no route {path}")
+            except AdmissionError as exc:
+                self._error(
+                    429, str(exc), error_type=type(exc).__name__,
+                    headers={"Retry-After": str(int(exc.retry_after_s + 0.5) or 1)},
+                )
+            except JobNotFound as exc:
+                # Before the 400 clause: JobNotFound is also a KeyError.
+                self._error(404, str(exc), error_type="JobNotFound")
+            except (ConfigError, ValueError, KeyError, TypeError) as exc:
+                self._error(400, str(exc) or repr(exc), error_type=type(exc).__name__)
+            except JobStateError as exc:
+                self._error(409, str(exc), error_type="JobStateError")
+            except Exception as exc:
+                log_event(
+                    logger, logging.ERROR, "request error",
+                    error=repr(exc), request_id=rid,
+                )
+                self._error(500, repr(exc), error_type="InternalError")
 
     # -------------------------------------------------------------- handlers
+
+    def _health(self) -> dict:
+        started = self.service.started_at
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - started, 3) if started else 0.0,
+            "version": __version__,
+        }
+
+    def _events(self, query: str) -> None:
+        params = parse_qs(query)
+        n = int(params["n"][0]) if "n" in params else None
+        kind = params["kind"][0] if "kind" in params else None
+        recorder = self.service.recorder
+        self._json(200, {
+            "events": recorder.events(n=n, kind=kind),
+            "recorded_total": recorder.recorded,
+            "capacity": recorder.capacity,
+        })
 
     def _submit(self) -> None:
         body = self._read_body()
@@ -192,6 +289,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             n_instrs,
             priority=body.get("priority", "normal"),
             submitter=str(body.get("submitter", "anonymous")),
+            trace_id=self.request_id,
         )
         self._json(202, dict(job.to_dict(), deduped=deduped))
 

@@ -120,6 +120,8 @@ class Journal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = None
         self._dir_synced = False
+        self.appends = 0   #: records durably committed this incarnation
+        self.rewrites = 0  #: compactions performed this incarnation
 
     # ------------------------------------------------------------- writing
 
@@ -135,6 +137,7 @@ class Journal:
                 os.fsync(self._fh.fileno())
         except ValueError as exc:  # write on a closed underlying file
             raise JournalError(f"journal {self.path} is closed: {exc}")
+        self.appends += 1
         if not self._dir_synced:
             # First durable record of this journal's life: make the file's
             # *existence* durable too.
@@ -228,6 +231,7 @@ class Journal:
         if self.fsync:
             fsync_dir(self.path.parent)
         self._dir_synced = True
+        self.rewrites += 1
         if was_open:
             self._open_for_append()
 

@@ -56,7 +56,7 @@ from ..errors import (
     QueueFull,
     QuotaExceeded,
 )
-from ..obs import get_logger, log_event
+from ..obs import NULL_FLIGHT_RECORDER, get_logger, log_event
 from .journal import Journal, ReplayStats
 
 logger = get_logger("service.queue")
@@ -91,6 +91,10 @@ class Job:
     n_instrs: int
     priority: int = PRIORITIES["normal"]
     submitter: str = "anonymous"
+    #: End-to-end correlation id: assigned at the API boundary (from the
+    #: request's ``X-Request-Id``), journaled with the job, and tagged onto
+    #: every span/log/flight-recorder event the job generates downstream.
+    trace_id: str = ""
     state: str = PENDING
     submitted_at: float = 0.0
     finished_at: float | None = None
@@ -151,6 +155,11 @@ class QueueCounters:
     rejected_breaker: int = 0
     leases_expired: int = 0
     leases_recovered: int = 0    #: leases reclaimed by crash-recovery replay
+    #: Jobs terminally failed because their last lease *expired* (a hung or
+    #: vanished worker) — kept distinct from ``failed``, which counts
+    #: worker-reported failures, so an operator can tell "the code is
+    #: broken" from "workers keep disappearing" at a glance.
+    lease_expiry_failed: int = 0
 
 
 class JobQueue:
@@ -185,8 +194,12 @@ class JobQueue:
         breaker_threshold: int = 3,
         breaker_cooldown_s: float = 300.0,
         clock: Callable[[], float] = _wall_clock,
+        recorder=None,
     ) -> None:
         self.journal = journal
+        #: Flight recorder for operational events (admissions, rejections,
+        #: lease churn, breaker transitions); the shared no-op by default.
+        self.recorder = recorder if recorder is not None else NULL_FLIGHT_RECORDER
         self.max_depth = max_depth
         self.quota = quota
         self.lease_s = lease_s
@@ -358,6 +371,7 @@ class JobQueue:
         config_name: str = "",
         priority: int | str = "normal",
         submitter: str = "anonymous",
+        trace_id: str = "",
     ) -> tuple[Job, bool]:
         """Admit one submission; returns ``(job, deduped)``.
 
@@ -373,7 +387,9 @@ class JobQueue:
             rank = int(priority)
         with self._lock:
             now = self.clock()
-            self._check_breaker(fingerprint, now)
+            self._check_breaker(
+                fingerprint, now, trace_id=trace_id, config_name=config_name
+            )
             degraded = False
             requested = None
             active = sum(1 for j in self._jobs.values() if j.active)
@@ -393,9 +409,18 @@ class JobQueue:
                 existing = self._jobs[existing_id]
                 if existing.active or existing.state == DONE:
                     self.counters.deduped += 1
+                    self.recorder.record(
+                        "dedup", job_id=existing.job_id, trace_id=trace_id,
+                        config=config_name, workload=workload,
+                        submitter=submitter,
+                    )
                     return existing, True
             if active >= self.max_depth:
                 self.counters.rejected_full += 1
+                self.recorder.record(
+                    "reject_full", config=config_name, workload=workload,
+                    trace_id=trace_id, submitter=submitter, depth=active,
+                )
                 raise QueueFull(
                     f"queue depth {active} is at the {self.max_depth}-job "
                     f"bound",
@@ -407,6 +432,10 @@ class JobQueue:
             )
             if mine >= self.quota:
                 self.counters.rejected_quota += 1
+                self.recorder.record(
+                    "reject_quota", config=config_name, workload=workload,
+                    trace_id=trace_id, submitter=submitter, held=mine,
+                )
                 raise QuotaExceeded(
                     f"submitter {submitter!r} holds {mine} active jobs "
                     f"(quota {self.quota})",
@@ -423,6 +452,7 @@ class JobQueue:
                 n_instrs=n_instrs,
                 priority=rank,
                 submitter=submitter,
+                trace_id=trace_id,
                 submitted_at=now,
                 degraded=degraded,
                 requested_n_instrs=requested,
@@ -431,6 +461,11 @@ class JobQueue:
             self.counters.submitted += 1
             if degraded:
                 self.counters.shed_degraded += 1
+            self.recorder.record(
+                "submit", job_id=job.job_id, trace_id=trace_id,
+                config=config_name, workload=workload, n_instrs=n_instrs,
+                priority=rank, submitter=submitter, degraded=degraded,
+            )
             log_event(
                 logger, logging.INFO, "job submitted",
                 job=job.job_id, config=config_name, workload=workload,
@@ -442,13 +477,21 @@ class JobQueue:
     def _retry_after(self) -> float:
         return max(1.0, round(self._mean_service_s, 1))
 
-    def _check_breaker(self, fingerprint: str, now: float) -> None:
+    def _check_breaker(
+        self, fingerprint: str, now: float, *,
+        trace_id: str = "", config_name: str = "",
+    ) -> None:
         breaker = self._breakers.get(fingerprint)
         if breaker is None or breaker.opened_at is None:
             return
         remaining = breaker.opened_at + self.breaker_cooldown_s - now
         if remaining > 0:
             self.counters.rejected_breaker += 1
+            self.recorder.record(
+                "reject_breaker", fingerprint=fingerprint[:12],
+                config=config_name, trace_id=trace_id,
+                failures=breaker.failures, retry_in_s=round(remaining, 1),
+            )
             raise CircuitOpen(
                 f"config {fingerprint[:12]} is quarantined after "
                 f"{breaker.failures} worker crash(es); retry in "
@@ -489,6 +532,12 @@ class JobQueue:
                 "owner": owner,
                 "expires_at": now + self.lease_s,
             })
+            self.recorder.record(
+                "lease", job_id=best.job_id, trace_id=best.trace_id,
+                owner=owner, attempts=best.attempts,
+                queue_wait_s=round(max(0.0, now - best.submitted_at), 6)
+                if best.submitted_at else None,
+            )
             log_event(
                 logger, logging.DEBUG, "job leased",
                 job=best.job_id, owner=owner, attempts=best.attempts,
@@ -529,6 +578,10 @@ class JobQueue:
                 if now < job.lease_expires_at:
                     continue
                 self.counters.leases_expired += 1
+                self.recorder.record(
+                    "lease_expired", job_id=job.job_id, trace_id=job.trace_id,
+                    owner=job.lease_owner, attempts=job.attempts,
+                )
                 log_event(
                     logger, logging.WARNING, "lease expired",
                     job=job.job_id, owner=job.lease_owner,
@@ -539,7 +592,9 @@ class JobQueue:
                     "message": f"lease held by {job.lease_owner!r} expired",
                 }
                 if job.attempts >= self.max_attempts:
-                    self._terminal_fail(job, error, now)
+                    # Expiry-driven terminal failures get their own counter
+                    # (lease_expiry_failed), never folded into `failed`.
+                    self._terminal_fail(job, error, now, counter="lease_expiry_failed")
                 else:
                     self._commit({
                         "op": "requeue", "id": job.job_id,
@@ -571,6 +626,11 @@ class JobQueue:
             })
             self.counters.completed += 1
             self._breaker_success(job.fingerprint)
+            self.recorder.record(
+                "done", job_id=job_id, trace_id=job.trace_id, owner=owner,
+                config=job.config_name, workload=job.workload,
+                degraded=job.degraded,
+            )
             log_event(
                 logger, logging.INFO, "job done",
                 job=job_id, config=job.config_name, workload=job.workload,
@@ -604,9 +664,18 @@ class JobQueue:
             else:
                 self._breaker_success(job.fingerprint)
             error = {"error_type": error_type, "message": message}
+            if crash:
+                self.recorder.record(
+                    "worker_crash", job_id=job_id, trace_id=job.trace_id,
+                    owner=owner, error_type=error_type, message=message,
+                    attempts=job.attempts,
+                )
             if job.cancel_requested:
                 self._commit({"op": "cancel", "id": job_id, "at": now})
                 self.counters.cancelled += 1
+                self.recorder.record(
+                    "cancelled", job_id=job_id, trace_id=job.trace_id,
+                )
             elif job.attempts >= self.max_attempts or self._is_open(
                 job.fingerprint, now
             ):
@@ -617,13 +686,24 @@ class JobQueue:
                     "error": f"{error_type}: {message}",
                 })
                 self.counters.requeued += 1
+                self.recorder.record(
+                    "requeue", job_id=job_id, trace_id=job.trace_id,
+                    error_type=error_type, attempts=job.attempts,
+                )
             return job
 
-    def _terminal_fail(self, job: Job, error: dict, now: float) -> None:
+    def _terminal_fail(
+        self, job: Job, error: dict, now: float, *, counter: str = "failed"
+    ) -> None:
         error = dict(error, attempts=job.attempts,
                      attempt_errors=list(job.attempt_errors))
         self._commit({"op": "fail", "id": job.job_id, "error": error, "at": now})
-        self.counters.failed += 1
+        setattr(self.counters, counter, getattr(self.counters, counter) + 1)
+        self.recorder.record(
+            "failed", job_id=job.job_id, trace_id=job.trace_id,
+            config=job.config_name, workload=job.workload,
+            error_type=error.get("error_type"), attempts=job.attempts,
+        )
         log_event(
             logger, logging.ERROR, "job failed terminally",
             job=job.job_id, config=job.config_name, workload=job.workload,
@@ -637,6 +717,9 @@ class JobQueue:
             if job.state == PENDING:
                 self._commit({"op": "cancel", "id": job_id, "at": self.clock()})
                 self.counters.cancelled += 1
+                self.recorder.record(
+                    "cancelled", job_id=job_id, trace_id=job.trace_id,
+                )
             elif job.state == LEASED:
                 if not job.cancel_requested:
                     self._commit({"op": "cancel_requested", "id": job_id})
@@ -655,6 +738,10 @@ class JobQueue:
         breaker.probing = False
         if breaker.failures >= self.breaker_threshold or breaker.opened_at:
             breaker.opened_at = now  # (re-)open: cooldown restarts
+            self.recorder.record(
+                "breaker_open", fingerprint=fingerprint[:12],
+                failures=breaker.failures,
+            )
             log_event(
                 logger, logging.WARNING, "circuit opened",
                 fingerprint=fingerprint[:12], failures=breaker.failures,
@@ -674,6 +761,9 @@ class JobQueue:
             "failures": 0, "opened_at": None, "probing": False,
         })
         if was_open:
+            self.recorder.record(
+                "breaker_close", fingerprint=fingerprint[:12],
+            )
             log_event(
                 logger, logging.INFO, "circuit closed by successful probe",
                 fingerprint=fingerprint[:12],
@@ -717,20 +807,40 @@ class JobQueue:
     def stats(self) -> dict:
         """Plain-data queue statistics (the ``/stats`` endpoint's core)."""
         with self._lock:
+            now = self.clock()
             by_state: dict[str, int] = {
                 s: 0 for s in (PENDING, LEASED, DONE, FAILED, CANCELLED)
             }
             for job in self._jobs.values():
                 by_state[job.state] += 1
+            breaker_states = {"closed": 0, "open": 0, "half_open": 0}
+            for breaker in self._breakers.values():
+                if breaker.opened_at is None:
+                    breaker_states["closed"] += 1
+                elif now < breaker.opened_at + self.breaker_cooldown_s:
+                    breaker_states["open"] += 1
+                else:
+                    breaker_states["half_open"] += 1
+            c = self.counters
+            terminal = c.completed + c.failed + c.lease_expiry_failed
+            error_rate = (
+                (c.failed + c.lease_expiry_failed) / terminal if terminal else 0.0
+            )
             return {
                 "depth": by_state[PENDING] + by_state[LEASED],
                 "max_depth": self.max_depth,
                 "states": by_state,
-                "counters": asdict(self.counters),
+                "counters": asdict(c),
+                "error_rate": round(error_rate, 6),
+                "breaker_states": breaker_states,
                 "mean_service_s": round(self._mean_service_s, 3),
                 "breakers": {
                     fp[:12]: breaker.to_dict()
                     for fp, breaker in self._breakers.items()
+                },
+                "journal": {
+                    "appends": self.journal.appends,
+                    "compactions": self.journal.rewrites,
                 },
                 "journal_replay": self.replay_stats.to_dict(),
             }

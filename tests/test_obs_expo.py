@@ -1,0 +1,234 @@
+"""Tests for the Prometheus text exposition (repro.obs.expo) and the
+histogram quantile estimator that feeds the SLO summaries.
+
+The rendering tests pin the format properties a scraper depends on —
+counter ``_total`` suffixing, cumulative buckets ending in ``+Inf``, label
+escaping — and every rendered document must round-trip through
+:func:`validate_exposition`, the same checker CI runs on a live scrape.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus, validate_exposition
+from repro.obs.expo import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    main as expo_main,
+    sanitize_metric_name,
+)
+from repro.obs.registry import Histogram
+
+
+def render_valid(snapshot, **kwargs):
+    """Render and assert the output passes the checker."""
+    text = render_prometheus(snapshot, **kwargs)
+    assert validate_exposition(text) == []
+    return text
+
+
+class TestHistogramQuantile:
+    def test_empty_histogram_quantiles_are_zero(self):
+        hist = Histogram("h", (1, 2, 4))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantile(0.99) == 0.0
+
+    def test_interpolates_within_a_bucket(self):
+        hist = Histogram("h", (10.0,))
+        for _ in range(4):
+            hist.record(5.0)
+        # 4 samples uniformly assumed across (0, 10]: the median sits at
+        # the 2/4 point of the only bucket.
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+        assert hist.quantile(0.25) == pytest.approx(2.5)
+
+    def test_crosses_buckets_with_lower_edge(self):
+        hist = Histogram("h", (1.0, 2.0, 4.0))
+        hist.record(0.5)   # bucket (0, 1]
+        hist.record(1.5)   # bucket (1, 2]
+        hist.record(3.0)   # bucket (2, 4]
+        hist.record(3.5)   # bucket (2, 4]
+        # p50 -> target 2.0 of 4: lands exactly on the 2nd sample, i.e. the
+        # upper edge of the (1, 2] bucket.
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        # p75 -> target 3.0: halfway through the two-sample (2, 4] bucket.
+        assert hist.quantile(0.75) == pytest.approx(3.0)
+
+    def test_overflow_clamps_to_last_bound(self):
+        hist = Histogram("h", (1.0, 2.0))
+        hist.record(100.0)
+        hist.record(200.0)
+        assert hist.quantile(0.99) == 2.0
+
+    def test_out_of_range_q_raises(self):
+        hist = Histogram("h", (1.0,))
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.quantile(-0.1)
+
+    def test_to_dict_keeps_old_keys_and_adds_quantiles(self):
+        hist = Histogram("h", (1.0, 2.0))
+        hist.record(0.5)
+        payload = hist.to_dict()
+        # The original checkpointed-telemetry keys survive unchanged…
+        assert payload["bounds"] == [1.0, 2.0]
+        assert payload["counts"] == [1, 0, 0]
+        assert payload["sum"] == 0.5
+        assert payload["count"] == 1
+        # …and the quantile estimates ride along.
+        assert set(payload) >= {"p50", "p95", "p99"}
+
+
+class TestRenderPrometheus:
+    def test_empty_snapshot_is_valid_and_empty(self):
+        assert render_valid({}) == ""
+
+    def test_counter_gets_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.loads").inc(7)
+        text = render_valid(registry.snapshot())
+        assert "# TYPE repro_sim_loads_total counter\n" in text
+        assert "repro_sim_loads_total 7\n" in text
+
+    def test_gauge_renders_plain(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue.depth").set(3.5)
+        text = render_valid(registry.snapshot())
+        assert "# TYPE repro_queue_depth gauge\n" in text
+        assert "repro_queue_depth 3.5\n" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("job.queue_wait_seconds", (1.0, 2.0, 4.0))
+        for value in (0.5, 0.5, 1.5, 100.0):
+            hist.record(value)
+        text = render_valid(registry.snapshot())
+        name = "repro_job_queue_wait_seconds"
+        assert f"# TYPE {name} histogram\n" in text
+        assert f'{name}_bucket{{le="1"}} 2\n' in text
+        assert f'{name}_bucket{{le="2"}} 3\n' in text      # cumulative
+        assert f'{name}_bucket{{le="4"}} 3\n' in text
+        assert f'{name}_bucket{{le="+Inf"}} 4\n' in text   # overflow included
+        assert f"{name}_count 4\n" in text
+        assert f"{name}_sum 102.5\n" in text
+
+    def test_provider_snapshot_flattens_to_labeled_gauges(self):
+        snapshot = {
+            "providers": {
+                "service": {
+                    "depth": 2,
+                    "states": {"pending": 1, "leased": 1},
+                    "note": "not a number",          # skipped
+                    "healthy": True,                 # bool -> 1
+                },
+            },
+        }
+        text = render_valid(snapshot)
+        assert 'repro_snapshot{provider="service",key="depth"} 2\n' in text
+        assert (
+            'repro_snapshot{provider="service",key="states.pending"} 1\n'
+            in text
+        )
+        assert 'repro_snapshot{provider="service",key="healthy"} 1\n' in text
+        assert "not a number" not in text
+
+    def test_label_values_are_escaped(self):
+        snapshot = {"providers": {'we"ird\\prov\nider': {"x": 1}}}
+        text = render_valid(snapshot)
+        assert r'provider="we\"ird\\prov\nider"' in text
+
+    def test_metric_names_are_sanitised(self):
+        assert sanitize_metric_name("job.queue-wait s") == (
+            "repro_job_queue_wait_s"
+        )
+        assert sanitize_metric_name("9lives", namespace="") == "_9lives"
+
+    def test_format_value_integers_have_no_decimal_point(self):
+        assert format_value(3.0) == "3"
+        assert format_value(3.25) == "3.25"
+        assert format_value(True) == "1"
+
+    def test_content_type_names_the_format_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestValidateExposition:
+    def test_missing_trailing_newline(self):
+        assert validate_exposition("repro_x 1") == [
+            "exposition must end with a newline"
+        ]
+
+    def test_bad_sample_line(self):
+        problems = validate_exposition("this is not a sample!!\n")
+        assert any("unparsable sample" in p for p in problems)
+
+    def test_duplicate_series_detected(self):
+        text = "repro_x 1\nrepro_x 2\n"
+        assert any("duplicate series" in p for p in validate_exposition(text))
+
+    def test_non_cumulative_histogram_detected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="2"} 3\n'      # decreasing: broken renderer
+            'repro_h_bucket{le="+Inf"} 5\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 5\n"
+        )
+        assert any(
+            "not cumulative" in p for p in validate_exposition(text)
+        )
+
+    def test_histogram_missing_inf_bucket_detected(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 5\n"
+        )
+        assert any("+Inf" in p for p in validate_exposition(text))
+
+    def test_inf_bucket_must_agree_with_count(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 4\n'
+            "repro_h_sum 9\n"
+            "repro_h_count 5\n"
+        )
+        assert any("_count" in p for p in validate_exposition(text))
+
+    def test_ungrouped_family_detected(self):
+        text = (
+            "# TYPE repro_a gauge\n"
+            "repro_a 1\n"
+            "# TYPE repro_b gauge\n"
+            "repro_b 1\n"
+            'repro_a{x="1"} 2\n'               # repro_a samples split up
+        )
+        assert any("not grouped" in p for p in validate_exposition(text))
+
+    def test_escaped_labels_parse(self):
+        text = 'repro_x{v="a\\\\b\\"c\\nd"} 1\n'
+        assert validate_exposition(text) == []
+
+
+class TestCheckerCli:
+    def test_check_accepts_a_real_render(self, tmp_path, capsys):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc()
+        registry.histogram("lat", (1.0,)).record(0.5)
+        path = tmp_path / "metrics.prom"
+        path.write_text(render_prometheus(registry.snapshot()))
+        assert expo_main(["check", str(path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_check_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.prom"
+        path.write_text("repro_x 1\nrepro_x 1\n")
+        assert expo_main(["check", str(path)]) == 1
+        assert "duplicate series" in capsys.readouterr().err
+
+    def test_usage_error(self, capsys):
+        assert expo_main(["frobnicate"]) == 2
+        assert "usage" in capsys.readouterr().err

@@ -131,3 +131,44 @@ class TestRunOverheadRatio:
         # perf_counter appears only at phase boundaries (bounded count)
         assert source.count("perf_counter") <= 2
         assert time.perf_counter  # silence unused-import linters
+
+
+class TestServicePathStaysPrivate:
+    """The campaign service instruments itself without enabling global obs.
+
+    Service telemetry (SLO histograms, lifecycle spans, flight-recorder
+    events) is per-*job*, so it lives in the service's own always-on
+    registry.  The zero-overhead contract protects the per-*instruction*
+    sim path: running a job through the daemon must leave the global null
+    singletons untouched and ship no telemetry with the result.
+    """
+
+    def test_service_run_leaves_global_obs_disabled(self, tmp_path):
+        from repro.service import build_service
+        from repro.service.http import preset_configs
+        from repro.sim.serialization import config_to_dict
+
+        service = build_service(
+            tmp_path / "journal.wal", tmp_path / "ckpt", fsync=False
+        )
+        job, _ = service.submit_config(
+            config_to_dict(preset_configs()["baseline_server"]),
+            "hmmer_like", 1500,
+        )
+        service.start()
+        try:
+            assert service.wait_idle(timeout=30)
+        finally:
+            service.stop()
+        # The global obs surface stayed null: no registry, no tracer, no
+        # telemetry attached to the simulation result.
+        assert obs.metrics() is NULL_REGISTRY
+        assert NULL_REGISTRY.snapshot() == {}
+        assert obs.tracer() is None
+        payload = service.result_payload(service.queue.get(job.job_id))
+        assert payload.get("telemetry") is None
+        # ...while the service's private registry did account the job.
+        assert service.registry is not NULL_REGISTRY
+        snapshot = service.telemetry_snapshot()
+        assert snapshot["histograms"]["job.queue_wait_seconds"]["count"] >= 1
+        service.queue.journal.close()

@@ -58,7 +58,12 @@ class TestBasics:
     def test_healthz(self, api):
         url, _ = api
         status, _, body = request(f"{url}/api/v1/healthz")
-        assert (status, body) == (200, {"status": "ok"})
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["uptime_s"] >= 0.0
+        from repro import __version__
+
+        assert body["version"] == __version__
 
     def test_unknown_route_404(self, api):
         url, _ = api
