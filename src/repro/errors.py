@@ -24,6 +24,9 @@ so callers (the resilient runner, the experiment CLI, tests) can distinguish
   :class:`QuotaExceeded`, :class:`CircuitOpen` — typed submission
   rejections from the campaign service, each carrying a ``retry_after_s``
   hint (HTTP 429 + ``Retry-After`` at the API boundary).
+* :class:`SafeModeActive` — the service has stopped admitting writes
+  because its storage is failing (ENOSPC/EIO evidence); maps to HTTP 503
+  with ``Retry-After``, unlike admission rejections which map to 429.
 * :class:`JobNotFound` / :class:`JobStateError` — bad job id, or an
   operation invalid for the job's current state-machine state.
 """
@@ -125,6 +128,22 @@ class CircuitOpen(AdmissionError):
     The breaker re-admits a single probe job after the cooldown
     (``retry_after_s``); a successful probe closes the circuit.
     """
+
+
+class SafeModeActive(ReproError):
+    """The service is in disk-fault safe mode and not admitting writes.
+
+    Deliberately *not* an :class:`AdmissionError`: admission rejections are
+    the caller's problem (full queue, quota) and map to HTTP 429, while
+    safe mode is the *service's* problem (its disk is failing) and maps to
+    HTTP 503 + ``Retry-After``.  Read-only operations keep working.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 5.0,
+                 reason: str = "") -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+        self.reason = reason
 
 
 class JobNotFound(ReproError, KeyError):

@@ -18,15 +18,140 @@ exactly one place:
   there, just not durably ordered — same guarantee as before this module).
 
 ``os.fsync`` failures on the *data* are real errors and propagate;
-directory-fsync failures degrade silently because several platforms
-(and some network filesystems) simply do not support it.
+directory-fsync failures degrade to ``False`` because several platforms
+(and some network filesystems) simply do not support it — but no longer
+*silently*: the first failure logs a WARNING and every failure increments
+:func:`dir_fsync_failures`, which the campaign service republishes as the
+``service.dir_fsync_failures`` gauge so an operator can see that rename
+durability is reduced on that filesystem.
+
+The I/O backend seam
+--------------------
+
+Every syscall-boundary operation these helpers perform — open, write,
+fsync, rename, truncate, unlink, directory fsync — is routed through a
+pluggable backend (:func:`io_backend`).  The production backend
+(:class:`OsIO`) is a direct passthrough to ``os``; the storage chaos layer
+(:mod:`repro.service.chaos`) installs a recording/fault-injecting shim via
+:func:`set_io_backend` / :func:`use_io_backend` to prove the crash-safety
+contract against torn writes, ENOSPC, fsync EIO and rename failure.  The
+indirection is one attribute load on paths that already pay for a syscall,
+so the hot simulation loop is untouched.
 """
 
 from __future__ import annotations
 
+import errno
 import json
+import logging
 import os
+from contextlib import contextmanager
 from pathlib import Path
+
+#: ``errno`` values that are *storage faults*: evidence the filesystem
+#: under a durable write is failing (full, quota'd, dying, or remounted
+#: read-only) rather than the write being wrong.  The campaign service
+#: enters safe mode on these (see ``repro.service.daemon``).
+STORAGE_FAULT_ERRNOS = frozenset({
+    errno.ENOSPC, errno.EIO, errno.EDQUOT, errno.EROFS,
+})
+
+
+def is_storage_fault(exc: BaseException) -> bool:
+    """True when ``exc`` is disk-misbehaviour evidence (ENOSPC/EIO/...).
+
+    Used by the campaign service to distinguish "the disk is failing"
+    (enter safe mode, keep the job) from "the write was wrong" (fail the
+    operation).
+    """
+    return isinstance(exc, OSError) and exc.errno in STORAGE_FAULT_ERRNOS
+
+
+# ------------------------------------------------------------- the backend
+
+
+class OsIO:
+    """The production I/O backend: a direct passthrough to ``os``.
+
+    All ``os.*`` attributes are looked up at call time, so tests that
+    monkeypatch ``os.fsync``/``os.replace`` keep working unchanged.
+    """
+
+    name = "os"
+
+    def open(self, path: str | Path, mode: str):
+        return open(os.fspath(path), mode)
+
+    def fsync(self, fh) -> None:
+        """Flush a file object's buffers and fsync its descriptor."""
+        fh.flush()
+        os.fsync(fh.fileno())
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        os.replace(os.fspath(src), os.fspath(dst))
+
+    def unlink(self, path: str | Path) -> None:
+        os.unlink(os.fspath(path))
+
+    def fsync_dir(self, path: str | Path) -> bool:
+        """Raw directory fsync; ``False`` when the platform refuses."""
+        try:
+            fd = os.open(os.fspath(path), os.O_RDONLY)
+        except OSError:
+            return False
+        try:
+            os.fsync(fd)
+            return True
+        except OSError:
+            return False
+        finally:
+            os.close(fd)
+
+
+_OS_IO = OsIO()
+_backend = _OS_IO
+
+
+def io_backend():
+    """The active I/O backend (the direct :class:`OsIO` unless shimmed)."""
+    return _backend
+
+
+def set_io_backend(backend):
+    """Install ``backend`` (``None`` restores :class:`OsIO`); returns the
+    previous backend so callers can restore it."""
+    global _backend
+    previous = _backend
+    _backend = backend if backend is not None else _OS_IO
+    return previous
+
+
+@contextmanager
+def use_io_backend(backend):
+    """Scope an I/O backend (e.g. a chaos shim) for a ``with`` block."""
+    previous = set_io_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_io_backend(previous)
+
+
+# --------------------------------------------------- directory-fsync health
+
+_dir_fsync_failures = 0
+_dir_fsync_warned = False
+
+
+def dir_fsync_failures() -> int:
+    """Directory fsyncs that failed since process start (operator signal)."""
+    return _dir_fsync_failures
+
+
+def reset_dir_fsync_stats() -> None:
+    """Reset the failure counter and the warn-once latch (tests)."""
+    global _dir_fsync_failures, _dir_fsync_warned
+    _dir_fsync_failures = 0
+    _dir_fsync_warned = False
 
 
 def fsync_dir(path: str | Path) -> bool:
@@ -34,19 +159,28 @@ def fsync_dir(path: str | Path) -> bool:
 
     Returns ``True`` when the fsync happened, ``False`` when the platform
     or filesystem would not allow it (never raises — the caller's write is
-    already atomic, this only strengthens ordering).
+    already atomic, this only strengthens ordering).  Failures are counted
+    (:func:`dir_fsync_failures`) and the first one logs a WARNING so a
+    filesystem with reduced rename durability is visible to operators.
     """
-    try:
-        fd = os.open(os.fspath(path), os.O_RDONLY)
-    except OSError:
-        return False
-    try:
-        os.fsync(fd)
-        return True
-    except OSError:
-        return False
-    finally:
-        os.close(fd)
+    global _dir_fsync_failures, _dir_fsync_warned
+    ok = io_backend().fsync_dir(path)
+    if not ok:
+        _dir_fsync_failures += 1
+        if not _dir_fsync_warned:
+            _dir_fsync_warned = True
+            from .obs import get_logger, log_event
+
+            log_event(
+                get_logger("ioutil"), logging.WARNING,
+                "directory fsync unsupported here: completed renames are "
+                "atomic but not durably ordered on this filesystem",
+                path=str(path), failures=_dir_fsync_failures,
+            )
+    return ok
+
+
+# ------------------------------------------------------------ atomic writes
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -58,20 +192,22 @@ def atomic_write_text(path: str | Path, text: str) -> None:
     atomic) and is cleaned up on failure.
     """
     path = Path(path)
+    io = io_backend()
     tmp = path.with_suffix(path.suffix + ".tmp")
-    fd = os.open(os.fspath(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
     try:
-        with os.fdopen(fd, "w") as fh:
-            fh.write(text)
-            fh.flush()
-            os.fsync(fh.fileno())
+        fh = io.open(tmp, "wb")
+        try:
+            fh.write(text.encode("utf-8"))
+            io.fsync(fh)
+        finally:
+            fh.close()
     except BaseException:
         try:
-            os.unlink(tmp)
+            io.unlink(tmp)
         except OSError:
             pass
         raise
-    os.replace(tmp, path)
+    io.replace(tmp, path)
     fsync_dir(path.parent)
 
 

@@ -24,12 +24,11 @@ from __future__ import annotations
 import hashlib
 import json
 import logging
-import os
 import re
 from pathlib import Path
 
 from ..errors import CheckpointError
-from ..ioutil import atomic_write_json
+from ..ioutil import atomic_write_json, io_backend
 from ..obs import get_logger, log_event
 from ..sim.config import SimConfig
 from ..sim.metrics import RunResult
@@ -139,8 +138,8 @@ class ResultStore:
     ) -> None:
         """Record one completed run (and checkpoint it if configured)."""
         key = self._key(config, workload, n_instrs)
-        self._memory[key] = result
         if self.checkpoint_dir is None:
+            self._memory[key] = result
             return
         payload = {
             "checkpoint_version": CHECKPOINT_FORMAT_VERSION,
@@ -152,8 +151,12 @@ class ResultStore:
         }
         # Durable atomic write: fsync'd temp + rename + directory fsync, so
         # a crash right after the replace cannot leave a truncated
-        # checkpoint for a later --resume to quarantine.
+        # checkpoint for a later --resume to quarantine.  The memory cache
+        # is populated only *after* the write lands: a checkpoint that hit
+        # ENOSPC/EIO must not leave a phantom cache entry that would let a
+        # retry skip the re-write and ack a result with no durable copy.
         atomic_write_json(self._path(config, workload, n_instrs), payload)
+        self._memory[key] = result
 
     def _quarantine(self, path: Path) -> Path | None:
         """Move a corrupt checkpoint aside so no later resume re-parses it.
@@ -169,7 +172,7 @@ class ResultStore:
             serial += 1
             target = path.with_suffix(f"{path.suffix}.corrupt.{serial}")
         try:
-            os.replace(path, target)
+            io_backend().replace(path, target)
         except OSError:
             return None
         self.quarantined.append(target)

@@ -1,0 +1,408 @@
+"""Deterministic storage/I-O chaos: fault shim + syscall-boundary op log.
+
+The durability story of the campaign service rests on three primitives —
+:func:`repro.ioutil.atomic_write_text`, :meth:`repro.service.journal.Journal.append`
+/ :meth:`~repro.service.journal.Journal.rewrite`, and
+:meth:`repro.runner.store.ResultStore.put` — all of which route their
+syscall-boundary operations through the pluggable I/O backend in
+:mod:`repro.ioutil`.  :class:`ChaosFS` is the adversarial implementation of
+that backend.  Installed via :meth:`ChaosFS.install` (or ``serve --chaos``),
+it does two things:
+
+**Fault injection.**  A list of :class:`FaultRule`\\ s describes a
+deterministic fault plan.  Each rule names a fault kind, an optional path
+substring filter, an op-count threshold and a firing budget, so "the third
+fsync of the journal returns EIO" is a one-liner and replays identically
+every run.  Kinds:
+
+* ``enospc-write`` — the write fails with ``ENOSPC``; no bytes land.
+* ``short-write`` — only a prefix of the data lands, then ``ENOSPC`` is
+  raised (a disk filling mid-write; the caller sees the error).
+* ``torn-write`` — a prefix lands and :class:`PowerCut` is raised (the
+  process dies mid-write; nobody sees an error).
+* ``eio-fsync`` — ``fsync`` fails with ``EIO`` (the fsync-gate problem:
+  the data's durability is unknown and the caller must not ack).
+* ``erename`` — ``os.replace`` fails with ``EIO``; the target keeps its
+  old contents.
+* ``eio-fsync-dir`` — directory fsync reports failure, exercising the
+  reduced-durability warning path in :func:`repro.ioutil.fsync_dir`.
+
+**Op log + prefix replay.**  Every mutation that *actually happened* is
+recorded — ``("write", path, offset, data)``, ``truncate``, ``replace``,
+``unlink``, plus ``fsync``/``fsync_dir`` markers — with paths relative to
+the chaos root.  :func:`replay_prefix` re-applies the first *k* ops (and
+optionally the first *j* bytes of op *k*) into a fresh directory,
+reconstructing the exact on-disk state a process killed at that instant
+would have left behind.  Sweeping ``k`` (and ``j``) over seeded random cut
+points is the standing proof of the exactly-once contract: recovery from
+*every* prefix must preserve every acknowledged job and duplicate nothing
+(``tests/test_service_crash_harness.py``).
+
+The replay model is kill-``-9``-at-syscall-granularity: a completed
+syscall's effect survives, an uncompleted one doesn't, and the final write
+may be torn mid-buffer.  That is exactly the contract the journal's
+fsync-before-ack discipline is designed for — an acked record is always a
+*completed, fsync'd* write, so it appears in every prefix at or after the
+ack point.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..ioutil import OsIO, use_io_backend
+
+#: The fault kinds a :class:`FaultRule` may name, and the op they attach to.
+FAULT_KINDS = (
+    "enospc-write", "short-write", "torn-write",
+    "eio-fsync", "erename", "eio-fsync-dir",
+)
+
+_WRITE_KINDS = frozenset({"enospc-write", "short-write", "torn-write"})
+
+
+class PowerCut(BaseException):
+    """Simulated power cut / ``kill -9`` mid-syscall.
+
+    Deliberately a ``BaseException``: the containment layers that keep a
+    daemon alive through ordinary failures (``except Exception``) must not
+    absorb a simulated process death — the harness catches it at the top,
+    exactly where a real crash would end the process.
+    """
+
+
+@dataclass
+class FaultRule:
+    """One deterministic fault in a chaos plan.
+
+    Args:
+        kind: one of :data:`FAULT_KINDS`.
+        path_substr: only ops whose path contains this substring are hit
+            (``None`` = any path).
+        after_ops: stay dormant until the global op counter reaches this.
+        times: firing budget (default 1).
+        keep_bytes: for ``short-write``/``torn-write``, how many bytes of
+            the interrupted write land (default: half, minimum 1 when the
+            write is non-empty — a torn write that wrote nothing is just
+            the clean previous state).
+    """
+
+    kind: str
+    path_substr: str | None = None
+    after_ops: int = 0
+    times: int = 1
+    keep_bytes: int | None = None
+    fired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown chaos fault kind {self.kind!r} "
+                f"(expected one of {FAULT_KINDS})"
+            )
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultRule":
+        """Parse the CLI form ``kind[:key=value[:key=value...]]``.
+
+        Example: ``eio-fsync:path=journal.wal:after_ops=40:times=1``.
+        Keys: ``path``, ``after_ops``, ``times``, ``keep_bytes``.
+        """
+        parts = spec.split(":")
+        kwargs: dict = {"kind": parts[0]}
+        for part in parts[1:]:
+            key, sep, value = part.partition("=")
+            if not sep:
+                raise ValueError(f"bad chaos spec segment {part!r} in {spec!r}")
+            if key == "path":
+                kwargs["path_substr"] = value
+            elif key == "after_ops":
+                kwargs["after_ops"] = int(value)
+            elif key == "times":
+                kwargs["times"] = int(value)
+            elif key == "keep_bytes":
+                kwargs["keep_bytes"] = int(value)
+            else:
+                raise ValueError(f"unknown chaos spec key {key!r} in {spec!r}")
+        return cls(**kwargs)
+
+    def matches(self, op_index: int, path: str) -> bool:
+        if self.fired >= self.times or op_index < self.after_ops:
+            return False
+        return self.path_substr is None or self.path_substr in path
+
+
+class ChaosFS:
+    """A fault-injecting, op-logging I/O backend (see :class:`~repro.ioutil.OsIO`).
+
+    Args:
+        rules: :class:`FaultRule`\\ s or their ``from_spec`` strings.
+        root: paths are recorded relative to this directory (required for
+            :func:`replay_prefix`; ``None`` records absolute paths).
+        inner: the real backend to delegate surviving operations to.
+    """
+
+    def __init__(self, rules=(), *, root: str | Path | None = None,
+                 inner=None) -> None:
+        self.inner = inner if inner is not None else OsIO()
+        self.rules = [
+            rule if isinstance(rule, FaultRule) else FaultRule.from_spec(rule)
+            for rule in rules
+        ]
+        self.root = Path(root).resolve() if root is not None else None
+        #: The syscall-boundary op log (every *effective* mutation).
+        self.ops: list[dict] = []
+        #: Every fault that fired, in order (kind, op index, path).
+        self.faults: list[dict] = []
+
+    name = "chaos"
+
+    # ------------------------------------------------------------- plumbing
+
+    def install(self):
+        """Context manager installing this shim as the active I/O backend."""
+        return use_io_backend(self)
+
+    def _rel(self, path) -> str:
+        path = Path(path)
+        if self.root is not None:
+            try:
+                return str(path.resolve().relative_to(self.root))
+            except ValueError:
+                pass
+        return str(path)
+
+    def _log(self, op: str, path, **fields) -> dict:
+        entry = {"op": op, "path": self._rel(path), **fields}
+        self.ops.append(entry)
+        return entry
+
+    def _strike(self, kinds, path) -> FaultRule | None:
+        """The first armed rule of one of ``kinds`` matching this op."""
+        rel = self._rel(path)
+        for rule in self.rules:
+            if rule.kind in kinds and rule.matches(len(self.ops), rel):
+                rule.fired += 1
+                self.faults.append(
+                    {"kind": rule.kind, "op_index": len(self.ops), "path": rel}
+                )
+                return rule
+        return None
+
+    # -------------------------------------------------------------- backend
+
+    def open(self, path, mode: str):
+        fh = self.inner.open(path, mode)
+        size = 0
+        if "a" in mode:
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                size = 0
+        if "w" in mode:
+            self._log("create", path)
+        return _ChaosFile(self, path, fh, pos=size)
+
+    def fsync(self, fh) -> None:
+        if isinstance(fh, _ChaosFile):
+            fh.raw.flush()
+            rule = self._strike({"eio-fsync"}, fh.path)
+            if rule is not None:
+                raise OSError(
+                    errno.EIO, f"chaos: injected fsync EIO on {self._rel(fh.path)}"
+                )
+            os.fsync(fh.raw.fileno())
+            self._log("fsync", fh.path)
+        else:  # a plain file object from some other backend: pass through
+            self.inner.fsync(fh)
+
+    def replace(self, src, dst) -> None:
+        rule = self._strike({"erename"}, dst)
+        if rule is not None:
+            raise OSError(
+                errno.EIO, f"chaos: injected rename failure onto {self._rel(dst)}"
+            )
+        self.inner.replace(src, dst)
+        self._log("replace", dst, src=self._rel(src))
+
+    def unlink(self, path) -> None:
+        self.inner.unlink(path)
+        self._log("unlink", path)
+
+    def fsync_dir(self, path) -> bool:
+        rule = self._strike({"eio-fsync-dir"}, path)
+        if rule is not None:
+            return False
+        ok = self.inner.fsync_dir(path)
+        self._log("fsync_dir", path, ok=ok)
+        return ok
+
+    # ------------------------------------------------------------- file ops
+
+    def _write(self, file: "_ChaosFile", data: bytes) -> int:
+        rule = self._strike(_WRITE_KINDS, file.path)
+        if rule is not None and rule.kind == "enospc-write":
+            raise OSError(
+                errno.ENOSPC,
+                f"chaos: injected ENOSPC writing {self._rel(file.path)}",
+            )
+        if rule is not None:  # short-write / torn-write: a prefix lands
+            keep = rule.keep_bytes if rule.keep_bytes is not None else len(data) // 2
+            keep = max(0, min(keep, len(data)))
+            if keep:
+                file.raw.write(data[:keep])
+                file.raw.flush()
+                self._log(
+                    "write", file.path, offset=file.pos, data=bytes(data[:keep]),
+                    fault=rule.kind,
+                )
+                file.pos += keep
+            if rule.kind == "torn-write":
+                raise PowerCut(
+                    f"chaos: power cut after {keep}/{len(data)} bytes of "
+                    f"{self._rel(file.path)}"
+                )
+            raise OSError(
+                errno.ENOSPC,
+                f"chaos: short write ({keep}/{len(data)} bytes) on "
+                f"{self._rel(file.path)}",
+            )
+        n = file.raw.write(data)
+        self._log("write", file.path, offset=file.pos, data=bytes(data))
+        file.pos += len(data)
+        return n
+
+    def _truncate(self, file: "_ChaosFile", size: int) -> None:
+        file.raw.flush()
+        file.raw.truncate(size)
+        self._log("truncate", file.path, size=size)
+        file.pos = min(file.pos, size)
+
+
+class _ChaosFile:
+    """File proxy: writes/truncates go through the shim, reads pass through."""
+
+    def __init__(self, chaos: ChaosFS, path, raw, *, pos: int = 0) -> None:
+        self.chaos = chaos
+        self.path = Path(path)
+        self.raw = raw
+        self.pos = pos  # logical write offset (append files start at size)
+
+    def write(self, data) -> int:
+        return self.chaos._write(self, bytes(data))
+
+    def truncate(self, size=None) -> None:
+        self.chaos._truncate(self, self.pos if size is None else size)
+
+    def flush(self) -> None:
+        self.raw.flush()
+
+    def fileno(self) -> int:
+        return self.raw.fileno()
+
+    def seek(self, offset, whence=0):
+        result = self.raw.seek(offset, whence)
+        self.pos = self.raw.tell()
+        return result
+
+    def tell(self):
+        return self.raw.tell()
+
+    def read(self, *args):
+        return self.raw.read(*args)
+
+    def close(self) -> None:
+        self.raw.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.raw.closed
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------- replaying
+
+
+def replay_prefix(
+    ops: list[dict],
+    target_dir: str | Path,
+    upto: int | None = None,
+    *,
+    partial_bytes: int | None = None,
+) -> Path:
+    """Reconstruct the on-disk state of a crash after ``ops[:upto]``.
+
+    Applies the first ``upto`` logged ops (default: all) into
+    ``target_dir`` — which should start empty and stands in for the chaos
+    root.  When ``partial_bytes`` is given and ``ops[upto]`` is a write,
+    its first ``partial_bytes`` bytes are additionally applied: the
+    process died *inside* that write.  Returns ``target_dir``.
+    """
+    target = Path(target_dir)
+    target.mkdir(parents=True, exist_ok=True)
+    upto = len(ops) if upto is None else upto
+    todo = list(ops[:upto])
+    if partial_bytes is not None and upto < len(ops) and ops[upto]["op"] == "write":
+        cut = dict(ops[upto])
+        cut["data"] = cut["data"][:partial_bytes]
+        todo.append(cut)
+    for entry in todo:
+        path = target / entry["path"]
+        op = entry["op"]
+        if op == "create":
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(b"")
+        elif op == "write":
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(path, "ab") as fh:  # extend if short, then overwrite
+                fh.truncate(max(fh.tell(), entry["offset"]))
+            with open(path, "r+b") as fh:
+                fh.seek(entry["offset"])
+                fh.write(entry["data"])
+        elif op == "truncate":
+            with open(path, "r+b") as fh:
+                fh.truncate(entry["size"])
+        elif op == "replace":
+            src = target / entry["src"]
+            path.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(src, path)
+        elif op == "unlink":
+            path.unlink(missing_ok=True)
+        elif op in ("fsync", "fsync_dir"):
+            pass  # durability markers; no replay effect
+        else:  # pragma: no cover - future op kinds
+            raise ValueError(f"unknown chaos op {op!r}")
+    return target
+
+
+def cut_points(
+    ops: list[dict], n: int, *, seed: int = 0
+) -> list[tuple[int, int | None]]:
+    """``n`` seeded random crash points over an op log.
+
+    Each cut is ``(op_index, partial_bytes)``: die just before
+    ``ops[op_index]`` executes, optionally after its first
+    ``partial_bytes`` bytes when it is a write (torn-write cuts are drawn
+    for roughly half the samples that land on a write).  Always includes
+    the two boundary cuts (before any op, after every op).
+    """
+    rng = random.Random(seed)
+    cuts: list[tuple[int, int | None]] = [(0, None), (len(ops), None)]
+    for _ in range(max(0, n - 2)):
+        index = rng.randrange(len(ops) + 1)
+        partial = None
+        if index < len(ops) and ops[index]["op"] == "write" and rng.random() < 0.5:
+            size = len(ops[index]["data"])
+            if size:
+                partial = rng.randrange(size)
+        cuts.append((index, partial))
+    return cuts

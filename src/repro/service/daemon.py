@@ -28,6 +28,16 @@ to the existing execution stack (:mod:`repro.runner`):
   that is the journal's job: on the next start, replay reclaims every
   leased job and the store serves everything already completed.
 
+* **Disk-fault safe mode** — storage-fault evidence (ENOSPC/EIO/EDQUOT/
+  EROFS, see :func:`repro.ioutil.is_storage_fault`) from any durable write
+  flips the service into safe mode: submissions are refused with
+  :class:`~repro.errors.SafeModeActive` (HTTP 503 + ``Retry-After``), the
+  affected job's lease is recovered *without journaling* (the journal's
+  disk is the suspect), and housekeeping probes the filesystem with a real
+  atomic write until it heals, then exits safe mode with a durable journal
+  record.  No acknowledged job is ever lost to safe mode: acks only ever
+  happen after durable writes succeeded.
+
 Exactly-once contract: a run's checkpoint (``store.put``) lands *before*
 its ``done`` journal record.  A crash between the two re-runs the job, but
 the re-run is a store hit returning the identical payload — so an
@@ -69,7 +79,8 @@ from pathlib import Path
 from typing import Callable
 
 from .. import __version__, obs
-from ..errors import ReproError, RunFailure
+from ..errors import ReproError, RunFailure, SafeModeActive
+from ..ioutil import atomic_write_text, dir_fsync_failures, is_storage_fault
 from ..obs import (
     MetricsRegistry,
     NULL_FLIGHT_RECORDER,
@@ -84,6 +95,7 @@ from ..runner import (
     ResultStore,
     config_fingerprint,
 )
+from ..runner.faultinject import WORKER_KINDS, FaultInjector
 from ..sim.serialization import config_from_dict, config_to_dict, result_to_dict
 from .journal import Journal
 from .queue import CRASH_ERROR_TYPES, DONE, Job, JobQueue
@@ -164,6 +176,7 @@ class CampaignService:
         retries: int = 0,
         max_rss_mb: float | None = None,
         poll_s: float = 0.1,
+        safe_mode_probe_s: float = 5.0,
         runner_factory: Callable[[], ExperimentRunner] | None = None,
         recorder=None,
         flightrec_dir: str | Path | None = None,
@@ -180,6 +193,8 @@ class CampaignService:
         self.retries = retries
         self.max_rss_mb = max_rss_mb
         self.poll_s = poll_s
+        #: Minimum seconds between disk-recovery probes while in safe mode.
+        self.safe_mode_probe_s = safe_mode_probe_s
         self.recorder = recorder if recorder is not None else NULL_FLIGHT_RECORDER
         self.flightrec_dir = Path(flightrec_dir) if flightrec_dir else None
         self._runner_factory = runner_factory or self._default_runner
@@ -188,6 +203,14 @@ class CampaignService:
         self._inflight: dict[str, str] = {}   # thread name -> job id
         self._inflight_lock = threading.Lock()
         self.started_at: float | None = None
+        # Disk-fault safe mode: set on ENOSPC/EIO evidence from any durable
+        # write, cleared by a successful housekeeping probe.  While set,
+        # submissions are refused with SafeModeActive (HTTP 503).
+        self._safe_mode_lock = threading.Lock()
+        self._safe_mode_reason: str | None = None
+        self._safe_mode_since: float | None = None
+        self._safe_mode_last_probe: float | None = None
+        self.safe_mode_entries = 0
         #: Pending queue-wait span anchors: job id -> submit ts (µs on the
         #: active tracer's timeline), consumed at lease time.
         self._marks: dict[str, float] = {}
@@ -276,6 +299,7 @@ class CampaignService:
         priority: int | str = "normal",
         submitter: str = "anonymous",
         trace_id: str = "",
+        inject_fault: str | None = None,
     ) -> tuple[Job, bool]:
         """Validate and admit one submission (the HTTP layer's entry point).
 
@@ -284,7 +308,32 @@ class CampaignService:
         API boundary (:class:`~repro.errors.ConfigError`), never leased.
         ``trace_id`` is the request's correlation id; it is journaled with
         the job and tagged onto every downstream span and flight event.
+
+        ``inject_fault`` (a :meth:`FaultInjector.from_spec` string) arms a
+        deterministic fault for this job's runs — the chaos-testing hook.
+        It is validated *here*, at admission: a malformed spec is a 400,
+        and the process-level kinds (``worker-crash``/``worker-oom``/
+        ``worker-hang``) are rejected outright under thread isolation,
+        where they would take down the daemon itself instead of a
+        disposable worker.
         """
+        with self._safe_mode_lock:
+            safe_reason = self._safe_mode_reason
+        if safe_reason is not None:
+            raise SafeModeActive(
+                f"service is in disk-fault safe mode ({safe_reason}); "
+                f"submissions are suspended until storage recovers",
+                retry_after_s=max(1.0, self.safe_mode_probe_s),
+                reason=safe_reason,
+            )
+        if inject_fault:
+            injector = FaultInjector.from_spec(inject_fault)  # ValueError -> 400
+            if injector.kind in WORKER_KINDS and self.isolation != "process":
+                raise ValueError(
+                    f"fault kind {injector.kind!r} kills the hosting process "
+                    f"and is only admissible under process isolation; this "
+                    f"daemon runs --isolation {self.isolation}"
+                )
         config = config_from_dict(config_payload)
         config.validate()
         job, deduped = self.queue.submit(
@@ -296,6 +345,7 @@ class CampaignService:
             priority=priority,
             submitter=submitter,
             trace_id=trace_id,
+            inject_fault=inject_fault or None,
         )
         tracer = obs.tracer()
         if tracer is not None:
@@ -396,6 +446,31 @@ class CampaignService:
             "config": job.config_name, "workload": job.workload,
             "n_instrs": job.n_instrs,
         }
+        restore_factory = None
+        if job.inject_fault:
+            # Per-job fault arming (validated at admission; journal replay
+            # may still surface a spec this daemon's isolation refuses, so
+            # re-check rather than crash).
+            try:
+                injector = FaultInjector.from_spec(job.inject_fault)
+                if injector.kind in WORKER_KINDS and not isinstance(
+                    runner, FleetRunner
+                ):
+                    raise ValueError(
+                        f"fault kind {injector.kind!r} requires process "
+                        f"isolation"
+                    )
+            except ValueError as exc:
+                self.queue.fail(
+                    job.job_id, owner,
+                    error_type="ConfigError", message=str(exc), crash=False,
+                )
+                return
+            if isinstance(runner, FleetRunner):
+                runner.injectors = [injector]
+            else:
+                restore_factory = runner.simulator_factory
+                runner.simulator_factory = injector.simulator_factory
         start_pc = time.perf_counter()
         if leased_pc is not None:
             self._slo["lease_to_start"].record(max(0.0, start_pc - leased_pc))
@@ -421,6 +496,13 @@ class CampaignService:
                 self.dump_flight_recorder("worker-crash")
             return
         except Exception as exc:  # containment: an executor never dies
+            if is_storage_fault(exc):
+                # The checkpoint write (or the store beneath it) hit disk
+                # trouble.  Failing the job would journal — onto the same
+                # failing disk — so instead: safe mode, non-journaled lease
+                # recovery, and the job re-runs after the disk heals.
+                self._contain_storage_fault(job, owner, exc)
+                return
             log_event(
                 logger, logging.ERROR, "executor error",
                 job=job.job_id, error=repr(exc),
@@ -430,6 +512,12 @@ class CampaignService:
                 error_type=type(exc).__name__, message=str(exc), crash=False,
             )
             return
+        finally:
+            if job.inject_fault:
+                if isinstance(runner, FleetRunner):
+                    runner.injectors = []
+                elif restore_factory is not None:
+                    runner.simulator_factory = restore_factory
         self._slo["run"].record(time.perf_counter() - start_pc)
         summary = {
             "ipc": result.ipc,
@@ -454,6 +542,14 @@ class CampaignService:
                 job=job.job_id, error=repr(exc),
             )
             return
+        except OSError as exc:
+            # The `done` journal append hit the disk.  The checkpoint is
+            # already on disk, so after recovery the re-run is a store hit
+            # and the client still observes exactly-once.
+            if is_storage_fault(exc):
+                self._contain_storage_fault(job, owner, exc)
+                return
+            raise
         self._slo["result_write"].record(time.perf_counter() - write_pc)
         obs.instant(
             "job:done", "service",
@@ -469,6 +565,7 @@ class CampaignService:
                 self.queue.expire_leases()
                 if self.isolation == "process":
                     self._renew_inflight()
+                self._maybe_probe_safe_mode()
                 self._publish_gauges()
             except Exception as exc:  # housekeeping must never die
                 log_event(
@@ -491,6 +588,128 @@ class CampaignService:
             except ReproError:
                 pass  # job finished or was reclaimed between snapshots
 
+    # ------------------------------------------------------------- safe mode
+
+    @property
+    def safe_mode(self) -> bool:
+        """True while the service is refusing writes over disk faults."""
+        return self._safe_mode_reason is not None
+
+    def safe_mode_status(self) -> dict:
+        with self._safe_mode_lock:
+            return {
+                "active": self._safe_mode_reason is not None,
+                "reason": self._safe_mode_reason,
+                "since": self._safe_mode_since,
+                "entries": self.safe_mode_entries,
+            }
+
+    def enter_safe_mode(self, reason: str) -> None:
+        """Stop admitting writes: the disk under the journal/store is failing.
+
+        Idempotent.  The entry is journaled *best-effort* (the journal may
+        be the very thing that failed), recorded in the flight ring, and
+        surfaced through the ``service.safe_mode`` gauge, ``/healthz``, and
+        every refused submission's 503.
+        """
+        with self._safe_mode_lock:
+            if self._safe_mode_reason is not None:
+                return
+            self._safe_mode_reason = reason
+            self._safe_mode_since = time.time()
+            self._safe_mode_last_probe = None
+            self.safe_mode_entries += 1
+        self.recorder.record("safe_mode_enter", reason=reason)
+        log_event(
+            logger, logging.ERROR,
+            "entering safe mode: storage fault evidence; writes suspended",
+            reason=reason,
+        )
+        self.dump_flight_recorder("safe-mode")
+        try:
+            self.queue.journal.append({
+                "op": "safe_mode", "active": True, "reason": reason,
+                "at": time.time(),
+            })
+        except (OSError, ReproError):
+            pass  # expected: the journal's disk is likely the failing one
+
+    def exit_safe_mode(self) -> None:
+        """Resume admitting writes (called after a probe write succeeded).
+
+        The exit record *must* journal durably — if it cannot, the disk is
+        still sick and the service stays in safe mode.
+        """
+        with self._safe_mode_lock:
+            if self._safe_mode_reason is None:
+                return
+            reason = self._safe_mode_reason
+            since = self._safe_mode_since
+            self._safe_mode_reason = None
+            self._safe_mode_since = None
+        try:
+            self.queue.journal.append({
+                "op": "safe_mode", "active": False, "at": time.time(),
+            })
+        except (OSError, ReproError) as exc:
+            with self._safe_mode_lock:  # still sick: stay in safe mode
+                self._safe_mode_reason = reason
+                self._safe_mode_since = since
+            log_event(
+                logger, logging.WARNING,
+                "safe-mode exit aborted: journal append still failing",
+                error=repr(exc),
+            )
+            return
+        duration = round(time.time() - since, 3) if since else None
+        self.recorder.record("safe_mode_exit", reason=reason, duration_s=duration)
+        log_event(
+            logger, logging.INFO, "exiting safe mode: storage recovered",
+            reason=reason, duration_s=duration,
+        )
+
+    def _maybe_probe_safe_mode(self) -> None:
+        """While in safe mode, periodically test the disk with a real write."""
+        if not self.safe_mode:
+            return
+        now = time.monotonic()
+        with self._safe_mode_lock:
+            last = self._safe_mode_last_probe
+            if last is not None and now - last < self.safe_mode_probe_s:
+                return
+            self._safe_mode_last_probe = now
+        probe = self.queue.journal.path.with_suffix(".probe")
+        try:
+            # The probe is the same durable atomic-write path real state
+            # uses, on the same filesystem — a pass means journal appends
+            # should succeed again.
+            atomic_write_text(probe, "safe-mode probe\n")
+        except OSError as exc:
+            log_event(
+                logger, logging.DEBUG, "safe-mode probe failed",
+                error=repr(exc),
+            )
+            return
+        self.exit_safe_mode()
+
+    def _contain_storage_fault(self, job: Job, owner: str, exc: BaseException) -> None:
+        """Containment for a storage fault raised while running ``job``.
+
+        Enters safe mode and gives the lease back *without journaling*
+        (see :meth:`JobQueue.recover_lease`) — the job stays pending and
+        re-runs once the disk recovers, and any checkpoint that did land
+        makes that re-run a byte-identical store hit.
+        """
+        log_event(
+            logger, logging.ERROR, "storage fault while running job",
+            job=job.job_id, error=repr(exc),
+        )
+        self.enter_safe_mode(f"{type(exc).__name__}: {exc}")
+        try:
+            self.queue.recover_lease(job.job_id, owner)
+        except ReproError:
+            pass  # lease already expired/reclaimed; replay covers the rest
+
     # ------------------------------------------------------------- telemetry
 
     def service_stats(self) -> dict:
@@ -502,6 +721,8 @@ class CampaignService:
             if self.started_at is not None else 0.0
         )
         stats["version"] = __version__
+        stats["safe_mode"] = self.safe_mode_status()
+        stats["dir_fsync_failures"] = dir_fsync_failures()
         stats["latency"] = {
             phase: {
                 "count": hist.count,
@@ -553,6 +774,9 @@ class CampaignService:
             "leases_expired", "lease_expiry_failed",
         ):
             registry.gauge(f"service.{name}").set(counters[name])
+        registry.gauge("service.safe_mode").set(1 if self.safe_mode else 0)
+        registry.gauge("service.safe_mode_entries").set(self.safe_mode_entries)
+        registry.gauge("service.dir_fsync_failures").set(dir_fsync_failures())
 
 
 def build_service(

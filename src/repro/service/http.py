@@ -28,8 +28,15 @@ GET      ``/metrics``                Prometheus text exposition of the
 Typed admission rejections (:class:`~repro.errors.QueueFull`,
 :class:`~repro.errors.QuotaExceeded`, :class:`~repro.errors.CircuitOpen`)
 map to **429** with a ``Retry-After`` header carrying the queue's hint;
+:class:`~repro.errors.SafeModeActive` (disk-fault safe mode) maps to
+**503** + ``Retry-After`` and flips ``/healthz`` to ``degraded``;
 :class:`~repro.errors.ConfigError` and malformed bodies map to **400**,
 unknown jobs to **404**, invalid state transitions to **409**.
+
+Submissions may carry ``inject_fault`` — a
+:meth:`~repro.runner.faultinject.FaultInjector.from_spec` string armed for
+that job's runs (the chaos-testing hook).  It is validated at admission:
+process-level kinds are refused under thread isolation.
 
 ``preset`` names a server-side configuration
 (:func:`preset_configs`: the Skylake baselines plus the fig10 variants) so
@@ -61,6 +68,7 @@ from ..errors import (
     ConfigError,
     JobNotFound,
     JobStateError,
+    SafeModeActive,
 )
 from ..obs import (
     PROMETHEUS_CONTENT_TYPE,
@@ -223,6 +231,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._cancel(match.group(1))
                     return
                 self._error(404, f"no route {path}")
+            except SafeModeActive as exc:
+                # 503, not 429: the *service's* disk is the problem, and
+                # the client should retry the same request after the hint.
+                self._error(
+                    503, str(exc), error_type="SafeModeActive",
+                    headers={"Retry-After": str(int(exc.retry_after_s + 0.5) or 1)},
+                )
             except AdmissionError as exc:
                 self._error(
                     429, str(exc), error_type=type(exc).__name__,
@@ -246,8 +261,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     def _health(self) -> dict:
         started = self.service.started_at
+        safe = self.service.safe_mode_status()
         return {
-            "status": "ok",
+            "status": "degraded" if safe["active"] else "ok",
+            "safe_mode": safe,
             "uptime_s": round(time.time() - started, 3) if started else 0.0,
             "version": __version__,
         }
@@ -283,6 +300,11 @@ class ServiceHandler(BaseHTTPRequestHandler):
         n_instrs = body.get("n_instrs")
         if not isinstance(n_instrs, int) or n_instrs <= 0:
             raise ValueError("'n_instrs' must be a positive integer")
+        inject_fault = body.get("inject_fault")
+        if inject_fault is not None and (
+            not isinstance(inject_fault, str) or not inject_fault
+        ):
+            raise ValueError("'inject_fault' must be a non-empty string")
         job, deduped = self.service.submit_config(
             config_payload,
             workload,
@@ -290,6 +312,7 @@ class ServiceHandler(BaseHTTPRequestHandler):
             priority=body.get("priority", "normal"),
             submitter=str(body.get("submitter", "anonymous")),
             trace_id=self.request_id,
+            inject_fault=inject_fault,
         )
         self._json(202, dict(job.to_dict(), deduped=deduped))
 

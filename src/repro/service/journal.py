@@ -35,13 +35,12 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import JournalError
-from ..ioutil import fsync_dir
+from ..ioutil import fsync_dir, io_backend
 from ..obs import get_logger, log_event
 
 logger = get_logger("service.journal")
@@ -74,6 +73,35 @@ def encode_record(payload: dict) -> bytes:
     """One committed record as bytes (exactly what :meth:`append` writes)."""
     body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
     return b"%s %08x %d " % (MAGIC, zlib.crc32(body), len(body)) + body + b"\n"
+
+
+def scan_journal(path: str | Path) -> tuple[list[dict], ReplayStats]:
+    """Read-only decode of a journal: committed records + tail diagnosis.
+
+    The non-mutating core of :meth:`Journal.replay` — nothing is truncated
+    and no sidecar is written, so offline tooling (``repro.service.fsck``)
+    can diagnose a journal without altering evidence.
+    """
+    path = Path(path)
+    stats = ReplayStats()
+    if not path.exists():
+        return [], stats
+    data = path.read_bytes()
+    records: list[dict] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        line = data[offset : len(data) if newline < 0 else newline + 1]
+        try:
+            records.append(decode_line(line))
+        except ValueError as exc:
+            stats.errors.append(str(exc))
+            break
+        offset += len(line)
+    stats.records = len(records)
+    stats.committed_bytes = offset
+    stats.torn_bytes = len(data) - offset
+    return records, stats
 
 
 def decode_line(line: bytes) -> dict:
@@ -132,9 +160,10 @@ class Journal:
         record = encode_record(payload)
         try:
             self._fh.write(record)
-            self._fh.flush()
             if self.fsync:
-                os.fsync(self._fh.fileno())
+                io_backend().fsync(self._fh)
+            else:
+                self._fh.flush()
         except ValueError as exc:  # write on a closed underlying file
             raise JournalError(f"journal {self.path} is closed: {exc}")
         self.appends += 1
@@ -147,7 +176,7 @@ class Journal:
 
     def _open_for_append(self) -> None:
         try:
-            self._fh = open(self.path, "ab")
+            self._fh = io_backend().open(self.path, "ab")
         except OSError as exc:
             raise JournalError(f"cannot open journal {self.path}: {exc}")
 
@@ -160,28 +189,12 @@ class Journal:
         called before :meth:`append` re-opens the file, i.e. at service
         start — the normal lifecycle — so truncation never races a writer.
         """
-        stats = ReplayStats()
-        if not self.path.exists():
-            return [], stats
         if self._fh is not None:
             raise JournalError("replay() on a journal already open for append")
-        data = self.path.read_bytes()
-        records: list[dict] = []
-        offset = 0
-        while offset < len(data):
-            newline = data.find(b"\n", offset)
-            line = data[offset : len(data) if newline < 0 else newline + 1]
-            try:
-                records.append(decode_line(line))
-            except ValueError as exc:
-                stats.errors.append(str(exc))
-                break
-            offset += len(line)
-        stats.records = len(records)
-        stats.committed_bytes = offset
-        if offset < len(data):
-            stats.torn_bytes = len(data) - offset
-            stats.torn_sidecar = str(self._truncate_tail(data, offset))
+        records, stats = scan_journal(self.path)
+        if stats.torn_bytes:
+            data = self.path.read_bytes()
+            stats.torn_sidecar = str(self._truncate_tail(data, stats.committed_bytes))
             log_event(
                 logger, logging.WARNING, "truncated torn journal tail",
                 path=str(self.path), committed_records=stats.records,
@@ -201,11 +214,14 @@ class Journal:
             sidecar.write_bytes(data[offset:])
         except OSError:
             pass  # forensics are best-effort; the truncation is not
-        with open(self.path, "r+b") as fh:
+        io = io_backend()
+        fh = io.open(self.path, "r+b")
+        try:
             fh.truncate(offset)
-            fh.flush()
             if self.fsync:
-                os.fsync(fh.fileno())
+                io.fsync(fh)
+        finally:
+            fh.close()
         return sidecar
 
     # ---------------------------------------------------------- compaction
@@ -220,14 +236,19 @@ class Journal:
         was_open = self._fh is not None
         if was_open:
             self.close()
+        io = io_backend()
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with open(tmp, "wb") as fh:
+        fh = io.open(tmp, "wb")
+        try:
             for payload in payloads:
                 fh.write(encode_record(payload))
-            fh.flush()
             if self.fsync:
-                os.fsync(fh.fileno())
-        os.replace(tmp, self.path)
+                io.fsync(fh)
+            else:
+                fh.flush()
+        finally:
+            fh.close()
+        io.replace(tmp, self.path)
         if self.fsync:
             fsync_dir(self.path.parent)
         self._dir_synced = True
@@ -240,9 +261,10 @@ class Journal:
     def close(self) -> None:
         if self._fh is not None:
             try:
-                self._fh.flush()
                 if self.fsync:
-                    os.fsync(self._fh.fileno())
+                    io_backend().fsync(self._fh)
+                else:
+                    self._fh.flush()
             except (OSError, ValueError):
                 pass
             self._fh.close()

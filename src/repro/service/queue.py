@@ -102,6 +102,10 @@ class Job:
     #: from ``requested_n_instrs`` and the result is a quick-mode estimate.
     degraded: bool = False
     requested_n_instrs: int | None = None
+    #: Optional fault-injection spec (``repro.runner.faultinject`` syntax)
+    #: armed for this job's runs — chaos-testing provenance travels with
+    #: the job.  Validated at admission (see ``daemon.submit_config``).
+    inject_fault: str | None = None
     attempts: int = 0
     lease_owner: str | None = None
     lease_expires_at: float | None = None
@@ -137,6 +141,141 @@ class _Breaker:
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+
+# ------------------------------------------------------- pure state replay
+#
+# The journal-application logic lives in module functions over plain dicts
+# so that offline tooling (``repro.service.fsck``) can reconstruct queue
+# state from a scanned journal without constructing a JobQueue — which
+# would *mutate* the journal (replay truncates torn tails).  JobQueue
+# routes its own ``_apply`` through the same functions, so there is one
+# replay semantics, used both online and offline.
+
+
+def install_job(job: Job, jobs: dict, by_key: dict) -> None:
+    """Install ``job``, updating the latest-job-per-key dedup index."""
+    jobs[job.job_id] = job
+    # The dedup index tracks the *latest* job per key; terminal
+    # failed/cancelled jobs stay addressable by id but do not block a
+    # fresh submission of the same point.
+    existing = by_key.get(job.key)
+    current = jobs.get(existing) if existing else None
+    if (
+        current is None
+        or current.seq <= job.seq
+        or current.state in (FAILED, CANCELLED)
+    ):
+        by_key[job.key] = job.job_id
+
+
+def _check_state(job: Job, allowed: set, op: str) -> None:
+    if job.state not in allowed:
+        raise JobStateError(
+            f"cannot {op} job {job.job_id} in state {job.state!r}"
+        )
+
+
+def apply_record(
+    record: dict, jobs: dict, by_key: dict, breakers: dict
+) -> Job | None:
+    """Apply one journal record to queue state; returns any installed job.
+
+    Raises :class:`JobNotFound`/:class:`JobStateError` on a record that is
+    invalid against the current state (a journal corruption signal).
+    """
+    op = record["op"]
+    if op == "safe_mode":
+        # Audit-only: records when the daemon entered/left disk-fault safe
+        # mode.  No queue-state effect (jobs were never lost to safe mode).
+        return None
+    if op == "job":  # compaction snapshot: install verbatim
+        job = Job.from_dict(record["job"])
+        install_job(job, jobs, by_key)
+        return job
+    if op == "breaker":
+        breakers[record["fingerprint"]] = _Breaker(
+            failures=record.get("failures", 0),
+            opened_at=record.get("opened_at"),
+            probing=record.get("probing", False),
+        )
+        return None
+    if op == "submit":
+        job = Job.from_dict(record["job"])
+        install_job(job, jobs, by_key)
+        return job
+    job = jobs.get(record["id"])
+    if job is None:
+        raise JobNotFound(f"journal references unknown job {record['id']!r}")
+    if op == "lease":
+        # A lease over an already-leased job is a *takeover*: the previous
+        # lease was recovered in memory without journaling (the storage-
+        # fault path, see JobQueue.recover_lease) and the attempt was
+        # refunded — so only a grant from pending counts an attempt.
+        _check_state(job, {PENDING, LEASED}, op)
+        if job.state == PENDING:
+            job.attempts += 1
+        job.state = LEASED
+        job.lease_owner = record["owner"]
+        job.lease_expires_at = record["expires_at"]
+    elif op == "release":
+        _check_state(job, {LEASED}, op)
+        job.state = PENDING
+        job.lease_owner = None
+        job.lease_expires_at = None
+    elif op == "requeue":
+        _check_state(job, {LEASED}, op)
+        job.state = PENDING
+        job.lease_owner = None
+        job.lease_expires_at = None
+        if record.get("error"):
+            job.attempt_errors.append(record["error"])
+    elif op == "done":
+        _check_state(job, {LEASED}, op)
+        job.state = DONE
+        job.summary = record.get("summary")
+        job.finished_at = record.get("at")
+        job.lease_owner = None
+        job.lease_expires_at = None
+    elif op == "fail":
+        _check_state(job, {LEASED, PENDING}, op)
+        job.state = FAILED
+        job.error = record.get("error")
+        job.finished_at = record.get("at")
+        job.lease_owner = None
+        job.lease_expires_at = None
+    elif op == "cancel":
+        _check_state(job, {PENDING, LEASED}, op)
+        job.state = CANCELLED
+        job.finished_at = record.get("at")
+        job.lease_owner = None
+        job.lease_expires_at = None
+    elif op == "cancel_requested":
+        _check_state(job, {LEASED}, op)
+        job.cancel_requested = True
+    else:
+        raise JobStateError(f"unknown journal op {op!r}")
+    return None
+
+
+def replay_state(
+    records: Iterable[dict],
+) -> tuple[dict[str, Job], dict, dict, list[str]]:
+    """Pure replay of journal records into ``(jobs, by_key, breakers, errors)``.
+
+    The offline counterpart of :meth:`JobQueue._recover`: invalid records
+    are skipped and reported, never fatal, and nothing on disk is touched.
+    """
+    jobs: dict[str, Job] = {}
+    by_key: dict = {}
+    breakers: dict = {}
+    errors: list[str] = []
+    for record in records:
+        try:
+            apply_record(record, jobs, by_key, breakers)
+        except Exception as exc:
+            errors.append(f"replay skipped record: {exc!r}")
+    return jobs, by_key, breakers, errors
 
 
 @dataclass
@@ -275,89 +414,11 @@ class JobQueue:
         self._apply(record)
 
     def _apply(self, record: dict, *, recovering: bool = False) -> None:
-        op = record["op"]
-        if op == "job":  # compaction snapshot: install verbatim
-            job = Job.from_dict(record["job"])
-            self._install(job)
-            return
-        if op == "breaker":
-            self._breakers[record["fingerprint"]] = _Breaker(
-                failures=record.get("failures", 0),
-                opened_at=record.get("opened_at"),
-                probing=record.get("probing", False),
-            )
-            return
-        if op == "submit":
-            self._install(Job.from_dict(record["job"]))
-            return
-        job = self._jobs.get(record["id"])
-        if job is None:
-            raise JobNotFound(f"journal references unknown job {record['id']!r}")
-        if op == "lease":
-            self._check(job, {PENDING}, op)
-            job.state = LEASED
-            job.lease_owner = record["owner"]
-            job.lease_expires_at = record["expires_at"]
-            job.attempts += 1
-        elif op == "release":
-            self._check(job, {LEASED}, op)
-            job.state = PENDING
-            job.lease_owner = None
-            job.lease_expires_at = None
-        elif op == "requeue":
-            self._check(job, {LEASED}, op)
-            job.state = PENDING
-            job.lease_owner = None
-            job.lease_expires_at = None
-            if record.get("error"):
-                job.attempt_errors.append(record["error"])
-        elif op == "done":
-            self._check(job, {LEASED}, op)
-            job.state = DONE
-            job.summary = record.get("summary")
-            job.finished_at = record.get("at")
-            job.lease_owner = None
-            job.lease_expires_at = None
-        elif op == "fail":
-            self._check(job, {LEASED, PENDING}, op)
-            job.state = FAILED
-            job.error = record.get("error")
-            job.finished_at = record.get("at")
-            job.lease_owner = None
-            job.lease_expires_at = None
-        elif op == "cancel":
-            self._check(job, {PENDING, LEASED}, op)
-            job.state = CANCELLED
-            job.finished_at = record.get("at")
-            job.lease_owner = None
-            job.lease_expires_at = None
-        elif op == "cancel_requested":
-            self._check(job, {LEASED}, op)
-            job.cancel_requested = True
-        else:
-            raise JobStateError(f"unknown journal op {op!r}")
-
-    def _install(self, job: Job) -> None:
-        self._jobs[job.job_id] = job
-        self._next_seq = max(self._next_seq, job.seq + 1)
-        # The dedup index tracks the *latest* job per key; terminal
-        # failed/cancelled jobs stay addressable by id but do not block a
-        # fresh submission of the same point.
-        existing = self._by_key.get(job.key)
-        current = self._jobs.get(existing) if existing else None
-        if (
-            current is None
-            or current.seq <= job.seq
-            or current.state in (FAILED, CANCELLED)
-        ):
-            self._by_key[job.key] = job.job_id
-
-    @staticmethod
-    def _check(job: Job, allowed: set, op: str) -> None:
-        if job.state not in allowed:
-            raise JobStateError(
-                f"cannot {op} job {job.job_id} in state {job.state!r}"
-            )
+        installed = apply_record(
+            record, self._jobs, self._by_key, self._breakers
+        )
+        if installed is not None:
+            self._next_seq = max(self._next_seq, installed.seq + 1)
 
     # ------------------------------------------------------------ admission
 
@@ -372,6 +433,7 @@ class JobQueue:
         priority: int | str = "normal",
         submitter: str = "anonymous",
         trace_id: str = "",
+        inject_fault: str | None = None,
     ) -> tuple[Job, bool]:
         """Admit one submission; returns ``(job, deduped)``.
 
@@ -456,6 +518,7 @@ class JobQueue:
                 submitted_at=now,
                 degraded=degraded,
                 requested_n_instrs=requested,
+                inject_fault=inject_fault,
             )
             self._commit({"op": "submit", "job": job.to_dict()})
             self.counters.submitted += 1
@@ -566,6 +629,30 @@ class JobQueue:
             job = self._get(job_id)
             self._check_owner(job, owner, "release")
             self._commit({"op": "release", "id": job_id})
+
+    def recover_lease(self, job_id: str, owner: str) -> Job:
+        """Give a lease back *without journaling* (storage-fault path).
+
+        When a job's checkpoint write hit a storage fault, the journal may
+        be on the same failing disk — requeuing must not require a durable
+        append.  Releasing in memory only is crash-consistent: if the
+        daemon dies before the disk recovers, startup replay finds the job
+        still ``leased`` and reclaims it to ``pending`` anyway.  The
+        attempt is refunded because the *disk* failed, not the job.
+        """
+        with self._lock:
+            job = self._get(job_id)
+            self._check_owner(job, owner, "recover")
+            job.state = PENDING
+            job.lease_owner = None
+            job.lease_expires_at = None
+            job.attempts = max(0, job.attempts - 1)
+            self.counters.leases_recovered += 1
+            self.recorder.record(
+                "lease_recovered", job_id=job_id, trace_id=job.trace_id,
+                owner=owner,
+            )
+            return job
 
     def expire_leases(self) -> list[Job]:
         """Reclaim jobs whose lease expired (hung worker); returns them."""

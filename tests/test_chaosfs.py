@@ -1,0 +1,260 @@
+"""Tests for the storage chaos engine (repro.service.chaos).
+
+ChaosFS is the adversarial I/O backend: deterministic fault plans (torn
+writes, ENOSPC, fsync EIO, rename failure) plus a syscall-boundary op log
+whose every prefix replays to the exact on-disk state of a process killed
+at that instant.  These tests pin the shim's contract; the crash harness
+(test_service_crash_harness.py) uses it to prove the service's
+exactly-once story.
+"""
+
+import errno
+
+import pytest
+
+from repro.ioutil import atomic_write_text, io_backend
+from repro.service.chaos import (
+    FAULT_KINDS,
+    ChaosFS,
+    FaultRule,
+    PowerCut,
+    cut_points,
+    replay_prefix,
+)
+from repro.service.journal import Journal
+
+
+class TestFaultRule:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos fault kind"):
+            FaultRule("disk-on-fire")
+
+    def test_from_spec_round_trip(self):
+        rule = FaultRule.from_spec(
+            "eio-fsync:path=journal.wal:after_ops=40:times=2:keep_bytes=7"
+        )
+        assert rule.kind == "eio-fsync"
+        assert rule.path_substr == "journal.wal"
+        assert rule.after_ops == 40
+        assert rule.times == 2
+        assert rule.keep_bytes == 7
+
+    def test_from_spec_bare_kind(self):
+        rule = FaultRule.from_spec("enospc-write")
+        assert rule.kind == "enospc-write"
+        assert rule.path_substr is None
+        assert rule.times == 1
+
+    @pytest.mark.parametrize("spec", ["torn-write:whoops", "torn-write:nope=1"])
+    def test_from_spec_bad_segment_rejected(self, spec):
+        with pytest.raises(ValueError, match="chaos spec"):
+            FaultRule.from_spec(spec)
+
+    def test_every_kind_parses(self):
+        for kind in FAULT_KINDS:
+            assert FaultRule.from_spec(kind).kind == kind
+
+    def test_matching_honours_path_budget_and_threshold(self):
+        rule = FaultRule("eio-fsync", path_substr="wal", after_ops=3, times=1)
+        assert not rule.matches(2, "journal.wal")   # before threshold
+        assert not rule.matches(5, "ckpt.json")     # wrong path
+        assert rule.matches(5, "journal.wal")
+        rule.fired = 1
+        assert not rule.matches(6, "journal.wal")   # budget spent
+
+
+class TestInstall:
+    def test_install_scopes_the_backend(self, tmp_path):
+        chaos = ChaosFS(root=tmp_path)
+        before = io_backend()
+        with chaos.install():
+            assert io_backend() is chaos
+        assert io_backend() is before
+
+    def test_paths_are_recorded_relative_to_root(self, tmp_path):
+        chaos = ChaosFS(root=tmp_path)
+        (tmp_path / "sub").mkdir()
+        with chaos.install():
+            atomic_write_text(tmp_path / "sub" / "x.txt", "hi")
+        assert all("/" not in e["path"] or not e["path"].startswith("/")
+                   for e in chaos.ops)
+        assert any(e["path"] == "sub/x.txt" for e in chaos.ops)
+
+
+class TestFaultKinds:
+    def test_enospc_write_lands_no_bytes(self, tmp_path):
+        chaos = ChaosFS(["enospc-write"], root=tmp_path)
+        with chaos.install():
+            with pytest.raises(OSError) as info:
+                atomic_write_text(tmp_path / "x.txt", "payload")
+        assert info.value.errno == errno.ENOSPC
+        # The atomic-write contract held: no target, no tmp residue.
+        assert list(tmp_path.iterdir()) == []
+        assert chaos.faults[0]["kind"] == "enospc-write"
+
+    def test_short_write_lands_a_prefix_then_errors(self, tmp_path):
+        chaos = ChaosFS([FaultRule("short-write", keep_bytes=3)], root=tmp_path)
+        with chaos.install():
+            fh = chaos.open(tmp_path / "x.bin", "wb")
+            with pytest.raises(OSError) as info:
+                fh.write(b"abcdef")
+            fh.close()
+        assert info.value.errno == errno.ENOSPC
+        assert (tmp_path / "x.bin").read_bytes() == b"abc"
+
+    def test_torn_write_raises_powercut_past_exception_handlers(self, tmp_path):
+        chaos = ChaosFS([FaultRule("torn-write", keep_bytes=2)], root=tmp_path)
+        with chaos.install():
+            fh = chaos.open(tmp_path / "x.bin", "wb")
+            with pytest.raises(PowerCut):
+                try:
+                    fh.write(b"abcdef")
+                except Exception:  # containment must NOT absorb a power cut
+                    pytest.fail("PowerCut was caught by `except Exception`")
+        assert (tmp_path / "x.bin").read_bytes() == b"ab"
+
+    def test_eio_fsync_fails_before_durability(self, tmp_path):
+        chaos = ChaosFS(["eio-fsync"], root=tmp_path)
+        journal = Journal(tmp_path / "j.wal")
+        with chaos.install():
+            with pytest.raises(OSError) as info:
+                journal.append({"op": "a"})
+            # No fsync marker for the failed sync: the record's durability
+            # is unknown, so an acking caller would be lying.
+            assert not any(e["op"] == "fsync" for e in chaos.ops)
+            journal.close()
+        assert info.value.errno == errno.EIO
+
+    def test_erename_keeps_old_target_contents(self, tmp_path):
+        target = tmp_path / "x.txt"
+        target.write_text("old")
+        chaos = ChaosFS([FaultRule("erename", path_substr="x.txt")],
+                        root=tmp_path)
+        with chaos.install():
+            with pytest.raises(OSError) as info:
+                atomic_write_text(target, "new")
+        assert info.value.errno == errno.EIO
+        assert target.read_text() == "old"
+
+    def test_eio_fsync_dir_reports_failure(self, tmp_path):
+        from repro.ioutil import fsync_dir
+
+        chaos = ChaosFS(["eio-fsync-dir"], root=tmp_path)
+        with chaos.install():
+            assert fsync_dir(tmp_path) is False
+            assert fsync_dir(tmp_path) is True  # budget of 1 spent
+
+    def test_fault_budget_and_after_ops(self, tmp_path):
+        rule = FaultRule("eio-fsync", after_ops=2, times=1)
+        chaos = ChaosFS([rule], root=tmp_path)
+        journal = Journal(tmp_path / "j.wal")
+        with chaos.install():
+            journal.append({"op": "a"})       # ops 0.. pass (below threshold)
+            with pytest.raises(OSError):
+                journal.append({"op": "b"})   # first fsync past after_ops=2
+            journal.append({"op": "c"})       # budget spent: clean again
+            journal.close()
+        assert rule.fired == 1
+
+
+class TestOpLogAndReplay:
+    def test_atomic_write_op_sequence(self, tmp_path):
+        chaos = ChaosFS(root=tmp_path)
+        with chaos.install():
+            atomic_write_text(tmp_path / "x.txt", "hello")
+        kinds = [e["op"] for e in chaos.ops]
+        assert kinds == ["create", "write", "fsync", "replace", "fsync_dir"]
+        assert chaos.ops[1]["data"] == b"hello"
+        assert chaos.ops[3]["src"].endswith(".tmp")
+
+    def test_full_replay_reproduces_final_state(self, tmp_path):
+        work, mirror = tmp_path / "work", tmp_path / "mirror"
+        work.mkdir()
+        chaos = ChaosFS(root=work)
+        with chaos.install():
+            atomic_write_text(work / "a.txt", "one")
+            atomic_write_text(work / "a.txt", "two")  # overwrite
+            with Journal(work / "j.wal") as journal:
+                journal.append({"op": "x"})
+        replay_prefix(chaos.ops, mirror)
+        assert (mirror / "a.txt").read_text() == "two"
+        assert (mirror / "j.wal").read_bytes() == (work / "j.wal").read_bytes()
+        assert not (mirror / "a.txt.tmp").exists()
+
+    def test_every_prefix_is_a_consistent_snapshot(self, tmp_path):
+        """Cut an atomic overwrite at each op: the target is always either
+        the complete old or the complete new contents — never a hybrid."""
+        work = tmp_path / "work"
+        work.mkdir()
+        chaos = ChaosFS(root=work)
+        with chaos.install():
+            atomic_write_text(work / "a.txt", "old-contents")
+            atomic_write_text(work / "a.txt", "new-contents")
+        for cut in range(len(chaos.ops) + 1):
+            mirror = tmp_path / f"cut-{cut}"
+            replay_prefix(chaos.ops, mirror, cut)
+            target = mirror / "a.txt"
+            if target.exists():
+                assert target.read_text() in ("old-contents", "new-contents")
+
+    def test_partial_bytes_tears_the_cut_write(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        chaos = ChaosFS(root=work)
+        with chaos.install():
+            fh = chaos.open(work / "x.bin", "wb")
+            fh.write(b"abcdef")
+            fh.close()
+        write_index = next(
+            i for i, e in enumerate(chaos.ops) if e["op"] == "write"
+        )
+        mirror = replay_prefix(
+            chaos.ops, tmp_path / "m", write_index, partial_bytes=4
+        )
+        assert (mirror / "x.bin").read_bytes() == b"abcd"
+
+    def test_unlink_and_truncate_replay(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        chaos = ChaosFS(root=work)
+        with chaos.install():
+            fh = chaos.open(work / "x.bin", "wb")
+            fh.write(b"abcdef")
+            fh.truncate(2)
+            fh.close()
+            chaos.open(work / "gone.bin", "wb").close()
+            chaos.unlink(work / "gone.bin")
+        mirror = replay_prefix(chaos.ops, tmp_path / "m")
+        assert (mirror / "x.bin").read_bytes() == b"ab"
+        assert not (mirror / "gone.bin").exists()
+
+    def test_append_mode_offsets_continue_from_size(self, tmp_path):
+        work = tmp_path / "work"
+        work.mkdir()
+        chaos = ChaosFS(root=work)
+        (work / "x.bin").write_bytes(b"seed")
+        with chaos.install():
+            fh = chaos.open(work / "x.bin", "ab")
+            fh.write(b"-more")
+            fh.close()
+        write = next(e for e in chaos.ops if e["op"] == "write")
+        assert write["offset"] == 4
+
+
+class TestCutPoints:
+    def test_count_determinism_and_boundaries(self):
+        ops = [
+            {"op": "write", "path": "x", "offset": 0, "data": b"abcdef"},
+            {"op": "fsync", "path": "x"},
+            {"op": "write", "path": "x", "offset": 6, "data": b"ghi"},
+        ]
+        cuts = cut_points(ops, 50, seed=3)
+        assert len(cuts) == 50
+        assert (0, None) in cuts and (len(ops), None) in cuts
+        assert cuts == cut_points(ops, 50, seed=3)
+        assert cuts != cut_points(ops, 50, seed=4)
+        for index, partial in cuts:
+            assert 0 <= index <= len(ops)
+            if partial is not None:
+                assert ops[index]["op"] == "write"
+                assert 0 <= partial < len(ops[index]["data"])

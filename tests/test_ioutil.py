@@ -76,3 +76,103 @@ class TestFsyncDir:
 
         monkeypatch.setattr(os, "fsync", refuse)
         assert fsync_dir(tmp_path) is False
+
+
+class TestDirFsyncHealth:
+    """Directory-fsync failures are never fatal, but never silent either:
+    counted for the ``service.dir_fsync_failures`` gauge and WARNed once."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_stats(self):
+        ioutil.reset_dir_fsync_stats()
+        yield
+        ioutil.reset_dir_fsync_stats()
+
+    def test_failures_are_counted(self, tmp_path):
+        assert ioutil.dir_fsync_failures() == 0
+        fsync_dir(tmp_path / "nope")
+        fsync_dir(tmp_path / "nope")
+        assert ioutil.dir_fsync_failures() == 2
+
+    def test_success_does_not_count(self, tmp_path):
+        fsync_dir(tmp_path)
+        assert ioutil.dir_fsync_failures() == 0
+
+    def test_first_failure_warns_once(self, tmp_path, caplog):
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.ioutil"):
+            fsync_dir(tmp_path / "nope")
+            fsync_dir(tmp_path / "nope")
+        warnings = [
+            r for r in caplog.records
+            if "directory fsync unsupported" in r.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_reset_rearms_the_warning(self, tmp_path, caplog):
+        import logging
+
+        fsync_dir(tmp_path / "nope")
+        ioutil.reset_dir_fsync_stats()
+        assert ioutil.dir_fsync_failures() == 0
+        with caplog.at_level(logging.WARNING, logger="repro.ioutil"):
+            fsync_dir(tmp_path / "nope")
+        assert any(
+            "directory fsync unsupported" in r.getMessage()
+            for r in caplog.records
+        )
+
+
+class TestBackendSeam:
+    def test_default_backend_is_os(self):
+        assert ioutil.io_backend().name == "os"
+
+    def test_set_backend_returns_previous(self):
+        sentinel = ioutil.OsIO()
+        previous = ioutil.set_io_backend(sentinel)
+        try:
+            assert ioutil.io_backend() is sentinel
+        finally:
+            ioutil.set_io_backend(previous)
+
+    def test_none_restores_the_default(self):
+        ioutil.set_io_backend(ioutil.OsIO())
+        ioutil.set_io_backend(None)
+        assert ioutil.io_backend() is ioutil.io_backend()
+        assert ioutil.io_backend().name == "os"
+
+    def test_use_backend_scopes_and_restores_on_error(self):
+        sentinel = ioutil.OsIO()
+        with pytest.raises(RuntimeError):
+            with ioutil.use_io_backend(sentinel):
+                assert ioutil.io_backend() is sentinel
+                raise RuntimeError("boom")
+        assert ioutil.io_backend() is not sentinel
+
+    def test_atomic_write_routes_through_the_backend(self, tmp_path):
+        class Spy(ioutil.OsIO):
+            calls: list = []
+
+            def replace(self, src, dst):
+                self.calls.append("replace")
+                super().replace(src, dst)
+
+        with ioutil.use_io_backend(Spy()):
+            atomic_write_text(tmp_path / "x.txt", "hi")
+        assert "replace" in Spy.calls
+
+
+class TestStorageFaultClassifier:
+    def test_storage_errnos_are_faults(self):
+        import errno
+
+        for code in (errno.ENOSPC, errno.EIO, errno.EDQUOT, errno.EROFS):
+            assert ioutil.is_storage_fault(OSError(code, "x"))
+
+    def test_other_errors_are_not(self):
+        import errno
+
+        assert not ioutil.is_storage_fault(OSError(errno.ENOENT, "x"))
+        assert not ioutil.is_storage_fault(ValueError("x"))
+        assert not ioutil.is_storage_fault(OSError("no errno"))

@@ -241,3 +241,143 @@ class TestPresets:
         names = set(preset_configs())
         assert {"baseline_server", "baseline_client", "CATCH"} <= names
         assert any(name.startswith("noL2") for name in names)
+
+
+class TestSafeMode:
+    def test_submission_503_with_retry_after(self, api):
+        url, service = api
+        service.enter_safe_mode("ENOSPC: disk full")
+        status, headers, body = request(
+            f"{url}/api/v1/jobs", "POST", submit_body()
+        )
+        assert status == 503
+        assert body["error_type"] == "SafeModeActive"
+        assert int(headers["Retry-After"]) >= 1
+        service.exit_safe_mode()
+        status, _, _ = request(f"{url}/api/v1/jobs", "POST", submit_body())
+        assert status == 202
+
+    def test_healthz_degrades_and_recovers(self, api):
+        url, service = api
+        service.enter_safe_mode("EIO: journal")
+        status, _, body = request(f"{url}/api/v1/healthz")
+        assert status == 200  # the daemon itself is alive and answering
+        assert body["status"] == "degraded"
+        assert body["safe_mode"]["active"] is True
+        assert "EIO" in body["safe_mode"]["reason"]
+        service.exit_safe_mode()
+        _, _, body = request(f"{url}/api/v1/healthz")
+        assert body["status"] == "ok"
+
+    def test_reads_still_served_in_safe_mode(self, api):
+        url, service = api
+        _, _, created = request(f"{url}/api/v1/jobs", "POST", submit_body())
+        service.enter_safe_mode("ENOSPC: x")
+        status, _, body = request(f"{url}/api/v1/jobs/{created['job_id']}")
+        assert status == 200
+        assert body["state"] == "pending"
+
+
+class TestInjectFault:
+    def test_valid_sim_level_spec_accepted(self, api):
+        url, service = api
+        status, _, body = request(
+            f"{url}/api/v1/jobs", "POST",
+            submit_body(inject_fault="raise:at=500"),
+        )
+        assert status == 202
+        job = service.queue.get(body["job_id"])
+        assert job.inject_fault == "raise:at=500"
+
+    def test_unknown_fault_kind_400(self, api):
+        url, _ = api
+        status, _, body = request(
+            f"{url}/api/v1/jobs", "POST",
+            submit_body(inject_fault="disk-on-fire"),
+        )
+        assert status == 400
+        assert "unknown fault kind" in body["error"]
+
+    def test_worker_kind_rejected_under_thread_isolation(self, api):
+        url, service = api
+        assert service.isolation == "thread"
+        status, _, body = request(
+            f"{url}/api/v1/jobs", "POST",
+            submit_body(inject_fault="worker-crash:at=500"),
+        )
+        assert status == 400
+        assert "process isolation" in body["error"]
+
+    def test_non_string_spec_400(self, api):
+        url, _ = api
+        status, _, body = request(
+            f"{url}/api/v1/jobs", "POST", submit_body(inject_fault=7)
+        )
+        assert status == 400
+
+
+class TestClientHardening:
+    """The CLI's request layer: jittered retries for idempotent GETs only,
+    and a one-line, distinct-exit-code story for an unreachable daemon."""
+
+    def test_get_retries_with_full_jitter(self):
+        import random
+
+        from repro.service.cli import ServiceUnreachable, _request
+
+        sleeps = []
+        with pytest.raises(ServiceUnreachable):
+            _request(
+                "http://127.0.0.1:9/api/v1/healthz",
+                retries=3, backoff_s=0.5, rng=random.Random(42),
+                sleep=sleeps.append, timeout=0.5,
+            )
+        assert len(sleeps) == 3  # one per retry, none after the last
+        expected = [0.5 * (2 ** a) for a in range(3)]
+        for got, ceiling in zip(sleeps, expected):
+            assert 0.0 <= got < ceiling  # full jitter: uniform under 2^a
+
+    def test_post_never_retries(self):
+        from repro.service.cli import ServiceUnreachable, _request
+
+        sleeps = []
+        with pytest.raises(ServiceUnreachable):
+            _request(
+                "http://127.0.0.1:9/api/v1/jobs", method="POST",
+                payload={}, retries=5, sleep=sleeps.append, timeout=0.5,
+            )
+        assert sleeps == []  # a POST may have side effects: no blind retry
+
+    def test_http_error_is_a_served_response_not_a_retry(self, api):
+        url, _ = api
+        from repro.service.cli import _request
+
+        sleeps = []
+        status, body = _request(
+            f"{url}/api/v1/nope", retries=3, sleep=sleeps.append
+        )
+        assert status == 404
+        assert sleeps == []
+
+    def test_unreachable_message_and_exit_code(self, capsys):
+        from repro.service.cli import EXIT_UNREACHABLE, main
+
+        code = main([
+            "status", "j000001", "--url", "http://127.0.0.1:9",
+            "--retries", "0", "--timeout", "0.5",
+        ])
+        assert code == EXIT_UNREACHABLE == 5
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, not a traceback
+        assert "cannot reach service" in err
+        assert "is the daemon running?" in err
+
+    def test_cli_fsck_dispatch(self, tmp_path, capsys):
+        from repro.service.cli import main
+
+        service = build_service(
+            tmp_path / "journal.wal", tmp_path / "ckpt", fsync=False
+        )
+        service.queue.journal.close()
+        assert main(["fsck", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out

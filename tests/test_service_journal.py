@@ -169,6 +169,91 @@ class TestCrashRecovery:
         assert stats.torn_bytes == 0
 
 
+class TestRewriteCrash:
+    """Interrupt a compaction at every syscall — and every byte *within*
+    each syscall — and prove the journal is always either the complete old
+    contents or the complete new contents, never a hybrid or an error."""
+
+    def test_rewrite_interrupted_at_every_byte_offset(self, tmp_path):
+        from repro.service.chaos import ChaosFS, replay_prefix
+
+        work = tmp_path / "work"
+        work.mkdir()
+        path = work / "j.wal"
+        new_records = [{"op": "snapshot", "n": i} for i in range(2)]
+
+        # The whole journal life runs under recording, so every replayed
+        # prefix carries the pre-compaction contents too.
+        chaos = ChaosFS(root=work)
+        with chaos.install():
+            old_records = write_journal(path, 3)
+            rewrite_start = len(chaos.ops)
+            journal = Journal(path)
+            journal.rewrite(new_records)
+            journal.close()
+
+        outcomes = set()
+        for index, entry in enumerate(chaos.ops):
+            if index < rewrite_start:
+                continue  # cuts before the rewrite trivially read old
+            widths = (
+                range(len(entry["data"]) + 1) if entry["op"] == "write"
+                else [None]
+            )
+            for cut_bytes in widths:
+                mirror = tmp_path / f"cut-{index}-{cut_bytes}"
+                replay_prefix(chaos.ops, mirror, index,
+                              partial_bytes=cut_bytes)
+                replayed, stats = Journal(mirror / "j.wal").replay()
+                assert replayed in (old_records, new_records), (
+                    f"cut at op {index} byte {cut_bytes}: hybrid journal"
+                )
+                assert stats.torn_bytes == 0, "tmp bytes leaked into the WAL"
+                outcomes.add(replayed == new_records)
+        # The sweep actually crossed the commit point: both outcomes seen.
+        assert outcomes == {False, True}
+
+    def test_power_cut_mid_tmp_write_preserves_old_journal(self, tmp_path):
+        from repro.service.chaos import ChaosFS, FaultRule, PowerCut
+
+        work = tmp_path / "work"
+        work.mkdir()
+        path = work / "j.wal"
+        old_records = write_journal(path, 4)
+        chaos = ChaosFS(
+            [FaultRule("torn-write", path_substr=".tmp")], root=work
+        )
+        with chaos.install():
+            journal = Journal(path)
+            with pytest.raises(PowerCut):
+                journal.rewrite([{"op": "snapshot"}])
+        replayed, stats = Journal(path).replay()
+        assert replayed == old_records
+        assert stats.torn_bytes == 0
+
+    def test_rename_failure_keeps_old_journal_appendable(self, tmp_path):
+        from repro.service.chaos import ChaosFS, FaultRule
+
+        work = tmp_path / "work"
+        work.mkdir()
+        path = work / "j.wal"
+        old_records = write_journal(path, 2)
+        chaos = ChaosFS(
+            [FaultRule("erename", path_substr="j.wal")], root=work
+        )
+        with chaos.install():
+            journal = Journal(path)
+            with pytest.raises(OSError):
+                journal.rewrite([{"op": "snapshot"}])
+        journal = Journal(path)
+        replayed, _ = journal.replay()
+        assert replayed == old_records
+        journal.append({"op": "after"})
+        journal.close()
+        final, _ = Journal(path).replay()
+        assert final == old_records + [{"op": "after"}]
+
+
 class TestRewrite:
     def test_compaction_replaces_contents(self, tmp_path):
         path = tmp_path / "j.wal"

@@ -364,6 +364,25 @@ class TestRecovery:
         assert refreshed.attempts == 1  # the dead lease still counted
         assert recovered.counters.leases_recovered == 1
 
+    def test_lease_after_unjournaled_recovery_replays_cleanly(self, tmp_path):
+        """recover_lease deliberately skips the journal (the disk is the
+        suspect), so a valid WAL can carry lease-after-lease.  Replay must
+        treat the second grant as a takeover — no skipped records, no
+        double-counted attempt — so fsck sees a consistent journal."""
+        queue = make_queue(tmp_path)
+        job, _ = submit(queue)
+        queue.lease("w0")
+        queue.recover_lease(job.job_id, "w0")  # memory-only release
+        released = queue.get(job.job_id)
+        assert released.state == PENDING and released.attempts == 0
+        queue.lease("w1")  # journals a lease over the still-LEASED WAL state
+
+        recovered = reopen(queue, tmp_path)
+        assert recovered.replay_stats.errors == []
+        refreshed = recovered.get(job.job_id)
+        assert refreshed.state == PENDING  # dead lease reclaimed at startup
+        assert refreshed.attempts == 1  # the refund survives replay
+
     def test_breaker_state_survives_restart(self, tmp_path):
         clock = FakeClock()
         queue = make_queue(

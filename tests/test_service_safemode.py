@@ -1,0 +1,239 @@
+"""Tests for disk-fault safe mode (repro.service.daemon).
+
+On ENOSPC/EIO evidence from any durable write the daemon stops admitting
+work (503 + Retry-After at the HTTP layer), recovers the victim's lease
+without journaling (the journal may share the failing disk), and probes the
+filesystem until it heals — at which point it resumes and the job re-runs
+to the identical result.  The headline property: an injected storage fault
+never loses an acknowledged job.
+"""
+
+import errno
+import time
+
+import pytest
+
+from repro.errors import SafeModeActive
+from repro.runner import ResultStore
+from repro.service import DONE, PENDING, build_service
+from repro.service.chaos import ChaosFS, FaultRule
+from repro.service.fsck import check_state_dir
+from repro.service.http import preset_configs
+from repro.service.journal import scan_journal
+from repro.sim.serialization import config_to_dict
+
+N = 2000
+
+
+def make_service(state, *, fsync=False, **kwargs):
+    kwargs.setdefault("poll_s", 0.01)
+    kwargs.setdefault("safe_mode_probe_s", 0.05)
+    return build_service(
+        state / "journal.wal", state / "ckpt", fsync=fsync, **kwargs
+    )
+
+
+def submit_preset(service, preset="baseline_server", n=N, **kwargs):
+    payload = config_to_dict(preset_configs()[preset])
+    job, _ = service.submit_config(payload, "hmmer_like", n, **kwargs)
+    return job
+
+
+def wait_for(predicate, timeout=30.0, poll=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return predicate()
+
+
+class TestStateMachine:
+    def test_enter_sets_state_and_blocks_submission(self, tmp_path):
+        service = make_service(tmp_path)
+        service.enter_safe_mode("ENOSPC: disk full")
+        assert service.safe_mode
+        status = service.safe_mode_status()
+        assert status["active"] is True
+        assert "ENOSPC" in status["reason"]
+        assert status["entries"] == 1
+        with pytest.raises(SafeModeActive) as info:
+            submit_preset(service)
+        assert info.value.retry_after_s >= 1.0
+        service.queue.journal.close()
+
+    def test_reentry_is_idempotent(self, tmp_path):
+        service = make_service(tmp_path)
+        service.enter_safe_mode("first")
+        service.enter_safe_mode("second")
+        status = service.safe_mode_status()
+        assert status["entries"] == 1
+        assert status["reason"] == "first"
+        service.queue.journal.close()
+
+    def test_exit_readmits_submissions(self, tmp_path):
+        service = make_service(tmp_path)
+        service.enter_safe_mode("EIO: oops")
+        service.exit_safe_mode()
+        assert not service.safe_mode
+        job = submit_preset(service)
+        assert job.state == PENDING
+        service.queue.journal.close()
+
+    def test_transitions_are_journaled_for_audit(self, tmp_path):
+        service = make_service(tmp_path)
+        service.enter_safe_mode("ENOSPC: x")
+        service.exit_safe_mode()
+        service.queue.journal.close()
+        records, _ = scan_journal(tmp_path / "journal.wal")
+        modes = [r for r in records if r["op"] == "safe_mode"]
+        assert [r["active"] for r in modes] == [True, False]
+        assert modes[0]["reason"] == "ENOSPC: x"
+
+    def test_exit_requires_a_durable_append(self, tmp_path):
+        """A still-sick journal keeps the daemon in safe mode."""
+        service = make_service(tmp_path, fsync=True)
+        service.enter_safe_mode("EIO: journal")
+        # Reopen the journal so its handle routes through the chaos shim.
+        service.queue.journal.close()
+        chaos = ChaosFS(
+            [FaultRule("eio-fsync", path_substr="journal.wal", times=100)],
+            root=tmp_path,
+        )
+        with chaos.install():
+            service.exit_safe_mode()
+            assert service.safe_mode  # the exit write failed: stay safe
+        service.exit_safe_mode()       # healthy disk: out
+        assert not service.safe_mode
+        service.queue.journal.close()
+
+    def test_probe_exits_when_disk_heals(self, tmp_path):
+        service = make_service(tmp_path, fsync=True, safe_mode_probe_s=0.0)
+        service.enter_safe_mode("ENOSPC: y")
+        chaos = ChaosFS(
+            [FaultRule("enospc-write", path_substr=".probe", times=1)],
+            root=tmp_path,
+        )
+        with chaos.install():
+            service._maybe_probe_safe_mode()
+            assert service.safe_mode   # probe hit the fault: still safe
+            service._maybe_probe_safe_mode()
+            assert not service.safe_mode  # fault budget spent: healed
+        service.queue.journal.close()
+
+    def test_probe_is_rate_limited(self, tmp_path):
+        service = make_service(tmp_path, safe_mode_probe_s=3600.0)
+        service.enter_safe_mode("ENOSPC: z")
+        # First probe fails (disk still sick) and consumes the rate slot.
+        sick = ChaosFS(
+            [FaultRule("enospc-write", path_substr=".probe", times=1)],
+            root=tmp_path,
+        )
+        with sick.install():
+            service._maybe_probe_safe_mode()
+        assert service.safe_mode
+        # Within the rate window the healthy disk is not even probed.
+        watcher = ChaosFS(root=tmp_path)
+        with watcher.install():
+            service._maybe_probe_safe_mode()
+            assert not any(".probe" in e["path"] for e in watcher.ops)
+        assert service.safe_mode
+        service.queue.journal.close()
+
+    def test_status_surfaces_in_service_stats(self, tmp_path):
+        service = make_service(tmp_path)
+        service.enter_safe_mode("ENOSPC: stats")
+        stats = service.service_stats()
+        assert stats["safe_mode"]["active"] is True
+        assert "dir_fsync_failures" in stats
+        service.queue.journal.close()
+
+
+class TestStoreNoPhantomCache:
+    def test_failed_checkpoint_write_leaves_no_cache_entry(self, tmp_path):
+        """A put() that hit ENOSPC must not populate the memory cache —
+        else the retry is a phantom hit and the checkpoint never lands."""
+        from repro.runner import ExperimentRunner
+
+        store = ResultStore(tmp_path / "ckpt", resume=True)
+        runner = ExperimentRunner(store=store)
+        config = preset_configs()["baseline_server"]
+        result = runner.run(config, "hmmer_like", N)
+
+        chaos = ChaosFS(
+            [FaultRule("enospc-write", path_substr="ckpt")], root=tmp_path
+        )
+        fresh = ResultStore(tmp_path / "ckpt2", resume=True)
+        with chaos.install():
+            with pytest.raises(OSError) as info:
+                fresh.put(config, "hmmer_like", N, result)
+        assert info.value.errno == errno.ENOSPC
+        assert fresh.get(config, "hmmer_like", N) is None
+        # The healthy retry writes the checkpoint for real.
+        fresh.put(config, "hmmer_like", N, result)
+        assert fresh.get(config, "hmmer_like", N) is not None
+        assert list((tmp_path / "ckpt2").glob("*.json"))
+
+
+class TestEndToEnd:
+    def test_enospc_on_checkpoint_loses_no_job(self, tmp_path):
+        """The acceptance path: ENOSPC mid-campaign -> safe mode -> heal ->
+        the job still completes with a valid checkpoint and fsck is clean."""
+        state = tmp_path / "state"
+        state.mkdir()
+        chaos = ChaosFS(
+            [FaultRule("enospc-write", path_substr="ckpt", times=1)],
+            root=state,
+        )
+        with chaos.install():
+            service = make_service(state, fsync=True)
+            job = submit_preset(service)
+            service.start()
+            try:
+                # The fault fires on the first checkpoint write.
+                assert wait_for(lambda: service.safe_mode_entries >= 1)
+                # ...and the disk "heals" (budget spent): the job re-runs,
+                # completes, and the probe lifts safe mode.
+                assert wait_for(
+                    lambda: service.queue.get(job.job_id).state == DONE,
+                    timeout=60,
+                )
+                assert wait_for(lambda: not service.safe_mode)
+            finally:
+                service.stop()
+                service.queue.journal.close()
+
+        assert chaos.faults and chaos.faults[0]["kind"] == "enospc-write"
+        assert service.queue.counters.leases_recovered >= 1
+        # No acked job lost, checkpoint durable, invariants intact.
+        report = check_state_dir(state)
+        assert report.ok, [f.message for f in report.findings]
+        assert report.checked["done_jobs"] == 1
+
+    def test_storage_fault_refunds_the_attempt(self, tmp_path):
+        """Disk failures are not the job's fault: containment must not
+        burn the job's retry budget."""
+        state = tmp_path / "state"
+        state.mkdir()
+        chaos = ChaosFS(
+            [FaultRule("enospc-write", path_substr="ckpt", times=2)],
+            root=state,
+        )
+        with chaos.install():
+            service = make_service(
+                state, fsync=True, queue_kwargs={"max_attempts": 1},
+            )
+            job = submit_preset(service)
+            service.start()
+            try:
+                assert wait_for(
+                    lambda: service.queue.get(job.job_id).state == DONE,
+                    timeout=60,
+                )
+            finally:
+                service.stop()
+                service.queue.journal.close()
+        # Two faults absorbed with max_attempts=1: only possible because
+        # recover_lease refunded each attempt.
+        assert len(chaos.faults) == 2
+        assert service.queue.get(job.job_id).state == DONE
