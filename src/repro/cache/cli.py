@@ -1,0 +1,151 @@
+"""``python -m repro.cache`` — administer a result cache directory.
+
+Usage::
+
+    python -m repro.cache ls    DIR [--json]
+    python -m repro.cache stats DIR [--json]
+    python -m repro.cache gc    DIR --max-mb M [--dry-run] [--json]
+    python -m repro.cache pin   DIR FINGERPRINT WORKLOAD N_INSTRS
+    python -m repro.cache unpin DIR FINGERPRINT WORKLOAD N_INSTRS
+
+``ls`` prints one row per entry (key, config name, size, age, pin state);
+``stats`` prints the hit/size counters the daemon also exposes under
+``/metrics``; ``gc`` evicts least-recently-used entries down to the byte
+budget, never touching pinned entries (pin golden-parity baselines so a
+budget squeeze cannot evict them).  ``pin``/``unpin`` take the *full*
+fingerprint as printed by ``ls --json`` (a unique prefix of at least the
+filename length works for locating the file, but the stored digest is
+verified, so pass the full one).
+
+Exit codes: 0 success; 1 entry not found (``pin``/``unpin``); 2 usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from .result_cache import ResultCache
+
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cache",
+        description="Administer a content-addressed result cache directory",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def cmd(name: str, help_: str) -> argparse.ArgumentParser:
+        c = sub.add_parser(name, help=help_)
+        c.add_argument("cache_dir", help="the cache directory")
+        return c
+
+    ls = cmd("ls", "list entries (oldest first)")
+    ls.add_argument("--json", action="store_true", dest="as_json")
+
+    stats = cmd("stats", "size and counter summary")
+    stats.add_argument("--json", action="store_true", dest="as_json")
+
+    gc = cmd("gc", "evict LRU unpinned entries down to a byte budget")
+    gc.add_argument("--max-mb", type=float, required=True, metavar="M")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be evicted without deleting")
+    gc.add_argument("--json", action="store_true", dest="as_json")
+
+    for name, help_ in (
+        ("pin", "protect one entry from gc eviction"),
+        ("unpin", "remove an entry's eviction protection"),
+    ):
+        c = cmd(name, help_)
+        c.add_argument("fingerprint", help="full config fingerprint (hex)")
+        c.add_argument("workload")
+        c.add_argument("n_instrs", type=int)
+    return parser
+
+
+def _ls(cache: ResultCache, as_json: bool) -> int:
+    rows = cache.entries()
+    if as_json:
+        now = time.time()
+        print(json.dumps([
+            {
+                "entry": row.path.name,
+                "fingerprint_prefix": row.fingerprint_prefix,
+                "workload": row.workload,
+                "n_instrs": row.n_instrs,
+                "bytes": row.bytes,
+                "age_s": round(max(0.0, now - row.mtime), 1),
+                "pinned": row.pinned,
+            }
+            for row in rows
+        ], indent=2))
+        return EXIT_OK
+    if not rows:
+        print("(empty cache)")
+        return EXIT_OK
+    now = time.time()
+    for row in rows:
+        age = max(0.0, now - row.mtime)
+        flag = " [pinned]" if row.pinned else ""
+        print(
+            f"{row.fingerprint_prefix}  {row.workload:<24} "
+            f"n={row.n_instrs:<10} {row.bytes:>8} B  "
+            f"age {age:7.0f}s{flag}"
+        )
+    total = sum(row.bytes for row in rows)
+    print(f"{len(rows)} entrie(s), {total} bytes")
+    return EXIT_OK
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+    if args.command == "ls":
+        return _ls(cache, args.as_json)
+    if args.command == "stats":
+        payload = cache.stats_dict()
+        if args.as_json:
+            print(json.dumps(payload, indent=2))
+        else:
+            for key, value in payload.items():
+                print(f"{key}: {value}")
+        return EXIT_OK
+    if args.command == "gc":
+        report = cache.gc(
+            int(args.max_mb * 1024 * 1024), dry_run=args.dry_run
+        )
+        if args.as_json:
+            print(json.dumps(report, indent=2))
+        else:
+            verb = "would evict" if args.dry_run else "evicted"
+            print(
+                f"{verb} {report['evicted']} entrie(s), "
+                f"{report['freed_bytes']} bytes "
+                f"({report['bytes_before']} -> {report['bytes_after']} B, "
+                f"budget {report['budget_bytes']} B, "
+                f"{report['pinned_kept']} pinned kept)"
+            )
+        return EXIT_OK
+    if args.command in ("pin", "unpin"):
+        action = cache.pin if args.command == "pin" else cache.unpin
+        if action(args.fingerprint, args.workload, args.n_instrs):
+            print(f"{args.command}ned {args.fingerprint[:24]}/"
+                  f"{args.workload}/{args.n_instrs}")
+            return EXIT_OK
+        print(
+            f"no cache entry for {args.fingerprint[:24]}/"
+            f"{args.workload}/{args.n_instrs}",
+            file=sys.stderr,
+        )
+        return EXIT_ERROR
+    return EXIT_USAGE  # pragma: no cover - argparse guards this
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ import sys
 import time
 
 from .. import obs
+from ..cache import add_cache_args, cache_from_args
 from ..plugins import add_selection_args, selection_from_args, use_selection
 from ..runner import (
     ExperimentRunner,
@@ -156,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
              "at=, workload=, config=, times= (worker-* kinds need "
              "--jobs >= 2)",
     )
+    add_cache_args(parser)
     obs.add_observability_args(parser)
     return parser
 
@@ -203,6 +205,8 @@ def make_runner(args: argparse.Namespace) -> ExperimentRunner:
             store,
             timeout_s=args.timeout,
             retries=args.retries,
+            cache=cache_from_args(args),
+            cache_near=args.cache_near,
             **kwargs,
         )
     return FleetRunner(
@@ -212,6 +216,8 @@ def make_runner(args: argparse.Namespace) -> ExperimentRunner:
         retries=args.retries,
         max_rss_mb=args.max_rss_mb,
         fault_specs=injectors,
+        cache=cache_from_args(args),
+        cache_near=args.cache_near,
     )
 
 

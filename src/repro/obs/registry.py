@@ -26,6 +26,7 @@ provider, so rebuilding a hierarchy run after run does not leak entries.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_left
 from typing import Callable, Mapping, Sequence
 
@@ -96,11 +97,17 @@ class Histogram:
         non-negative latencies/sizes), values inside a bucket are assumed
         uniformly distributed, and anything in the overflow bucket clamps to
         the last boundary — a histogram cannot extrapolate past its bounds.
+
+        An *empty* histogram has no quantiles: it returns ``NaN`` (as
+        Prometheus's estimator does), never ``0.0`` — a real 0-latency p99
+        and "no observations yet" must stay distinguishable.  JSON surfaces
+        (:meth:`to_dict`, ``/api/v1/stats``) render the empty case as
+        ``null`` instead, since ``NaN`` is not valid JSON.
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile {q!r} outside [0, 1]")
         if self.count == 0:
-            return 0.0
+            return math.nan
         target = q * self.count
         cumulative = 0
         lower = 0.0
@@ -117,14 +124,19 @@ class Histogram:
         # The original four keys are part of the checkpointed telemetry
         # format — keep them exactly so old snapshots still compare equal
         # key-for-key; the quantile estimates ride along as new keys.
+        # Empty histograms have no quantiles: emit None (JSON null) rather
+        # than NaN, which json.dumps would render as invalid JSON; the
+        # Prometheus exposition skips non-numeric values, so the text
+        # format stays valid either way.
+        empty = self.count == 0
         return {
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "sum": self.total,
             "count": self.count,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
+            "p50": None if empty else self.quantile(0.50),
+            "p95": None if empty else self.quantile(0.95),
+            "p99": None if empty else self.quantile(0.99),
         }
 
 

@@ -178,9 +178,12 @@ class FleetRunner(ExperimentRunner):
         heartbeat_s: float = HEARTBEAT_INTERVAL_S,
         grace_s: float = DEAD_WORKER_GRACE_S,
         mp_context: str = "spawn",
+        cache=None,
+        cache_near: bool = False,
     ) -> None:
         super().__init__(
-            store, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s
+            store, timeout_s=timeout_s, retries=retries, backoff_s=backoff_s,
+            cache=cache, cache_near=cache_near,
         )
         self.jobs = jobs if jobs > 0 else (os.cpu_count() or 1)
         self.max_rss_mb = max_rss_mb
@@ -236,7 +239,20 @@ class FleetRunner(ExperimentRunner):
             cached = self.store.get(config, workload, n_instrs)
             if cached is not None:
                 self.stats.store_hits += 1
+                self._cache_put(config, workload, n_instrs, cached)
                 ordered[i] = cached
+                continue
+            hit = self._cache_lookup(config, workload, n_instrs)
+            if hit is not None:
+                if hit.near:
+                    # Estimate for a different key: served with provenance,
+                    # never checkpointed as this point's result.
+                    self.stats.cache_near_hits += 1
+                    ordered[i] = hit.result
+                    continue
+                self.stats.cache_hits += 1
+                self.store.put(config, workload, n_instrs, hit.result)
+                ordered[i] = hit.result
                 continue
             key = (self.store.fingerprint(config), workload, n_instrs)
             if key in first_dispatch:
@@ -397,6 +413,7 @@ class FleetRunner(ExperimentRunner):
         if kind == "done":
             result = result_from_dict(body)
             self.store.put(job.config, job.workload, job.n_instrs, result)
+            self._cache_put(job.config, job.workload, job.n_instrs, result)
             ordered[job.index] = result
             statuses[job.index] = "completed"
             self.stats.completed += 1

@@ -58,6 +58,8 @@ class RunnerStats:
     executed: int = 0        #: simulations actually run (attempts that started)
     completed: int = 0       #: runs that produced a valid result
     store_hits: int = 0      #: results served from the store without simulating
+    cache_hits: int = 0      #: exact result-cache hits (no simulation)
+    cache_near_hits: int = 0  #: near result-cache hits (estimates, no sim)
     retries: int = 0         #: re-attempts after a transient failure
     timeouts: int = 0        #: runs aborted by the wall-clock deadline
     failures: int = 0        #: runs abandoned after all recovery attempts
@@ -166,6 +168,14 @@ class ExperimentRunner:
         simulator_factory: ``config -> Simulator``-like; the fault-injection
             harness substitutes its wrapper here.
         clock / sleep: injectable time sources (tests use fakes).
+        cache: optional content-addressed result cache
+            (:class:`repro.cache.ResultCache`), consulted after a store
+            miss and fed on every completion.  Exact hits are promoted
+            into the store (so later lookups stay local); near hits are
+            returned as estimates carrying ``telemetry["cache"]``
+            provenance and are *never* written to the store.
+        cache_near: allow near hits from ``cache`` (opt-in; requires the
+            caller to tolerate estimate results with provenance).
     """
 
     def __init__(
@@ -179,6 +189,8 @@ class ExperimentRunner:
         simulator_factory: Callable[[SimConfig], Simulator] = Simulator,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        cache=None,
+        cache_near: bool = False,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.timeout_s = timeout_s
@@ -188,6 +200,8 @@ class ExperimentRunner:
         self.simulator_factory = simulator_factory
         self.clock = clock
         self.sleep = sleep
+        self.cache = cache
+        self.cache_near = bool(cache_near)
         self.stats = RunnerStats()
         self.failures: list[FailureRecord] = []
         #: Optional per-instruction callable chained into every attempt's
@@ -215,11 +229,34 @@ class ExperimentRunner:
         cached = self.store.get(config, workload, n_instrs)
         if cached is not None:
             self.stats.store_hits += 1
+            self._cache_put(config, workload, n_instrs, cached)
             log_event(
                 logger, logging.DEBUG, "served from store",
                 config=config.name, workload=workload, n=n_instrs,
             )
             return cached
+        hit = self._cache_lookup(config, workload, n_instrs)
+        if hit is not None:
+            if hit.near:
+                self.stats.cache_near_hits += 1
+                log_event(
+                    logger, logging.INFO, "served near hit from cache",
+                    config=config.name, workload=workload, n=n_instrs,
+                    mode=hit.provenance.get("mode"),
+                )
+                # A near hit is an estimate for a *different* key: return
+                # it (with its telemetry provenance) but never checkpoint
+                # it as this point's result.
+                return hit.result
+            self.stats.cache_hits += 1
+            # Promote the shared-cache result into the local store so the
+            # rest of this campaign hits locally — and byte-identically.
+            self.store.put(config, workload, n_instrs, hit.result)
+            log_event(
+                logger, logging.DEBUG, "served from result cache",
+                config=config.name, workload=workload, n=n_instrs,
+            )
+            return hit.result
 
         start = self.clock()
         attempts = 0
@@ -267,6 +304,7 @@ class ExperimentRunner:
                 )
             self.stats.completed += 1
             self.store.put(config, workload, n_instrs, result)
+            self._cache_put(config, workload, n_instrs, result)
             log_event(
                 logger, logging.INFO, "run completed",
                 config=config.name, workload=workload, n=n_instrs,
@@ -274,6 +312,43 @@ class ExperimentRunner:
                 elapsed_s=round(self.clock() - start, 3),
             )
             return result
+
+    # -------------------------------------------------------- result cache
+
+    def _cache_lookup(self, config: SimConfig, workload: str, n_instrs: int):
+        """Consult the shared result cache (best-effort: errors are misses)."""
+        if self.cache is None:
+            return None
+        try:
+            return self.cache.lookup(
+                config, workload, n_instrs, near=self.cache_near
+            )
+        except OSError as exc:
+            log_event(
+                logger, logging.WARNING, "result-cache lookup failed",
+                config=config.name, workload=workload, error=repr(exc),
+            )
+            return None
+
+    def _cache_put(
+        self, config: SimConfig, workload: str, n_instrs: int, result: RunResult
+    ) -> None:
+        """Feed the shared cache, best-effort.
+
+        A cache-write failure must never fail the run: the store write —
+        the durable copy that the exactly-once contract cares about — has
+        already landed (and *its* failures do propagate, feeding the
+        daemon's safe mode).
+        """
+        if self.cache is None:
+            return
+        try:
+            self.cache.put(config, workload, n_instrs, result)
+        except OSError as exc:
+            log_event(
+                logger, logging.WARNING, "result-cache write failed",
+                config=config.name, workload=workload, error=repr(exc),
+            )
 
     def _attempt(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
         sim = self.simulator_factory(config)

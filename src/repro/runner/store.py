@@ -25,6 +25,7 @@ import hashlib
 import json
 import logging
 import re
+import weakref
 from pathlib import Path
 
 from ..errors import CheckpointError
@@ -47,10 +48,24 @@ _UNSAFE = re.compile(r"[^A-Za-z0-9._+-]+")
 logger = get_logger("runner.store")
 
 
+#: Process-wide fingerprint memo.  ``SimConfig`` is a frozen (hashable,
+#: weakref-able) dataclass, so the digest of a given config object is
+#: immutable — cache it once instead of re-serializing the full canonical
+#: JSON on every submit/store/cache touch.  Weak keys keep campaign-sized
+#: config churn from pinning dead configs in memory.
+_FINGERPRINTS: "weakref.WeakKeyDictionary[SimConfig, str]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def config_fingerprint(config: SimConfig) -> str:
-    """Stable hex digest of a configuration's canonical JSON form."""
-    canonical = json.dumps(config_to_dict(config), sort_keys=True)
-    return hashlib.sha256(canonical.encode()).hexdigest()
+    """Stable hex digest of a configuration's canonical JSON form (memoized)."""
+    fp = _FINGERPRINTS.get(config)
+    if fp is None:
+        canonical = json.dumps(config_to_dict(config), sort_keys=True)
+        fp = hashlib.sha256(canonical.encode()).hexdigest()
+        _FINGERPRINTS[config] = fp
+    return fp
 
 
 def _safe(name: str) -> str:
@@ -78,7 +93,6 @@ class ResultStore:
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.resume = resume
         self._memory: dict[tuple[str, str, int], RunResult] = {}
-        self._fingerprints: dict[SimConfig, str] = {}
         #: Corrupt/wrong-schema checkpoint files skipped during reads.
         self.corrupt_skipped = 0
         #: Where each corrupt checkpoint was moved (``*.corrupt`` files).
@@ -89,11 +103,8 @@ class ResultStore:
     # ------------------------------------------------------------- keying
 
     def fingerprint(self, config: SimConfig) -> str:
-        """Memoised :func:`config_fingerprint` (SimConfig is hashable)."""
-        fp = self._fingerprints.get(config)
-        if fp is None:
-            fp = self._fingerprints[config] = config_fingerprint(config)
-        return fp
+        """The (process-wide memoized) :func:`config_fingerprint`."""
+        return config_fingerprint(config)
 
     def _key(self, config: SimConfig, workload: str, n_instrs: int):
         return (self.fingerprint(config), workload, n_instrs)
@@ -216,4 +227,3 @@ class ResultStore:
     def clear(self) -> None:
         """Drop the in-memory layer (disk checkpoints are kept)."""
         self._memory.clear()
-        self._fingerprints.clear()

@@ -74,6 +74,7 @@ import urllib.request
 from pathlib import Path
 
 from .. import obs
+from ..cache import add_cache_args, cache_from_args
 from ..ioutil import atomic_write_json, set_io_backend
 from .chaos import FAULT_KINDS, ChaosFS
 from .daemon import build_service
@@ -156,6 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "daemon's durable writes (testing only; "
                             "repeatable): kind[:path=SUBSTR][:after_ops=N]"
                             "[:times=N], kinds: " + ", ".join(FAULT_KINDS))
+    add_cache_args(serve)
     obs.add_observability_args(serve)
 
     def client(name: str, help_: str, job_arg: bool = True):
@@ -279,6 +281,8 @@ def _serve(args: argparse.Namespace) -> int:
             timeout_s=args.timeout,
             retries=args.retries,
             max_rss_mb=args.max_rss_mb,
+            cache=cache_from_args(args),
+            cache_near=args.cache_near,
         )
         server = make_server(service, args.host, args.port)
         host, port = server.server_address[:2]

@@ -98,7 +98,7 @@ from ..runner import (
 from ..runner.faultinject import WORKER_KINDS, FaultInjector
 from ..sim.serialization import config_from_dict, config_to_dict, result_to_dict
 from .journal import Journal
-from .queue import CRASH_ERROR_TYPES, DONE, Job, JobQueue
+from .queue import CRASH_ERROR_TYPES, DONE, PENDING, Job, JobQueue
 
 logger = get_logger("service")
 
@@ -163,6 +163,18 @@ class CampaignService:
         recorder: the flight recorder shared with the queue (the no-op
             one unless :func:`build_service` wired a real ring).
         flightrec_dir: where :meth:`dump_flight_recorder` writes dumps.
+        cache: optional content-addressed result cache
+            (:class:`repro.cache.ResultCache`).  Consulted at *submit*
+            time: an exact hit completes the job immediately via the
+            ``done-cached`` journal outcome (no lease, no simulation)
+            after first copying the result into the store, so
+            ``result_payload`` stays byte-identical to a real run.
+        cache_near: serve near hits (lower-``n_instrs`` / neighboring
+            swept parameter) at submit time.  Off by default — near
+            results are estimates and only ever served with explicit
+            ``near_hit`` provenance.  Executor runners always consult
+            the cache with near *disabled*: a near hit must be journaled
+            with its provenance, which only the submit path does.
     """
 
     def __init__(
@@ -180,6 +192,8 @@ class CampaignService:
         runner_factory: Callable[[], ExperimentRunner] | None = None,
         recorder=None,
         flightrec_dir: str | Path | None = None,
+        cache=None,
+        cache_near: bool = False,
     ) -> None:
         if isolation not in ("thread", "process"):
             raise ValueError(f"unknown isolation {isolation!r}")
@@ -197,6 +211,8 @@ class CampaignService:
         self.safe_mode_probe_s = safe_mode_probe_s
         self.recorder = recorder if recorder is not None else NULL_FLIGHT_RECORDER
         self.flightrec_dir = Path(flightrec_dir) if flightrec_dir else None
+        self.cache = cache
+        self.cache_near = bool(cache_near)
         self._runner_factory = runner_factory or self._default_runner
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
@@ -234,6 +250,8 @@ class CampaignService:
             for phase, name in SLO_PHASES.items()
         }
         self.registry.register_provider("service", self.queue.stats)
+        if self.cache is not None:
+            self.registry.register_provider("cache", self.cache.stats_dict)
 
     # ------------------------------------------------------------ lifecycle
 
@@ -360,12 +378,99 @@ class CampaignService:
             if not deduped:
                 with self._marks_lock:
                     self._marks[job.job_id] = tracer.now_us()
+        if not deduped and self.cache is not None and job.state == PENDING:
+            # The queue installs a journal-round-tripped copy of the job;
+            # completion mutates that copy, so return it, not the stale
+            # pre-commit instance.
+            job = self._complete_from_cache(job, config) or job
         return job, deduped
 
+    def _complete_from_cache(self, job: Job, config) -> Job | None:
+        """Try to complete a freshly admitted job straight from the cache.
+
+        Exact hit: the result is first copied into the store (so
+        ``result_payload`` serves it byte-identically, and the
+        exactly-once contract keeps its checkpoint-before-journal order),
+        then the job is journaled ``done-cached``.  Near hit (only when
+        ``cache_near``): journaled ``done-cached`` with the near
+        provenance; the result is served from the cache's *source* entry
+        at read time, never written to the store — a neighbouring point's
+        estimate must not masquerade as this point's checkpoint.
+
+        Any failure leaves the job pending: it simply runs for real.
+        Storage-fault evidence flips safe mode like every other durable
+        write, but never loses the job.
+        """
+        try:
+            hit = self.cache.lookup(
+                config, job.workload, job.n_instrs, near=self.cache_near
+            )
+        except OSError as exc:
+            log_event(
+                logger, logging.WARNING, "cache lookup failed",
+                job=job.job_id, error=repr(exc),
+            )
+            return None
+        if hit is None:
+            return None
+        result = hit.result
+        summary = {
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "avg_load_latency": result.avg_load_latency,
+            "degraded": job.degraded,
+            "cached": True,
+        }
+        try:
+            if not hit.near:
+                # Checkpoint before the done-cached journal record: a crash
+                # between the two re-runs the job as a store hit, still
+                # byte-identical (the exactly-once contract, cache edition).
+                self.store.put(config, job.workload, job.n_instrs, result)
+            return self.queue.complete_cached(
+                job.job_id, summary=summary, provenance=dict(hit.provenance),
+            )
+        except OSError as exc:
+            if is_storage_fault(exc):
+                self.enter_safe_mode(f"{type(exc).__name__}: {exc}")
+                return None
+            log_event(
+                logger, logging.WARNING, "cache completion failed",
+                job=job.job_id, error=repr(exc),
+            )
+        except ReproError as exc:
+            # The job moved under us (e.g. cancelled between submit and
+            # here); it is no longer ours to complete.
+            log_event(
+                logger, logging.WARNING, "cache completion rejected",
+                job=job.job_id, error=repr(exc),
+            )
+        return None
+
     def result_payload(self, job: Job) -> dict | None:
-        """The stored :class:`RunResult` for a done job, serialized."""
+        """The stored :class:`RunResult` for a done job, serialized.
+
+        Near-cached jobs have no store checkpoint of their own: their
+        payload is read from the cache's *source* entry and stamped with
+        the journaled near provenance (``telemetry.cache``), so a client
+        can always tell an estimate from a measurement.
+        """
         if job.state != DONE:
             return None
+        provenance = job.cache_provenance or {}
+        if job.cached and provenance.get("near_hit"):
+            if self.cache is None:
+                return None
+            source_key = provenance.get("source_key") or []
+            result = self.cache.get_by_key(*source_key)
+            if result is None:
+                return None
+            payload = result_to_dict(result)
+            payload["telemetry"] = dict(
+                payload.get("telemetry") or {}, cache=dict(provenance)
+            )
+            return payload
         config = config_from_dict(job.config)
         result = self.store.get(config, job.workload, job.n_instrs)
         return result_to_dict(result) if result is not None else None
@@ -373,6 +478,10 @@ class CampaignService:
     # ------------------------------------------------------------ executors
 
     def _default_runner(self) -> ExperimentRunner:
+        # Executors get the cache with near hits *disabled* (the runner
+        # default): a near result completed by an executor would be a done
+        # job with no journaled provenance.  Near serving happens only at
+        # submit time, through complete_cached.
         if self.isolation == "process":
             return FleetRunner(
                 self.store,
@@ -380,9 +489,11 @@ class CampaignService:
                 timeout_s=self.timeout_s,
                 retries=self.retries,
                 max_rss_mb=self.max_rss_mb,
+                cache=self.cache,
             )
         return ExperimentRunner(
-            self.store, timeout_s=self.timeout_s, retries=self.retries
+            self.store, timeout_s=self.timeout_s, retries=self.retries,
+            cache=self.cache,
         )
 
     def _executor_loop(self) -> None:
@@ -727,12 +838,16 @@ class CampaignService:
             phase: {
                 "count": hist.count,
                 "mean_s": round(hist.mean, 6),
-                "p50_s": round(hist.quantile(0.50), 6),
-                "p95_s": round(hist.quantile(0.95), 6),
-                "p99_s": round(hist.quantile(0.99), 6),
+                # Empty histograms have no quantiles: null, never 0.0 (and
+                # never NaN, which is not valid JSON).
+                "p50_s": None if hist.count == 0 else round(hist.quantile(0.50), 6),
+                "p95_s": None if hist.count == 0 else round(hist.quantile(0.95), 6),
+                "p99_s": None if hist.count == 0 else round(hist.quantile(0.99), 6),
             }
             for phase, hist in self._slo.items()
         }
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats_dict()
         return stats
 
     def telemetry_snapshot(self) -> dict:
@@ -769,11 +884,17 @@ class CampaignService:
         registry.gauge("service.queue.leased").set(stats["states"]["leased"])
         counters = stats["counters"]
         for name in (
-            "completed", "failed", "cancelled", "shed_degraded",
-            "rejected_full", "rejected_quota", "rejected_breaker",
-            "leases_expired", "lease_expiry_failed",
+            "completed", "done_cached", "failed", "cancelled",
+            "shed_degraded", "rejected_full", "rejected_quota",
+            "rejected_breaker", "leases_expired", "lease_expiry_failed",
         ):
             registry.gauge(f"service.{name}").set(counters[name])
+        if self.cache is not None:
+            cstats = self.cache.stats
+            registry.gauge("cache.exact_hits").set(cstats.exact_hits)
+            registry.gauge("cache.near_hits").set(cstats.near_hits)
+            registry.gauge("cache.misses").set(cstats.misses)
+            registry.gauge("cache.bytes").set(self.cache.bytes())
         registry.gauge("service.safe_mode").set(1 if self.safe_mode else 0)
         registry.gauge("service.safe_mode_entries").set(self.safe_mode_entries)
         registry.gauge("service.dir_fsync_failures").set(dir_fsync_failures())

@@ -205,14 +205,21 @@ def check_state_dir(state_dir: str | Path) -> FsckReport:
             continue
         live_by_key.setdefault(job.key, []).append(job)
     for key, holders in sorted(live_by_key.items()):
-        if len(holders) > 1:
-            ids = ", ".join(sorted(j.job_id for j in holders))
-            report.add(
-                "error", "dedup-duplicate",
-                f"{len(holders)} live jobs ({ids}) share dedup key "
-                f"{key[0][:12]}/{key[1]}/{key[2]} — duplicate results "
-                f"possible",
-            )
+        # A degraded quick estimate and a fresh full-length run legally
+        # coexist on one key: submit never dedups a full-length request
+        # against a clamped estimate.  Duplicates are only jobs with the
+        # same degraded-ness.
+        for degraded in (False, True):
+            same = [j for j in holders if j.degraded == degraded]
+            if len(same) > 1:
+                ids = ", ".join(sorted(j.job_id for j in same))
+                report.add(
+                    "error", "dedup-duplicate",
+                    f"{len(same)} live {'degraded ' if degraded else ''}jobs "
+                    f"({ids}) share dedup key "
+                    f"{key[0][:12]}/{key[1]}/{key[2]} — duplicate results "
+                    f"possible",
+                )
         index_id = by_key.get(key)
         if index_id is not None and all(j.job_id != index_id for j in holders):
             report.add(
@@ -228,6 +235,11 @@ def check_state_dir(state_dir: str | Path) -> FsckReport:
         if job.state != DONE:
             continue
         done_checked += 1
+        if job.cached and (job.cache_provenance or {}).get("near_hit"):
+            # Near-cached jobs have no checkpoint of their own: the
+            # payload is served from the result cache's *source* entry
+            # (the provenance names it), never from this job's store key.
+            continue
         path = _checkpoint_path(checkpoint_dir, job)
         if not path.exists():
             report.add(

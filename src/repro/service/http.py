@@ -342,6 +342,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
             "job_id": job_id,
             "degraded": job.degraded,
             "requested_n_instrs": job.requested_n_instrs,
+            "cached": job.cached,
+            "cache_provenance": job.cache_provenance,
             "result": payload,
         })
 

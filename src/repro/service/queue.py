@@ -22,9 +22,13 @@ looping forever.
 Robustness behaviours layered on the state machine:
 
 * **Idempotent dedup** — submissions are keyed by
-  ``(config_fingerprint, workload, n_instrs)``; re-submitting an active or
-  completed job returns the existing one, so client retries and replayed
-  submissions never double-run or double-count a measurement.
+  ``(config_fingerprint, workload, requested n_instrs)``; re-submitting an
+  active or completed job returns the existing one, so client retries and
+  replayed submissions never double-run or double-count a measurement.
+  The key uses the length the caller *asked for*, not the one shedding
+  clamped to — and a full-length submission never dedups against a
+  degraded quick estimate, so clamped results can only ever be served to
+  callers whose response carries ``degraded`` provenance.
 * **Admission control** — the queue is depth-bounded
   (:class:`~repro.errors.QueueFull`) and per-submitter quota'd
   (:class:`~repro.errors.QuotaExceeded`); both rejections carry a
@@ -106,6 +110,12 @@ class Job:
     #: armed for this job's runs — chaos-testing provenance travels with
     #: the job.  Validated at admission (see ``daemon.submit_config``).
     inject_fault: str | None = None
+    #: Result-cache provenance: a cached job completed straight from the
+    #: content-addressed result cache (the ``done-cached`` journal outcome)
+    #: without ever holding a lease.  ``cache_provenance`` is the cache's
+    #: hit record (``cache_hit`` or ``near_hit`` + ``source_key``).
+    cached: bool = False
+    cache_provenance: dict | None = None
     attempts: int = 0
     lease_owner: str | None = None
     lease_expires_at: float | None = None
@@ -117,7 +127,19 @@ class Job:
 
     @property
     def key(self) -> tuple[str, str, int]:
-        return (self.fingerprint, self.workload, self.n_instrs)
+        """Dedup key: the length the caller *requested*, not the clamped one.
+
+        A shed job runs at ``n_instrs`` (clamped) but occupies the key of
+        ``requested_n_instrs`` — so a quick-mode submission at the clamped
+        length never collides with it, and a later full-length submission
+        of the same point finds it (and, per :meth:`JobQueue.submit`, runs
+        fresh instead of accepting the estimate).
+        """
+        return (
+            self.fingerprint,
+            self.workload,
+            self.requested_n_instrs or self.n_instrs,
+        )
 
     @property
     def active(self) -> bool:
@@ -237,6 +259,16 @@ def apply_record(
         job.finished_at = record.get("at")
         job.lease_owner = None
         job.lease_expires_at = None
+    elif op == "done-cached":
+        # Completed straight from the result cache at submit time: the job
+        # never held a lease (PENDING -> DONE is legal only here) and its
+        # provenance records which cache entry served it.
+        _check_state(job, {PENDING}, op)
+        job.state = DONE
+        job.cached = True
+        job.cache_provenance = record.get("provenance")
+        job.summary = record.get("summary")
+        job.finished_at = record.get("at")
     elif op == "fail":
         _check_state(job, {LEASED, PENDING}, op)
         job.state = FAILED
@@ -285,6 +317,9 @@ class QueueCounters:
     submitted: int = 0
     deduped: int = 0
     completed: int = 0
+    #: Jobs completed straight from the result cache at submit time (no
+    #: lease, no simulation) — a subset of ``completed``.
+    done_cached: int = 0
     failed: int = 0
     cancelled: int = 0
     requeued: int = 0
@@ -466,10 +501,23 @@ class JobQueue:
                 degraded = True
                 requested = n_instrs
                 n_instrs = self.shed_n_instrs
-            existing_id = self._by_key.get((fingerprint, workload, n_instrs))
+            # Dedup by the *requested* length (Job.key semantics) — looked
+            # up before the clamp could disguise this submission as a quick
+            # one.  A full-length submission never dedups against a
+            # degraded job: serving a clamped estimate to a caller whose
+            # response carries no degraded provenance would silently swap
+            # a measurement for a guess, so the full request runs fresh
+            # (and takes over the key's dedup slot).  Degraded-against-
+            # degraded and anything-against-full still dedup: those
+            # responses carry honest provenance.
+            existing_id = self._by_key.get(
+                (fingerprint, workload, requested or n_instrs)
+            )
             if existing_id is not None:
                 existing = self._jobs[existing_id]
-                if existing.active or existing.state == DONE:
+                if (existing.active or existing.state == DONE) and not (
+                    existing.degraded and not degraded
+                ):
                     self.counters.deduped += 1
                     self.recorder.record(
                         "dedup", job_id=existing.job_id, trace_id=trace_id,
@@ -722,6 +770,45 @@ class JobQueue:
                 logger, logging.INFO, "job done",
                 job=job_id, config=job.config_name, workload=job.workload,
                 degraded=job.degraded,
+            )
+            return job
+
+    def complete_cached(
+        self,
+        job_id: str,
+        *,
+        summary: dict | None = None,
+        provenance: dict | None = None,
+    ) -> Job:
+        """Complete a *pending* job straight from the result cache.
+
+        No lease is involved: the daemon resolved the job against the
+        content-addressed cache at submit time, so the job goes
+        PENDING -> DONE via the distinct ``done-cached`` journal outcome,
+        carrying the cache's provenance record.  The observed service time
+        is *not* fed into the retry-after EMA — instant cache completions
+        would drag the hint toward zero and make rejected callers hammer
+        the queue.
+        """
+        with self._lock:
+            job = self._get(job_id)
+            _check_state(job, {PENDING}, "complete_cached")
+            now = self.clock()
+            self._commit({
+                "op": "done-cached", "id": job_id, "summary": summary,
+                "provenance": provenance, "at": now,
+            })
+            self.counters.completed += 1
+            self.counters.done_cached += 1
+            self.recorder.record(
+                "done_cached", job_id=job_id, trace_id=job.trace_id,
+                config=job.config_name, workload=job.workload,
+                near=bool((provenance or {}).get("near_hit")),
+            )
+            log_event(
+                logger, logging.INFO, "job completed from cache",
+                job=job_id, config=job.config_name, workload=job.workload,
+                near=bool((provenance or {}).get("near_hit")),
             )
             return job
 

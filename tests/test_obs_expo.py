@@ -28,10 +28,32 @@ def render_valid(snapshot, **kwargs):
 
 
 class TestHistogramQuantile:
-    def test_empty_histogram_quantiles_are_zero(self):
+    def test_empty_histogram_quantiles_are_nan(self):
+        # "No observations yet" must stay distinguishable from a real
+        # 0-latency quantile: NaN in Python, null in JSON surfaces.
+        import math
+
         hist = Histogram("h", (1, 2, 4))
-        assert hist.quantile(0.5) == 0.0
-        assert hist.quantile(0.99) == 0.0
+        assert math.isnan(hist.quantile(0.5))
+        assert math.isnan(hist.quantile(0.99))
+
+    def test_empty_histogram_to_dict_emits_null_quantiles(self):
+        hist = Histogram("h", (1, 2, 4))
+        payload = hist.to_dict()
+        assert payload["p50"] is None
+        assert payload["p95"] is None
+        assert payload["p99"] is None
+        # The checkpointed keys keep their empty-but-numeric values.
+        assert payload["count"] == 0
+        assert payload["sum"] == 0.0
+        import json
+
+        json.dumps(payload)  # null is valid JSON; NaN would not be
+
+    def test_empty_histogram_exposition_stays_valid(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.h", (1.0, 2.0))
+        render_valid(registry.snapshot())
 
     def test_interpolates_within_a_bucket(self):
         hist = Histogram("h", (10.0,))
