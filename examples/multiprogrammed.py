@@ -35,7 +35,7 @@ def main():
         for cfg in configs:
             result = MultiCoreSimulator(cfg).run_mix(mix, N_INSTRS)
             per_core = "  ".join(
-                f"c{c}:{ipc:4.2f}" for c, ipc in sorted(result.ipc.items())
+                f"c{c}:{ipc:4.2f}" for c, ipc in sorted(result.per_core_ipc.items())
             )
             ws = result.weighted_speedup(alone)
             print(f"  {cfg.name:14s} {per_core}   weighted speedup {ws:4.2f}")

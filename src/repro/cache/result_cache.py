@@ -3,12 +3,21 @@
 The cache is a tier *above* the per-campaign checkpoint store
 (:mod:`repro.runner.store`): where a store answers "did **this campaign**
 already run this point?", the cache answers "did **anyone, ever** run it?".
-Entries are keyed by ``(config fingerprint, workload, n_instrs)`` — the
-fingerprint is the SHA-256 of the canonical config JSON
-(:func:`repro.runner.store.config_fingerprint`), so the key is a content
-address: any parameter change (a latency, a TACT knob, the capacity scale)
-produces a different key, and two different machines that merely share a
-``name`` never collide.
+Entries are keyed by ``(config fingerprint, workload fingerprint,
+n_instrs)`` — the config fingerprint is the SHA-256 of the canonical config
+JSON (:func:`repro.runner.store.config_fingerprint`), the workload
+fingerprint (:func:`repro.plugins.workloads.workload_fingerprint`) the
+SHA-256 of the workload's *content* (kernel + parameters, trace-file bytes,
+or a mix's member tuple).  The key is therefore a full content address: any
+parameter change produces a different key, two machines that merely share a
+``name`` never collide, and — since workload names are display-only — two
+*workloads* that share (or sanitise to) the same name never collide either.
+
+Entries written before workload fingerprints existed used name-keyed stems;
+lookups fall back to those legacy stems (validating the payload's workload
+name), so an existing cache directory keeps serving exact hits without
+migration.  Legacy entries do not participate in *near* matching — re-run
+(or re-``put``) a point once to upgrade its entry.
 
 Two kinds of answers:
 
@@ -63,7 +72,12 @@ CACHE_FORMAT_VERSION = 1
 #: collision-resistant *per directory*; 24 hex chars = 96 bits.
 FP_PREFIX = 24
 
+#: Workload-fingerprint prefix length in entry file names (64 bits — the
+#: full digest is verified from the payload on read).
+WLFP_PREFIX = 16
+
 _UNSAFE = re.compile(r"[^A-Za-z0-9._+-]+")
+_HEX = re.compile(r"[0-9a-f]+\Z")
 
 logger = get_logger("cache")
 
@@ -77,6 +91,13 @@ def config_fingerprint(config: SimConfig) -> str:
     from ..runner.store import config_fingerprint as _fp
 
     return _fp(config)
+
+
+def workload_fingerprint(workload: str) -> str:
+    """Re-export of the registry's workload fingerprint (one keying scheme)."""
+    from ..plugins.workloads import workload_fingerprint as _wfp
+
+    return _wfp(workload)
 
 
 @dataclass
@@ -196,16 +217,32 @@ class ResultCache:
     # ------------------------------------------------------------- keying
 
     def _path(self, fingerprint: str, workload: str, n_instrs: int) -> Path:
+        """Entry path: ``<config fp>--<workload fp>--<safe name>--<n>``.
+
+        The workload *fingerprint* is the identity; the sanitised display
+        name rides along purely for humans (``ls`` output, debugging), so
+        two workloads whose names sanitise identically still get distinct
+        stems.
+        """
+        wfp = workload_fingerprint(workload)[:WLFP_PREFIX]
+        stem = f"{fingerprint[:FP_PREFIX]}--{wfp}--{_safe(workload)}--{n_instrs}"
+        return self.cache_dir / f"{stem}.json"
+
+    def _legacy_path(self, fingerprint: str, workload: str, n_instrs: int) -> Path:
+        """The pre-workload-fingerprint stem (compat read path)."""
         stem = f"{fingerprint[:FP_PREFIX]}--{_safe(workload)}--{n_instrs}"
         return self.cache_dir / f"{stem}.json"
 
     @staticmethod
     def _parse_stem(stem: str) -> tuple[str, str, int] | None:
-        """Inverse of the ``_path`` stem: ``(fp_prefix, safe_wl, n)``.
+        """Inverse of the ``_path`` stem: ``(fp_prefix, workload_display, n)``.
 
-        The fingerprint prefix has a fixed length and ``n_instrs`` is the
-        trailing integer, so a workload whose *sanitized* name contains
-        ``--`` still parses unambiguously.
+        Handles both formats: the current one carries a fixed-length hex
+        workload-fingerprint segment after the config fingerprint; legacy
+        stems go straight to the sanitised name.  The config-fingerprint
+        prefix has a fixed length and ``n_instrs`` is the trailing integer,
+        so a workload whose *sanitized* name contains ``--`` still parses
+        unambiguously.
         """
         if len(stem) < FP_PREFIX + 2 or stem[FP_PREFIX:FP_PREFIX + 2] != "--":
             return None
@@ -213,6 +250,12 @@ class ResultCache:
         workload, sep, n_text = rest.rpartition("--")
         if not sep or not n_text.isdigit():
             return None
+        if (
+            len(workload) > WLFP_PREFIX + 2
+            and workload[WLFP_PREFIX:WLFP_PREFIX + 2] == "--"
+            and _HEX.match(workload[:WLFP_PREFIX])
+        ):
+            workload = workload[WLFP_PREFIX + 2:]
         return stem[:FP_PREFIX], workload, int(n_text)
 
     # ------------------------------------------------------------- access
@@ -232,15 +275,13 @@ class ResultCache:
         daemon's executors) stay exact-only.
         """
         fingerprint = config_fingerprint(config)
-        exact = self._load(
-            self._path(fingerprint, workload, n_instrs),
-            fingerprint=fingerprint, workload=workload, n_instrs=n_instrs,
-        )
+        exact = self._load_exact(fingerprint, workload, n_instrs)
         if exact is not None:
+            result, path = exact
             self.stats.exact_hits += 1
-            self._touch(self._path(fingerprint, workload, n_instrs))
+            self._touch(path)
             return CacheHit(
-                result=exact,
+                result=result,
                 provenance={
                     "cache_hit": True,
                     "key": [fingerprint, workload, n_instrs],
@@ -264,10 +305,27 @@ class ResultCache:
         — e.g. the daemon resolving a near-completed job's ``source_key``
         — so it deliberately does not touch the hit/miss accounting.
         """
-        return self._load(
-            self._path(fingerprint, workload, n_instrs),
-            fingerprint=fingerprint, workload=workload, n_instrs=n_instrs,
+        exact = self._load_exact(fingerprint, workload, n_instrs)
+        return exact[0] if exact is not None else None
+
+    def _load_exact(
+        self, fingerprint: str, workload: str, n_instrs: int
+    ) -> tuple[RunResult, Path] | None:
+        """Load an exact key, falling back to the legacy name-keyed stem."""
+        path = self._path(fingerprint, workload, n_instrs)
+        result = self._load(
+            path, fingerprint=fingerprint, workload=workload, n_instrs=n_instrs,
         )
+        if result is not None:
+            return result, path
+        legacy = self._legacy_path(fingerprint, workload, n_instrs)
+        result = self._load(
+            legacy, fingerprint=fingerprint, workload=workload,
+            n_instrs=n_instrs,
+        )
+        if result is not None:
+            return result, legacy
+        return None
 
     def put(
         self,
@@ -294,6 +352,7 @@ class ResultCache:
         payload = {
             "cache_version": CACHE_FORMAT_VERSION,
             "fingerprint": fingerprint,
+            "workload_fingerprint": workload_fingerprint(workload),
             "config": config_to_dict(config),
             "workload": workload,
             "n_instrs": n_instrs,
@@ -354,8 +413,14 @@ class ResultCache:
     def _best_lower_n(
         self, fingerprint: str, workload: str, n_instrs: int
     ) -> tuple[int, RunResult] | None:
-        """The longest stored run of this exact point below ``n_instrs``."""
-        pattern = f"{fingerprint[:FP_PREFIX]}--{_safe(workload)}--*.json"
+        """The longest stored run of this exact point below ``n_instrs``.
+
+        Only fingerprint-keyed (current-format) entries participate:
+        the workload-fingerprint segment in the glob excludes legacy
+        name-keyed stems from near matching by construction.
+        """
+        wfp = workload_fingerprint(workload)[:WLFP_PREFIX]
+        pattern = f"{fingerprint[:FP_PREFIX]}--{wfp}--{_safe(workload)}--*.json"
         candidates = []
         for path in self.cache_dir.glob(pattern):
             parsed = self._parse_stem(path.stem)
@@ -376,9 +441,15 @@ class ResultCache:
     def _best_neighbor(
         self, config: SimConfig, fingerprint: str, workload: str, n_instrs: int
     ) -> tuple[str, str, object, object, RunResult] | None:
-        """A stored run at the same ``(workload, n)`` one numeric knob away."""
+        """A stored run at the same ``(workload, n)`` one numeric knob away.
+
+        The workload-fingerprint segment is shared across configs (same
+        workload → same fingerprint), so it anchors the glob and keeps
+        legacy name-keyed entries out of near matching.
+        """
         requested = config_to_dict(config)
-        pattern = f"*--{_safe(workload)}--{n_instrs}.json"
+        wfp = workload_fingerprint(workload)[:WLFP_PREFIX]
+        pattern = f"*--{wfp}--{_safe(workload)}--{n_instrs}.json"
         best = None
         for path in sorted(self.cache_dir.glob(pattern)):
             parsed = self._parse_stem(path.stem)
@@ -418,6 +489,12 @@ class ResultCache:
         ):
             # A truncated-prefix or sanitized-name collision: the file is
             # healthy, it just answers a different key.
+            return None
+        if entry.get("workload_fingerprint") not in (
+            None, workload_fingerprint(workload)
+        ):
+            # Same display name, different content (e.g. a re-registered
+            # out-of-tree workload): never alias it to this key.
             return None
         return entry["result"]
 
@@ -500,15 +577,20 @@ class ResultCache:
         """Protect one entry from eviction (golden baselines and the like)."""
         path = self._path(fingerprint, workload, n_instrs)
         if not path.exists():
-            return False
+            path = self._legacy_path(fingerprint, workload, n_instrs)
+            if not path.exists():
+                return False
         self._pin_path(path).touch()
         return True
 
     def unpin(self, fingerprint: str, workload: str, n_instrs: int) -> bool:
-        path = self._path(fingerprint, workload, n_instrs)
-        pin = self._pin_path(path)
+        pin = self._pin_path(self._path(fingerprint, workload, n_instrs))
         if not pin.exists():
-            return False
+            pin = self._pin_path(
+                self._legacy_path(fingerprint, workload, n_instrs)
+            )
+            if not pin.exists():
+                return False
         pin.unlink()
         return True
 

@@ -4,15 +4,22 @@ Weighted speedup of noL2, noL2+CATCH and CATCH over the baseline on four-way
 mixes (half RATE-4 homogeneous, half random — Section V).  Paper: noL2 loses
 4.1%; noL2+CATCH gains 8.5%; three-level CATCH gains 9.0% — MP gains mirror
 the ST gains.
+
+Mixes are first-class workload references (``"a+b+c+d"``), so every
+measurement — the alone runs and the mixes — goes through the active
+:class:`~repro.runner.ExperimentRunner` like any single-threaded experiment:
+memoised per process, checkpointed/resumed and fleet-parallelised under the
+experiment CLI.  The serial and fleet paths round-trip results through the
+same serializer, so stage values are identical either way.
 """
 
 from __future__ import annotations
 
 from ..obs import console
+from ..plugins.workloads import mix_display
 from ..sim.config import no_l2, skylake_server, with_catch
 from ..sim.metrics import geomean
-from ..sim.multicore import MultiCoreSimulator, alone_ipcs
-from .common import resolve_params
+from .common import cached_run, resolve_params
 
 
 def run(
@@ -28,21 +35,24 @@ def run(
         with_catch(no_l2(base, 6.5), name="noL2+CATCH"),
         with_catch(base, name="CATCH"),
     ]
-    names = {name for mix in mixes for name in mix}
+    names = sorted({name for mix in mixes for name in mix})
 
-    alone: dict[str, dict[str, float]] = {}
+    # Alone IPCs on the *baseline* machine (the paper's WS denominator for
+    # every variant).  ``base`` is a single-core config, so these are plain
+    # runner measurements that share the cross-experiment result store.
+    alone = {name: cached_run(base, name, n).ipc for name in names}
+
+    refs = [mix_display(mix) for mix in mixes]
+    base_results = [cached_run(base, ref, n) for ref in refs]
+    base_ws = [r.weighted_speedup(alone) for r in base_results]
     ws: dict[str, list[float]] = {}
-    base_ws: list[float] = []
-    alone[base.name] = alone_ipcs(base, names, n)
-    base_sim = MultiCoreSimulator(base)
-    for mix in mixes:
-        base_ws.append(base_sim.run_mix(mix, n).weighted_speedup(alone[base.name]))
+    interference: dict[str, list[dict]] = {
+        base.name: [_interference(r) for r in base_results],
+    }
     for cfg in variants:
-        alone[cfg.name] = alone_ipcs(base, names, n)  # alone on the baseline
-        sim = MultiCoreSimulator(cfg)
-        ws[cfg.name] = [
-            sim.run_mix(mix, n).weighted_speedup(alone[base.name]) for mix in mixes
-        ]
+        results = [cached_run(cfg, ref, n) for ref in refs]
+        ws[cfg.name] = [r.weighted_speedup(alone) for r in results]
+        interference[cfg.name] = [_interference(r) for r in results]
     summary = {
         cfg.name: geomean(
             [w / b for w, b in zip(ws[cfg.name], base_ws)]
@@ -56,6 +66,16 @@ def run(
         "mixes": [list(m) for m in mixes],
         "baseline_ws": base_ws,
         "per_config_ws": ws,
+        "alone_ipc": alone,
+        "per_core_interference": interference,
+    }
+
+
+def _interference(result) -> dict:
+    """Per-core criticality/contention stats of one mix run (JSON-keyed)."""
+    return {
+        str(core): dict(stats, ipc=result.per_core_ipc.get(core))
+        for core, stats in result.per_core_stats.items()
     }
 
 

@@ -52,6 +52,14 @@ __all__ = [
     "TOPOLOGIES",
     "TopologySpec",
     "register_topology",
+    "WORKLOADS",
+    "WorkloadRegistry",
+    "register_workload",
+    "workload_fingerprint",
+    "is_mix",
+    "mix_names",
+    "mix_display",
+    "MIX_SEPARATOR",
     "POLICIES",
     "Selection",
     "apply_selection",
@@ -74,6 +82,14 @@ _LAZY = {
     "TOPOLOGIES": ("topologies", "TOPOLOGIES"),
     "TopologySpec": ("topologies", "TopologySpec"),
     "register_topology": ("topologies", "register_topology"),
+    "WORKLOADS": ("workloads", "WORKLOADS"),
+    "WorkloadRegistry": ("workloads", "WorkloadRegistry"),
+    "register_workload": ("workloads", "register_workload"),
+    "workload_fingerprint": ("workloads", "workload_fingerprint"),
+    "is_mix": ("workloads", "is_mix"),
+    "mix_names": ("workloads", "mix_names"),
+    "mix_display": ("workloads", "mix_display"),
+    "MIX_SEPARATOR": ("workloads", "MIX_SEPARATOR"),
     "Selection": ("compose", "Selection"),
     "add_selection_args": ("compose", "add_selection_args"),
     "selection_from_args": ("compose", "selection_from_args"),
@@ -108,10 +124,12 @@ def all_registries() -> dict[str, Registry]:
     from .detectors import DETECTORS
     from .prefetchers import PREFETCHERS
     from .topologies import TOPOLOGIES
+    from .workloads import WORKLOADS
 
     return {
         "prefetchers": PREFETCHERS,
         "detectors": DETECTORS,
         "topologies": TOPOLOGIES,
         "replacement-policies": POLICIES,
+        "workloads": WORKLOADS,
     }

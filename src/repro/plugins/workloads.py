@@ -1,0 +1,179 @@
+"""Workload registry: named workloads as pluggable, content-addressed specs.
+
+The last hard-wired component family becomes a :class:`Registry` like every
+other: the 35 Table-II synthetic suites register here at import, trace-file
+workloads register via :func:`repro.workloads.ingest.register_trace_workload`,
+and out-of-tree workloads register from ``$REPRO_PLUGINS`` modules exactly
+like prefetchers do (see ARCHITECTURE.md for the worked example).
+
+Identity is **content-addressed**, not name-addressed: every workload
+reference resolves to a :func:`workload_fingerprint` — a SHA-256 over what
+the workload *is* (kernel + parameters for synthetic specs, trace-file
+content hash for ingested traces, the member fingerprints for a mix) — and
+that fingerprint, not the display name, keys ResultStore checkpoints,
+ResultCache entries and service dedup.  Re-registering a name with different
+parameters therefore can never alias a cached result.
+
+Multi-programmed mixes are first-class references: ``"a+b+c+d"`` (the
+:data:`MIX_SEPARATOR` join of member names) names a 4-way mix whose
+fingerprint covers the ordered member tuple.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from .registry import Registry, canonical_name
+
+#: Separator joining member names into a mix reference (and display string).
+#: Reserved: it may not appear in a registered workload name.
+MIX_SEPARATOR = "+"
+
+
+class WorkloadRegistry(Registry):
+    """A :class:`Registry` whose mutations bump a generation counter.
+
+    The generation participates in the fingerprint memo key, so
+    re-registering a name (out-of-tree override, test seam) immediately
+    invalidates every memoised fingerprint — and with it the
+    fingerprint-keyed trace memo in ``repro.workloads.suites`` — instead of
+    serving a stale entry for the old spec.
+    """
+
+    def __init__(self, kind: str) -> None:
+        super().__init__(kind)
+        self.generation = 0
+
+    def register(self, name, entry, *, summary: str = ""):
+        if MIX_SEPARATOR in name:
+            raise ValueError(
+                f"workload name {name!r} contains {MIX_SEPARATOR!r}, which is "
+                f"reserved for multi-programmed mix references"
+            )
+        spec = super().register(name, entry, summary=summary)
+        self.generation += 1
+        return spec
+
+    def unregister(self, name) -> None:
+        super().unregister(name)
+        self.generation += 1
+
+
+WORKLOADS: WorkloadRegistry = WorkloadRegistry("workload")
+
+
+def register_workload(spec, *, summary: str = ""):
+    """Register one workload spec under its own ``name``.
+
+    ``spec`` is anything with ``name``, ``category`` and
+    ``build(n_instrs) -> Trace`` — a
+    :class:`~repro.workloads.suites.WorkloadSpec`, a
+    :class:`~repro.workloads.ingest.TraceFileSpec`, or an out-of-tree
+    equivalent.
+    """
+    return WORKLOADS.register(
+        spec.name,
+        spec,
+        summary=summary or f"{getattr(spec, 'category', '?')} workload",
+    )
+
+
+# ------------------------------------------------------------------- mixes
+
+
+def is_mix(ref: str) -> bool:
+    """Whether a workload reference names a multi-programmed mix."""
+    return isinstance(ref, str) and MIX_SEPARATOR in ref
+
+
+def mix_names(ref: str) -> tuple[str, ...]:
+    """The ordered member names of a mix reference (``"a+b"`` -> ``(a, b)``)."""
+    return tuple(part for part in ref.split(MIX_SEPARATOR) if part)
+
+
+def mix_display(mix) -> str:
+    """The canonical display/reference string of a mix tuple."""
+    return MIX_SEPARATOR.join(mix)
+
+
+# ------------------------------------------------------------ fingerprints
+
+#: Fingerprint memo: ``(registry generation, reference) -> digest``.  The
+#: generation key makes registration/unregistration an implicit invalidation.
+_FP_MEMO: dict[tuple[int, str], str] = {}
+
+
+def _spec_payload(spec) -> dict:
+    """The identity payload of one registered (non-mix) workload spec."""
+    payload = getattr(spec, "fingerprint_payload", None)
+    if callable(payload):
+        # Ingested traces (and out-of-tree specs that know better) supply
+        # their own identity — typically a content hash of the trace file.
+        return payload()
+    kernel = getattr(spec, "kernel", None)
+    return {
+        "type": "synthetic",
+        "kernel": getattr(kernel, "__name__", repr(kernel)),
+        "category": getattr(spec, "category", ""),
+        "params": [list(pair) for pair in getattr(spec, "params", ())],
+        "length_multiplier": getattr(spec, "length_multiplier", 1),
+    }
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def workload_fingerprint(ref: str) -> str:
+    """Stable content digest of a workload reference (memoized).
+
+    * A registered synthetic spec hashes its kernel name, parameters and
+      length semantics — the name is display-only, so a reused name with
+      different parameters gets a different fingerprint.
+    * An ingested trace workload hashes the trace file's *content*.
+    * A mix reference (``"a+b+c+d"``) hashes the ordered member
+      fingerprints, so the tuple identity covers every member's identity.
+    * An *unregistered* name falls back to hashing the name itself: ad-hoc
+      references (test doubles, prebuilt traces run by name) stay keyable
+      without ever being able to alias a registered workload's entries.
+    """
+    if not isinstance(ref, str):
+        ref = mix_display(ref)
+    registered = not is_mix(ref) and ref in WORKLOADS
+    # Key *after* the membership check: that check imports $REPRO_PLUGINS
+    # modules, whose registrations bump the generation.
+    key = (WORKLOADS.generation, ref)
+    memo = _FP_MEMO.get(key)
+    if memo is not None:
+        return memo
+    if is_mix(ref):
+        payload = {
+            "type": "mix",
+            "members": [workload_fingerprint(name) for name in mix_names(ref)],
+        }
+    elif registered:
+        payload = _spec_payload(WORKLOADS.get(ref))
+    else:
+        payload = {"type": "name", "name": canonical_name(ref)}
+    fp = _digest(payload)
+    if len(_FP_MEMO) > 4096:  # bound churn from generation bumps
+        _FP_MEMO.clear()
+    _FP_MEMO[key] = fp
+    return fp
+
+
+# ----------------------------------------------------- built-in registrations
+
+def _register_builtin_suite() -> None:
+    from ..workloads.suites import ST_SUITE
+
+    for spec in ST_SUITE:
+        register_workload(
+            spec,
+            summary=f"{spec.category} synthetic: {spec.kernel.__name__}",
+        )
+
+
+_register_builtin_suite()

@@ -63,7 +63,7 @@ from ..sim.metrics import RunResult
 from ..sim.serialization import config_to_dict, result_from_dict
 from .faultinject import FaultInjector
 from .runner import ExperimentRunner, FailureRecord
-from .store import ResultStore
+from .store import ResultStore, workload_fingerprint
 from .worker import HEARTBEAT_INTERVAL_S, worker_main
 
 #: Resume-manifest schema version and file name (under the checkpoint dir).
@@ -254,7 +254,11 @@ class FleetRunner(ExperimentRunner):
                 self.store.put(config, workload, n_instrs, hit.result)
                 ordered[i] = hit.result
                 continue
-            key = (self.store.fingerprint(config), workload, n_instrs)
+            key = (
+                self.store.fingerprint(config),
+                workload_fingerprint(workload),
+                n_instrs,
+            )
             if key in first_dispatch:
                 duplicates.append((i, first_dispatch[key]))
                 continue

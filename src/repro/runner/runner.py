@@ -351,7 +351,18 @@ class ExperimentRunner:
             )
 
     def _attempt(self, config: SimConfig, workload: str, n_instrs: int) -> RunResult:
-        sim = self.simulator_factory(config)
+        from ..plugins.workloads import is_mix, mix_names
+
+        if is_mix(workload):
+            # A multi-programmed mix runs on the shared-hierarchy driver.
+            # It bypasses simulator_factory: fault wrappers target the
+            # single-core Simulator surface, and the daemon rejects
+            # inject_fault for mix jobs at admission.
+            from ..sim.multicore import MultiCoreSimulator
+
+            sim = MultiCoreSimulator(config, n_cores=len(mix_names(workload)))
+        else:
+            sim = self.simulator_factory(config)
         deadline = (
             Deadline(self.timeout_s, self.clock)
             if self.timeout_s is not None

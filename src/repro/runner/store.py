@@ -1,12 +1,19 @@
 """Disk-backed result store: the runner's checkpoint/resume substrate.
 
-Results are keyed by ``(config fingerprint, workload, n_instrs)``.  The
-fingerprint is a SHA-256 over the *canonical serialized configuration*
-(:func:`repro.sim.serialization.config_to_dict`), so two configurations that
-build the same machine share checkpoints even across processes, while any
-parameter change — a latency, a TACT knob, the capacity scale — invalidates
-them.  The config ``name`` participates through the payload, so two different
-machines that were merely given the same label do not collide.
+Results are keyed by ``(config fingerprint, workload fingerprint,
+n_instrs)``.  The config fingerprint is a SHA-256 over the *canonical
+serialized configuration* (:func:`repro.sim.serialization.config_to_dict`);
+the workload fingerprint (:func:`repro.plugins.workloads
+.workload_fingerprint`) hashes what the workload *is* — kernel + parameters
+for synthetic specs, trace-file content for ingested traces, the member
+tuple for a mix — so a re-registered or out-of-tree workload under a reused
+name can never alias another workload's checkpoint.  Names are display-only:
+they appear in file stems for humans, never as identity.
+
+Compatibility: checkpoints written before workload fingerprints existed used
+a name-keyed stem; :meth:`ResultStore.get` falls back to that legacy stem
+(validating the payload's workload name) so old checkpoint dirs keep
+resuming.
 
 Layout: one JSON file per completed run under ``checkpoint_dir``, written
 durably and atomically (:func:`repro.ioutil.atomic_write_json`: fsync'd
@@ -72,6 +79,13 @@ def _safe(name: str) -> str:
     return _UNSAFE.sub("_", name) or "unnamed"
 
 
+def workload_fingerprint(workload: str) -> str:
+    """Content digest of a workload reference (one keying scheme repo-wide)."""
+    from ..plugins.workloads import workload_fingerprint as _wfp
+
+    return _wfp(workload)
+
+
 class ResultStore:
     """In-memory result cache with an optional on-disk checkpoint layer.
 
@@ -107,9 +121,20 @@ class ResultStore:
         return config_fingerprint(config)
 
     def _key(self, config: SimConfig, workload: str, n_instrs: int):
-        return (self.fingerprint(config), workload, n_instrs)
+        return (self.fingerprint(config), workload_fingerprint(workload), n_instrs)
 
     def _path(self, config: SimConfig, workload: str, n_instrs: int) -> Path:
+        assert self.checkpoint_dir is not None
+        fp = self.fingerprint(config)
+        wfp = workload_fingerprint(workload)
+        stem = (
+            f"{_safe(config.name)}--{_safe(workload)}--{n_instrs}"
+            f"--{fp[:12]}--{wfp[:12]}"
+        )
+        return self.checkpoint_dir / f"{stem}.json"
+
+    def _legacy_path(self, config: SimConfig, workload: str, n_instrs: int) -> Path:
+        """The pre-workload-fingerprint stem (compat read path)."""
         assert self.checkpoint_dir is not None
         fp = self.fingerprint(config)
         stem = f"{_safe(config.name)}--{_safe(workload)}--{n_instrs}--{fp[:12]}"
@@ -128,11 +153,27 @@ class ResultStore:
         if self.checkpoint_dir is None or not self.resume:
             return None
         path = self._path(config, workload, n_instrs)
+        expected_workload: str | None = None
         if not path.exists():
-            return None
+            # Compat: checkpoints written before workload fingerprints used
+            # a name-keyed stem.  The payload's workload name is validated
+            # (the legacy stem's known sanitisation-collision hazard), and
+            # only files without a recorded workload fingerprint qualify —
+            # one recorded under a *different* fingerprint belongs to a
+            # different workload that merely shares the display name.
+            path = self._legacy_path(config, workload, n_instrs)
+            expected_workload = workload
+            if not path.exists():
+                return None
         try:
             result = self._read_checkpoint(path, expected_fingerprint=key[0])
-        except CheckpointError as exc:
+            if expected_workload is not None:
+                payload = json.loads(path.read_text())
+                if payload.get("workload") != expected_workload or (
+                    payload.get("workload_fingerprint") not in (None, key[1])
+                ):
+                    return None
+        except (CheckpointError, OSError, json.JSONDecodeError) as exc:
             self.corrupt_skipped += 1
             moved_to = self._quarantine(path)
             log_event(
@@ -155,6 +196,7 @@ class ResultStore:
         payload = {
             "checkpoint_version": CHECKPOINT_FORMAT_VERSION,
             "fingerprint": key[0],
+            "workload_fingerprint": key[1],
             "config": config_to_dict(config),
             "workload": workload,
             "n_instrs": n_instrs,

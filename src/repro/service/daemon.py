@@ -95,6 +95,7 @@ from ..runner import (
     ResultStore,
     config_fingerprint,
 )
+from ..plugins.workloads import is_mix, mix_names, workload_fingerprint
 from ..runner.faultinject import WORKER_KINDS, FaultInjector
 from ..sim.serialization import config_from_dict, config_to_dict, result_to_dict
 from .journal import Journal
@@ -352,6 +353,13 @@ class CampaignService:
                     f"and is only admissible under process isolation; this "
                     f"daemon runs --isolation {self.isolation}"
                 )
+            if is_mix(workload):
+                raise ValueError(
+                    "fault injection is not supported for multi-programmed "
+                    "mix jobs"
+                )
+        if is_mix(workload) and not mix_names(workload):
+            raise ValueError(f"mix reference {workload!r} has no members")
         config = config_from_dict(config_payload)
         config.validate()
         job, deduped = self.queue.submit(
@@ -364,6 +372,7 @@ class CampaignService:
             submitter=submitter,
             trace_id=trace_id,
             inject_fault=inject_fault or None,
+            workload_fingerprint=workload_fingerprint(workload),
         )
         tracer = obs.tracer()
         if tracer is not None:

@@ -111,11 +111,18 @@ class FsckReport:
 
 def _checkpoint_path(checkpoint_dir: Path, job: Job) -> Path:
     """The store path a job's checkpoint must live at (mirrors
-    :meth:`ResultStore._path`, keyed from journal fields alone)."""
+    :meth:`ResultStore._path`, keyed from journal fields alone).
+
+    Jobs journaled with a workload fingerprint use the current
+    fingerprint-suffixed stem; legacy jobs (empty fingerprint field) use
+    the old name-keyed stem.
+    """
     stem = (
         f"{_safe(job.config_name)}--{_safe(job.workload)}"
         f"--{job.n_instrs}--{job.fingerprint[:12]}"
     )
+    if job.workload_fingerprint:
+        stem += f"--{job.workload_fingerprint[:12]}"
     return checkpoint_dir / f"{stem}.json"
 
 

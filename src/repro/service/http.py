@@ -77,6 +77,7 @@ from ..obs import (
     log_event,
     render_prometheus,
 )
+from ..plugins.workloads import MIX_SEPARATOR
 from ..sim.config import fig10_configs, skylake_client, skylake_server
 from ..sim.serialization import config_to_dict
 from .daemon import CampaignService
@@ -295,8 +296,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
             config_payload = config_to_dict(presets[preset])
         workload = body.get("workload")
+        if isinstance(workload, list):
+            # A multi-programmed mix: a tuple of workload refs in the
+            # submit API, carried internally as the "+"-joined display ref.
+            if not workload or not all(
+                isinstance(m, str) and m and MIX_SEPARATOR not in m
+                for m in workload
+            ):
+                raise ValueError(
+                    "'workload' list must contain non-empty workload names"
+                )
+            workload = MIX_SEPARATOR.join(workload)
         if not isinstance(workload, str) or not workload:
-            raise ValueError("'workload' must be a non-empty string")
+            raise ValueError(
+                "'workload' must be a non-empty string or list of names"
+            )
         n_instrs = body.get("n_instrs")
         if not isinstance(n_instrs, int) or n_instrs <= 0:
             raise ValueError("'n_instrs' must be a positive integer")

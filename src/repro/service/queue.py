@@ -93,6 +93,11 @@ class Job:
     config: dict                 #: serialized SimConfig payload
     workload: str
     n_instrs: int
+    #: Content digest of the workload (see ``repro.plugins.workloads``):
+    #: the identity half of the dedup key.  Defaulted so journals written
+    #: before workload fingerprints existed still replay; such jobs fall
+    #: back to name-keyed dedup.
+    workload_fingerprint: str = ""
     priority: int = PRIORITIES["normal"]
     submitter: str = "anonymous"
     #: End-to-end correlation id: assigned at the API boundary (from the
@@ -134,10 +139,13 @@ class Job:
         length never collides with it, and a later full-length submission
         of the same point finds it (and, per :meth:`JobQueue.submit`, runs
         fresh instead of accepting the estimate).
+
+        The workload half is the *fingerprint* (content identity) when the
+        job has one; legacy journal entries without it key by display name.
         """
         return (
             self.fingerprint,
-            self.workload,
+            self.workload_fingerprint or self.workload,
             self.requested_n_instrs or self.n_instrs,
         )
 
@@ -469,6 +477,7 @@ class JobQueue:
         submitter: str = "anonymous",
         trace_id: str = "",
         inject_fault: str | None = None,
+        workload_fingerprint: str = "",
     ) -> tuple[Job, bool]:
         """Admit one submission; returns ``(job, deduped)``.
 
@@ -511,7 +520,11 @@ class JobQueue:
             # degraded and anything-against-full still dedup: those
             # responses carry honest provenance.
             existing_id = self._by_key.get(
-                (fingerprint, workload, requested or n_instrs)
+                (
+                    fingerprint,
+                    workload_fingerprint or workload,
+                    requested or n_instrs,
+                )
             )
             if existing_id is not None:
                 existing = self._jobs[existing_id]
@@ -560,6 +573,7 @@ class JobQueue:
                 config=config,
                 workload=workload,
                 n_instrs=n_instrs,
+                workload_fingerprint=workload_fingerprint,
                 priority=rank,
                 submitter=submitter,
                 trace_id=trace_id,

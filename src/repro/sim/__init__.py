@@ -13,12 +13,13 @@ from .config import (
 )
 from .metrics import (
     ActivitySnapshot,
+    MPRunResult,
     RunResult,
     category_geomeans,
     geomean,
     weighted_speedup,
 )
-from .multicore import MPResult, MultiCoreSimulator, alone_ipcs, relocate_trace
+from .multicore import MultiCoreSimulator, alone_ipcs, relocate_trace
 from .prefetch_metrics import PrefetchQuality, l1_prefetch_quality, quality_from_stats
 from .simulator import (
     DEFAULT_TRACE_LENGTH,
@@ -38,6 +39,7 @@ __all__ = [
     "with_catch",
     "with_extra_latency",
     "ActivitySnapshot",
+    "MPRunResult",
     "RunResult",
     "category_geomeans",
     "geomean",
@@ -45,7 +47,6 @@ __all__ = [
     "PrefetchQuality",
     "l1_prefetch_quality",
     "quality_from_stats",
-    "MPResult",
     "MultiCoreSimulator",
     "alone_ipcs",
     "relocate_trace",

@@ -10,6 +10,7 @@ Usage::
     python -m repro.sim run baseline_server mcf_like --prefetchers ip-stride \
         --detector none
     python -m repro.sim run baseline_server mcf_like --topology no-l2
+    python -m repro.sim run baseline_server hmmer_like+mcf_like  # MP mix
 
 ``run`` accepts the observability flags (``--trace-out``, ``--profile``,
 ``--metrics-out``, ``--log-level``, ``--log-json``, ``--log-file``); see
@@ -55,8 +56,14 @@ def _execute_run(sim: Simulator, cfg, args):
     """One measurement: in-process by default, via the resilient runner
     when a deadline or worker isolation was requested (output unchanged)."""
     from ..errors import RunFailure
+    from ..plugins.workloads import is_mix, mix_names
 
     if args.jobs == 1 and args.timeout is None:
+        if is_mix(args.workload):
+            from .multicore import MultiCoreSimulator
+
+            mp = MultiCoreSimulator(cfg, n_cores=len(mix_names(args.workload)))
+            return mp.run(args.workload, args.n)
         return sim.run(args.workload, args.n)
     if args.jobs == 1:
         from ..runner import ExperimentRunner
@@ -151,7 +158,10 @@ def main(argv: list[str] | None = None) -> int:
                 "cli:run", cat="cli",
                 args={"config": cfg.name, "workload": args.workload},
             ):
-                result = _execute_run(sim, cfg, args)
+                try:
+                    result = _execute_run(sim, cfg, args)
+                except ConfigError as exc:
+                    raise SystemExit(str(exc))
             served = {
                 lvl.name: count for lvl, count in result.load_served.items() if count
             }
@@ -162,6 +172,13 @@ def main(argv: list[str] | None = None) -> int:
             obs.console(f"  avg load latency {result.avg_load_latency:.1f} cycles")
             obs.console(f"  mispredicts      {result.mispredicts}")
             obs.console(f"  code stalls      {result.code_stall_cycles:.0f} cycles")
+            per_core = getattr(result, "per_core_ipc", None)
+            if per_core:
+                cores = "  ".join(
+                    f"core{core} {ipc:.3f}"
+                    for core, ipc in sorted(per_core.items())
+                )
+                obs.console(f"  per-core IPC     {cores}")
             if args.profile and result.telemetry:
                 phases = result.telemetry["phases"]
                 timings = "  ".join(

@@ -101,6 +101,36 @@ class RunResult:
         return self.ipc / baseline.ipc if baseline.ipc else 0.0
 
 
+@dataclass
+class MPRunResult(RunResult):
+    """One multi-programmed mix, RunResult-shaped and checkpointable.
+
+    The inherited fields are whole-mix aggregates (``workload`` is the mix
+    display string ``"a+b+c+d"``, ``instructions`` the total measured
+    instructions, ``cycles`` the longest per-core measured span, served
+    counts and stall cycles summed across cores); the ``per_core_*`` maps
+    carry each core's own measurement, and :attr:`per_core_stats` the
+    criticality-interference detail (per-core load service levels, load
+    latency, critical PCs) that Figure 14's contention analysis reads.
+    """
+
+    mix: tuple[str, ...] = ()
+    per_core_ipc: dict[int, float] = field(default_factory=dict)
+    per_core_cycles: dict[int, float] = field(default_factory=dict)
+    per_core_instructions: dict[int, int] = field(default_factory=dict)
+    #: Per-core interference detail: plain-JSON dicts of
+    #: ``{load_served: {level: n}, avg_load_latency, mispredicts,
+    #: code_stall_cycles, critical_pcs}``.
+    per_core_stats: dict[int, dict] = field(default_factory=dict)
+
+    def weighted_speedup(self, alone_ipc: Mapping[str, float]) -> float:
+        """Paper Section V: sum of per-core IPC ratios vs the alone runs."""
+        return sum(
+            self.per_core_ipc[core] / alone_ipc[name]
+            for core, name in enumerate(self.mix)
+        )
+
+
 def geomean(values: Iterable[float]) -> float:
     """Geometric mean; the paper reports GeoMean across workloads."""
     vals = [v for v in values]

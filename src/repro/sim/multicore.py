@@ -9,6 +9,13 @@ Each trace's data addresses are relocated to a private region (separate
 processes do not share physical data pages); code addresses are left shared,
 as RATE-4 copies of one binary genuinely share code lines in the LLC.
 
+A mix is a first-class workload reference: :meth:`MultiCoreSimulator.run`
+accepts the ``"a+b+c+d"`` display string (see
+:mod:`repro.plugins.workloads`), and :meth:`run_mix` returns an
+:class:`~repro.sim.metrics.MPRunResult` — RunResult-shaped, so mixes
+checkpoint, cache and serve through the runner/fleet/daemon stack exactly
+like single-core runs.
+
 The metric is weighted speedup: ``sum_i IPC_together_i / IPC_alone_i`` with
 the alone runs on the same configuration (paper Section V).
 """
@@ -16,13 +23,14 @@ the alone runs on the same configuration (paper Section V).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field, replace as dc_replace
+from dataclasses import replace as dc_replace
 
 from .. import obs
+from ..core.catch_engine import CatchEngine
 from ..workloads.suites import build_trace, get_spec
-from ..workloads.trace import Instr, Trace
+from ..workloads.trace import Trace
 from .config import SimConfig
-from .metrics import RunResult
+from .metrics import ActivitySnapshot, MPRunResult
 from .simulator import DEFAULT_TRACE_LENGTH, Simulator
 
 #: Address-space stride separating the cores' private data regions.
@@ -42,23 +50,6 @@ def relocate_trace(trace: Trace, core: int) -> Trace:
     return Trace(trace.name, trace.category, instrs, image)
 
 
-@dataclass
-class MPResult:
-    """Outcome of one four-way mix on one configuration."""
-
-    mix: tuple[str, ...]
-    config_name: str
-    ipc: dict[int, float]                 #: per-core IPC (measured half)
-    cycles: dict[int, float] = field(default_factory=dict)
-
-    def weighted_speedup(self, alone_ipc: dict[str, float]) -> float:
-        """Sum of per-core IPC ratios vs the alone runs."""
-        return sum(
-            self.ipc[core] / alone_ipc[name]
-            for core, name in enumerate(self.mix)
-        )
-
-
 class MultiCoreSimulator:
     """Runs four-way mixes on a shared hierarchy.
 
@@ -70,13 +61,50 @@ class MultiCoreSimulator:
         self.config = dc_replace(config, n_cores=n_cores).validate()
         self.n_cores = n_cores
 
+    def run(
+        self,
+        workload,
+        n_instrs: int = DEFAULT_TRACE_LENGTH,
+        *,
+        on_instruction=None,
+        deadline=None,
+        **_ignored,
+    ) -> MPRunResult:
+        """Simulator-compatible entry point: a mix reference runs as a mix.
+
+        ``workload`` is the ``"a+b+c+d"`` display string or the member
+        tuple itself; extra single-core-only kwargs (``kernel`` etc.) are
+        accepted and ignored so the runner can treat this class as a
+        drop-in simulator for mix jobs.
+        """
+        from ..plugins.workloads import mix_names
+
+        mix = mix_names(workload) if isinstance(workload, str) else tuple(workload)
+        return self.run_mix(
+            mix, n_instrs, on_instruction=on_instruction, deadline=deadline
+        )
+
     def run_mix(
-        self, mix: tuple[str, ...], n_instrs: int = DEFAULT_TRACE_LENGTH
-    ) -> MPResult:
-        """Run one mix to completion (warmup half + measured half)."""
+        self,
+        mix: tuple[str, ...],
+        n_instrs: int = DEFAULT_TRACE_LENGTH,
+        *,
+        on_instruction=None,
+        deadline=None,
+    ) -> MPRunResult:
+        """Run one mix to completion (warmup half + measured half).
+
+        ``on_instruction``/``deadline`` follow the single-core simulator's
+        hook contract, called with the running count of globally stepped
+        instructions — the fleet worker's heartbeat and the runner's
+        wall-clock deadline ride them for mix jobs too.
+        """
+        from ..plugins.workloads import mix_display
+
         if len(mix) != self.n_cores:
             raise ValueError(f"mix size {len(mix)} != {self.n_cores} cores")
-        with obs.span("mix-build", args={"mix": "+".join(mix)}):
+        display = mix_display(mix)
+        with obs.span("mix-build", args={"mix": display}):
             sim = Simulator(self.config)
             hierarchy = sim.build_hierarchy()
             traces = []
@@ -91,16 +119,19 @@ class MultiCoreSimulator:
             ]
             for core, trace in zip(cores, traces):
                 core.start(trace)
+        if deadline is not None:
+            deadline(0)
 
         boundaries = [len(t.instrs) // 2 for t in traces]
         half_time: dict[int, float] = {}
         positions = [0] * self.n_cores
+        stepped = 0
         # Min-heap of (local commit time, core id): the core whose clock is
         # furthest behind steps next, keeping shared-resource timestamps
         # roughly ordered.
         heap = [(0.0, c) for c in range(self.n_cores)]
         heapq.heapify(heap)
-        with obs.span("mix-run", args={"mix": "+".join(mix)}):
+        with obs.span("mix-run", args={"mix": display}):
             while heap:
                 _, c = heapq.heappop(heap)
                 pos = positions[c]
@@ -109,6 +140,11 @@ class MultiCoreSimulator:
                     continue
                 commit = cores[c].step(pos, trace.instrs[pos])
                 positions[c] = pos + 1
+                stepped += 1
+                if on_instruction is not None:
+                    on_instruction(stepped)
+                if deadline is not None:
+                    deadline(stepped)
                 if positions[c] == boundaries[c]:
                     half_time[c] = commit
                     hierarchy.stats[c] = type(hierarchy.stats[c])()
@@ -118,14 +154,70 @@ class MultiCoreSimulator:
                     heapq.heappush(heap, (commit, c))
             hierarchy.memory.finish(max(core.time for core in cores))
 
-        ipc = {}
-        cycles = {}
+        per_core_ipc: dict[int, float] = {}
+        per_core_cycles: dict[int, float] = {}
+        per_core_instructions: dict[int, int] = {}
+        per_core_stats: dict[int, dict] = {}
+        load_served: dict = {}
+        code_served: dict = {}
+        total_loads = 0
+        latency_weighted = 0.0
+        mispredicts = 0
+        code_stall_cycles = 0.0
+        critical_pcs = 0
         for c in range(self.n_cores):
             measured = len(traces[c].instrs) - boundaries[c]
             span = cores[c].time - half_time[c]
-            cycles[c] = span
-            ipc[c] = measured / span if span else 0.0
-        return MPResult(mix=mix, config_name=self.config.name, ipc=ipc, cycles=cycles)
+            per_core_cycles[c] = span
+            per_core_instructions[c] = measured
+            per_core_ipc[c] = measured / span if span else 0.0
+            stats = hierarchy.stats[c]
+            core_loads = sum(stats.load_served.values())
+            total_loads += core_loads
+            latency_weighted += stats.avg_load_latency * core_loads
+            for level, count in stats.load_served.items():
+                load_served[level] = load_served.get(level, 0) + count
+            for level, count in stats.code_served.items():
+                code_served[level] = code_served.get(level, 0) + count
+            mispredicts += cores[c].mispredicts
+            code_stall_cycles += cores[c].frontend.code_stall_cycles
+            core_critical = 0
+            if isinstance(engines[c], CatchEngine):
+                core_critical = engines[c].critical_pcs
+                critical_pcs += core_critical
+            per_core_stats[c] = {
+                "workload": mix[c],
+                "load_served": {
+                    level.name: count
+                    for level, count in stats.load_served.items()
+                },
+                "avg_load_latency": stats.avg_load_latency,
+                "mispredicts": cores[c].mispredicts,
+                "code_stall_cycles": cores[c].frontend.code_stall_cycles,
+                "critical_pcs": core_critical,
+            }
+        cycles = max(per_core_cycles.values()) if per_core_cycles else 0.0
+        return MPRunResult(
+            workload=display,
+            category="MP",
+            config_name=self.config.name,
+            instructions=sum(per_core_instructions.values()),
+            cycles=cycles,
+            load_served=load_served,
+            code_served=code_served,
+            avg_load_latency=(
+                latency_weighted / total_loads if total_loads else 0.0
+            ),
+            mispredicts=mispredicts,
+            code_stall_cycles=code_stall_cycles,
+            critical_pcs=critical_pcs,
+            activity=ActivitySnapshot.capture(hierarchy, cycles),
+            mix=tuple(mix),
+            per_core_ipc=per_core_ipc,
+            per_core_cycles=per_core_cycles,
+            per_core_instructions=per_core_instructions,
+            per_core_stats=per_core_stats,
+        )
 
 
 def alone_ipcs(

@@ -26,7 +26,7 @@ from ..core.tact.coordinator import TACTConfig, TACTStats
 from ..cpu.core import CoreParams
 from ..memory.dram import DRAMConfig
 from .config import SimConfig
-from .metrics import ActivitySnapshot, RunResult
+from .metrics import ActivitySnapshot, MPRunResult, RunResult
 
 #: Schema version written into serialized RunResult payloads.
 RESULT_FORMAT_VERSION = 1
@@ -139,7 +139,7 @@ def result_to_dict(result: RunResult) -> dict:
         ts = result.tact_stats
         tact = dataclasses.asdict(ts)
         tact["served_from"] = _level_map_to_dict(ts.served_from)
-    return {
+    payload = {
         "format_version": RESULT_FORMAT_VERSION,
         "workload": result.workload,
         "category": result.category,
@@ -160,6 +160,25 @@ def result_to_dict(result: RunResult) -> dict:
         ),
         "telemetry": result.telemetry,
     }
+    if isinstance(result, MPRunResult):
+        # MP-only keys, appended so single-core RunResult payloads stay
+        # byte-identical to the pre-MP format (the golden-parity contract).
+        payload["kind"] = "mp"
+        payload["mix"] = list(result.mix)
+        payload["per_core_ipc"] = {
+            str(core): value for core, value in result.per_core_ipc.items()
+        }
+        payload["per_core_cycles"] = {
+            str(core): value for core, value in result.per_core_cycles.items()
+        }
+        payload["per_core_instructions"] = {
+            str(core): value
+            for core, value in result.per_core_instructions.items()
+        }
+        payload["per_core_stats"] = {
+            str(core): stats for core, stats in result.per_core_stats.items()
+        }
+    return payload
 
 
 def result_from_dict(payload: dict) -> RunResult:
@@ -178,7 +197,7 @@ def result_from_dict(payload: dict) -> RunResult:
     activity = None
     if payload.get("activity") is not None:
         activity = ActivitySnapshot(**payload["activity"])
-    return RunResult(
+    fields = dict(
         workload=payload["workload"],
         category=payload["category"],
         config_name=payload["config_name"],
@@ -194,6 +213,28 @@ def result_from_dict(payload: dict) -> RunResult:
         activity=activity,
         telemetry=payload.get("telemetry"),
     )
+    if payload.get("kind") == "mp":
+        return MPRunResult(
+            **fields,
+            mix=tuple(payload.get("mix", ())),
+            per_core_ipc={
+                int(core): value
+                for core, value in payload.get("per_core_ipc", {}).items()
+            },
+            per_core_cycles={
+                int(core): value
+                for core, value in payload.get("per_core_cycles", {}).items()
+            },
+            per_core_instructions={
+                int(core): value
+                for core, value in payload.get("per_core_instructions", {}).items()
+            },
+            per_core_stats={
+                int(core): stats
+                for core, stats in payload.get("per_core_stats", {}).items()
+            },
+        )
+    return RunResult(**fields)
 
 
 def save_result(result: RunResult, path: str | Path) -> None:

@@ -1,7 +1,22 @@
 """Workload substrate: instruction model, synthetic kernels, Table-II suites."""
 
 from .trace import CATEGORIES, EXEC_LATENCY, LINE_SIZE, NUM_ARCH_REGS, Instr, Op, Trace
-from .serialization import describe_trace, load_trace, save_trace
+from .serialization import (
+    describe_trace,
+    load_trace,
+    load_trace_any,
+    load_trace_bin,
+    load_trace_jsonl,
+    save_trace,
+    save_trace_bin,
+    save_trace_jsonl,
+)
+from .ingest import (
+    INGEST_PROFILES,
+    TraceFileSpec,
+    register_trace_workload,
+    trace_content_hash,
+)
 from .suites import (
     QUICK_SUITE_NAMES,
     ST_SUITE,
@@ -22,7 +37,16 @@ __all__ = [
     "Trace",
     "describe_trace",
     "load_trace",
+    "load_trace_any",
+    "load_trace_bin",
+    "load_trace_jsonl",
     "save_trace",
+    "save_trace_bin",
+    "save_trace_jsonl",
+    "INGEST_PROFILES",
+    "TraceFileSpec",
+    "register_trace_workload",
+    "trace_content_hash",
     "QUICK_SUITE_NAMES",
     "ST_SUITE",
     "WorkloadSpec",

@@ -1,0 +1,163 @@
+"""Trace-file ingestion: recorded or external traces as registry workloads.
+
+A :class:`TraceFileSpec` wraps a trace file on disk (any of the formats
+``workloads.serialization`` reads: gzipped JSON, JSONL, or compact binary)
+and presents the same ``name``/``category``/``build(n_instrs)`` surface as a
+synthetic :class:`~repro.workloads.suites.WorkloadSpec`, so an ingested trace
+runs through the simulator, runner, fleet and daemon exactly like a named
+kernel.
+
+Identity is the trace file's **content hash**: the spec's
+``fingerprint_payload`` feeds :func:`repro.plugins.workloads
+.workload_fingerprint` a SHA-256 of the file bytes, so editing the file (or
+registering a different file under a reused name) changes every downstream
+key — checkpoints, cache entries, service dedup — instead of aliasing them.
+
+Named profile presets (:data:`INGEST_PROFILES`) bundle the category and
+length semantics commonly wanted for a class of recorded traces::
+
+    from repro.workloads.ingest import register_trace_workload
+    register_trace_workload("prod_txn", "prod.trace.jsonl", profile="server-app")
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ConfigError
+from .trace import CATEGORIES, Trace
+
+#: Named ingestion presets: category + trace-length semantics for a class of
+#: recorded traces.  ``length_multiplier`` follows the synthetic suite's
+#: convention (big-footprint traces need more instructions to re-reference
+#: their working set).
+INGEST_PROFILES: dict[str, dict] = {
+    "server-app": {"category": "server", "length_multiplier": 1},
+    "client-app": {"category": "client", "length_multiplier": 1},
+    "spec-int": {"category": "ISPEC", "length_multiplier": 1},
+    "spec-fp": {"category": "FSPEC", "length_multiplier": 2},
+    "hpc-stream": {"category": "HPC", "length_multiplier": 3},
+}
+
+#: Content-hash memo keyed by ``(path, mtime_ns, size)`` — re-hashing a
+#: multi-megabyte trace on every fingerprint lookup would dominate small runs.
+_CONTENT_HASHES: dict[tuple[str, int, int], str] = {}
+
+
+def trace_content_hash(path: str | Path) -> str:
+    """SHA-256 of the trace file's bytes (memoized on ``(path, mtime, size)``)."""
+    path = Path(path)
+    try:
+        stat = path.stat()
+    except OSError as exc:
+        raise ConfigError(f"trace file {path} is unreadable: {exc}") from exc
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    memo = _CONTENT_HASHES.get(key)
+    if memo is not None:
+        return memo
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    value = digest.hexdigest()
+    if len(_CONTENT_HASHES) > 1024:
+        _CONTENT_HASHES.clear()
+    _CONTENT_HASHES[key] = value
+    return value
+
+
+@dataclass(frozen=True)
+class TraceFileSpec:
+    """One ingested trace file, registry-shaped.
+
+    Args:
+        name: registry name (display-only; identity is the content hash).
+        path: trace file in any ``load_trace_any`` format.
+        category: Table-II category for reporting.
+        length_multiplier: trace-length scaling, as for synthetic specs.
+    """
+
+    name: str
+    path: str
+    category: str = "server"
+    length_multiplier: int = 1
+
+    def fingerprint_payload(self) -> dict:
+        """Content-addressed identity for :func:`workload_fingerprint`."""
+        return {"type": "trace", "sha256": trace_content_hash(self.path)}
+
+    def build(self, n_instrs: int = 30_000) -> Trace:
+        """Load the file and truncate to ``n_instrs`` dynamic instructions.
+
+        Recorded traces are finite: asking for more instructions than the
+        file holds is a :class:`ConfigError` (a short estimate silently
+        standing in for a long measurement would corrupt results), while a
+        shorter request keeps the prefix — with the full memory image, so
+        warmup-truncated runs still find their data.
+        """
+        from .serialization import load_trace_any
+
+        trace = load_trace_any(self.path)
+        if len(trace.instrs) < n_instrs:
+            raise ConfigError(
+                f"trace file {self.path} holds {len(trace.instrs)} "
+                f"instructions but {n_instrs} were requested; record a "
+                f"longer trace or lower n_instrs"
+            )
+        return Trace(
+            self.name,
+            self.category,
+            trace.instrs[:n_instrs],
+            dict(trace.memory_image),
+        )
+
+
+def register_trace_workload(
+    name: str,
+    path: str | Path,
+    *,
+    profile: str | None = None,
+    category: str | None = None,
+    length_multiplier: int | None = None,
+    summary: str = "",
+) -> TraceFileSpec:
+    """Register one trace file as a named workload in ``WORKLOADS``.
+
+    ``profile`` selects an :data:`INGEST_PROFILES` preset; ``category`` /
+    ``length_multiplier`` override it.  The file must exist (its content
+    hash is the workload's identity, computed eagerly here so a missing
+    file fails at registration, not mid-campaign).
+    """
+    from ..plugins.workloads import register_workload
+
+    preset: dict = {}
+    if profile is not None:
+        if profile not in INGEST_PROFILES:
+            raise ConfigError(
+                f"unknown ingest profile {profile!r}; "
+                f"choose from {sorted(INGEST_PROFILES)}"
+            )
+        preset = INGEST_PROFILES[profile]
+    cat = category or preset.get("category", "server")
+    if cat not in CATEGORIES:
+        raise ConfigError(
+            f"unknown workload category {cat!r}; choose from {CATEGORIES}"
+        )
+    spec = TraceFileSpec(
+        name=name,
+        path=str(path),
+        category=cat,
+        length_multiplier=(
+            length_multiplier
+            if length_multiplier is not None
+            else preset.get("length_multiplier", 1)
+        ),
+    )
+    trace_content_hash(spec.path)  # fail fast on a missing/unreadable file
+    register_workload(
+        spec,
+        summary=summary or f"{cat} trace file: {Path(path).name}",
+    )
+    return spec

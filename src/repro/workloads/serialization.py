@@ -1,8 +1,19 @@
 """Trace serialization: save/load traces, plus a CLI inspector.
 
-Traces are stored as gzipped JSON with a small header (format version,
-workload metadata) followed by column-major instruction arrays — compact,
-diff-able, and dependency-free.  Round-tripping is exact.
+Three interchangeable on-disk formats, all exact round-trips:
+
+* **gzipped JSON** (``save_trace``/``load_trace``) — the original format:
+  one JSON object with column-major instruction arrays.
+* **JSONL** (``save_trace_jsonl``/``load_trace_jsonl``) — a header object
+  on the first line, one compact instruction row per following line.
+  Line-oriented, so external recorders can stream-append and standard
+  text tools can slice/inspect.
+* **compact binary** (``save_trace_bin``/``load_trace_bin``) — a
+  struct-packed format roughly 5x smaller than the JSON forms, for large
+  recorded traces.
+
+:func:`load_trace_any` sniffs the format from the file's leading bytes, so
+ingestion (``repro.workloads.ingest``) accepts any of the three.
 
 CLI::
 
@@ -15,11 +26,20 @@ from __future__ import annotations
 
 import gzip
 import json
+import struct
 from pathlib import Path
 
 from .trace import Instr, Op, Trace
 
 FORMAT_VERSION = 1
+
+#: Magic prefix of the compact binary format.
+BIN_MAGIC = b"RTRC"
+
+#: Per-instruction record: pc, op, dst, addr, data, target, taken, n_srcs
+#: (sources follow as signed bytes — register indices are tiny).
+_BIN_INSTR = struct.Struct("<qbqqqqbB")
+_BIN_PAIR = struct.Struct("<qq")
 
 
 def trace_to_dict(trace: Trace) -> dict:
@@ -86,6 +106,148 @@ def load_trace(path: str | Path) -> Trace:
     """Read a trace written by :func:`save_trace`."""
     with gzip.open(path, "rt", encoding="utf-8") as fh:
         return trace_from_dict(json.load(fh))
+
+
+# ------------------------------------------------------------------- JSONL
+
+
+def save_trace_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write a trace as JSON Lines: header object, then one row per instr.
+
+    Each row is ``[pc, op, srcs, dst, addr, data, taken, target]`` — the
+    column order of :func:`trace_to_dict`, row-major so recorders can
+    append as they go.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "format_version": FORMAT_VERSION,
+            "kind": "trace-jsonl",
+            "name": trace.name,
+            "category": trace.category,
+            "count": len(trace.instrs),
+            "memory_image": [[k, v] for k, v in trace.memory_image.items()],
+        }
+        fh.write(json.dumps(header) + "\n")
+        for i in trace.instrs:
+            row = [i.pc, int(i.op), list(i.srcs), i.dst, i.addr, i.data,
+                   int(i.taken), i.target]
+            fh.write(json.dumps(row) + "\n")
+
+
+def load_trace_jsonl(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace_jsonl`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = json.loads(fh.readline())
+        if (
+            header.get("format_version") != FORMAT_VERSION
+            or header.get("kind") != "trace-jsonl"
+        ):
+            raise ValueError(
+                f"{path} is not a version-{FORMAT_VERSION} JSONL trace"
+            )
+        instrs = []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            pc, op, srcs, dst, addr, data, taken, target = json.loads(line)
+            instrs.append(Instr(
+                pc=pc, op=Op(op), srcs=tuple(srcs), dst=dst, addr=addr,
+                data=data, taken=bool(taken), target=target,
+            ))
+    if len(instrs) != header["count"]:
+        raise ValueError(
+            f"corrupt JSONL trace {path}: header says {header['count']} "
+            f"instructions, found {len(instrs)}"
+        )
+    image = {k: v for k, v in header["memory_image"]}
+    trace = Trace(header["name"], header["category"], instrs, image)
+    trace.validate()
+    return trace
+
+
+# ------------------------------------------------------------ compact binary
+
+
+def save_trace_bin(trace: Trace, path: str | Path) -> None:
+    """Write a trace in the struct-packed compact binary format."""
+    name = trace.name.encode()
+    category = trace.category.encode()
+    with open(path, "wb") as fh:
+        fh.write(BIN_MAGIC)
+        fh.write(struct.pack("<HHH", FORMAT_VERSION, len(name), len(category)))
+        fh.write(name)
+        fh.write(category)
+        fh.write(struct.pack("<QQ", len(trace.instrs), len(trace.memory_image)))
+        for i in trace.instrs:
+            fh.write(_BIN_INSTR.pack(
+                i.pc, int(i.op), i.dst, i.addr, i.data, i.target,
+                int(i.taken), len(i.srcs),
+            ))
+            if i.srcs:
+                fh.write(struct.pack(f"<{len(i.srcs)}b", *i.srcs))
+        for addr, value in trace.memory_image.items():
+            fh.write(_BIN_PAIR.pack(addr, value))
+
+
+def load_trace_bin(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace_bin`."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if data[:4] != BIN_MAGIC:
+        raise ValueError(f"{path} is not a compact binary trace (bad magic)")
+    version, name_len, cat_len = struct.unpack_from("<HHH", data, 4)
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported binary trace version {version} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    offset = 10
+    name = data[offset:offset + name_len].decode(); offset += name_len
+    category = data[offset:offset + cat_len].decode(); offset += cat_len
+    count, image_len = struct.unpack_from("<QQ", data, offset)
+    offset += 16
+    instrs = []
+    try:
+        for _ in range(count):
+            pc, op, dst, addr, value, target, taken, n_srcs = (
+                _BIN_INSTR.unpack_from(data, offset)
+            )
+            offset += _BIN_INSTR.size
+            srcs = struct.unpack_from(f"<{n_srcs}b", data, offset)
+            offset += n_srcs
+            instrs.append(Instr(
+                pc=pc, op=Op(op), srcs=srcs, dst=dst, addr=addr,
+                data=value, taken=bool(taken), target=target,
+            ))
+        image = {}
+        for _ in range(image_len):
+            addr, value = _BIN_PAIR.unpack_from(data, offset)
+            offset += _BIN_PAIR.size
+            image[addr] = value
+    except struct.error as exc:
+        raise ValueError(f"corrupt binary trace {path}: {exc}") from exc
+    trace = Trace(name, category, instrs, image)
+    trace.validate()
+    return trace
+
+
+# ------------------------------------------------------------ format sniffing
+
+
+def load_trace_any(path: str | Path) -> Trace:
+    """Load a trace in any supported format, sniffed from its first bytes.
+
+    gzip magic -> :func:`load_trace`; :data:`BIN_MAGIC` ->
+    :func:`load_trace_bin`; otherwise JSONL.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(4)
+    if head[:2] == b"\x1f\x8b":
+        return load_trace(path)
+    if head == BIN_MAGIC:
+        return load_trace_bin(path)
+    return load_trace_jsonl(path)
 
 
 def describe_trace(trace: Trace) -> dict:

@@ -17,8 +17,8 @@ Workloads the paper calls out individually are modeled explicitly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import lru_cache
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Callable
 
 from . import generator as g
@@ -134,8 +134,6 @@ ST_SUITE: list[WorkloadSpec] = [
           l1_lanes=1, alu_between=8, seed=73),
 ]
 
-_BY_NAME = {spec.name: spec for spec in ST_SUITE}
-
 #: A small representative cross-section used by fast tests and benchmarks.
 QUICK_SUITE_NAMES = (
     "hmmer_like", "mcf_like", "sphinx3_like", "tpcc_like",
@@ -144,11 +142,17 @@ QUICK_SUITE_NAMES = (
 
 
 def get_spec(name: str) -> WorkloadSpec:
-    """Look up a workload by name; raises ``KeyError`` with suggestions."""
-    try:
-        return _BY_NAME[name]
-    except KeyError:
-        raise KeyError(f"unknown workload {name!r}; known: {sorted(_BY_NAME)}") from None
+    """Look up a workload in the ``WORKLOADS`` registry.
+
+    Resolution goes through :data:`repro.plugins.workloads.WORKLOADS`, so
+    ingested trace workloads and ``$REPRO_PLUGINS`` registrations resolve
+    exactly like the built-in suite; an unknown name raises
+    :class:`~repro.errors.ConfigError` with sorted choices and a
+    did-you-mean, matching every other component family.
+    """
+    from ..plugins.workloads import WORKLOADS
+
+    return WORKLOADS.get(name)
 
 
 def suite(categories: tuple[str, ...] | None = None, quick: bool = False) -> list[WorkloadSpec]:
@@ -169,10 +173,38 @@ def suite(categories: tuple[str, ...] | None = None, quick: bool = False) -> lis
     return list(specs)
 
 
-@lru_cache(maxsize=256)
+#: Trace memo keyed by ``(workload fingerprint, n_instrs)`` — *not* by name:
+#: a name re-registered with different parameters (or a re-recorded trace
+#: file) gets a new fingerprint and therefore never serves the old name's
+#: stale memoised trace.  Bounded LRU, like the old ``lru_cache``.
+_TRACE_MEMO: "OrderedDict[tuple[str, int], Trace]" = OrderedDict()
+_TRACE_MEMO_MAX = 256
+
+
 def build_trace(name: str, n_instrs: int = 30_000) -> Trace:
-    """Build (and memoise) the trace for a named workload."""
-    return get_spec(name).build(n_instrs)
+    """Build (and memoise) the trace for a named workload.
+
+    Repeated calls with the same spec identity return the *same* trace
+    object (tests and the MP path rely on identity-level memoisation).
+    """
+    from ..plugins.workloads import workload_fingerprint
+
+    spec = get_spec(name)
+    key = (workload_fingerprint(name), n_instrs)
+    hit = _TRACE_MEMO.get(key)
+    if hit is not None:
+        _TRACE_MEMO.move_to_end(key)
+        return hit
+    trace = spec.build(n_instrs)
+    _TRACE_MEMO[key] = trace
+    while len(_TRACE_MEMO) > _TRACE_MEMO_MAX:
+        _TRACE_MEMO.popitem(last=False)
+    return trace
+
+
+#: ``functools.lru_cache``-compatible seam kept for callers/tests that
+#: explicitly drop the memo (e.g. memory-pressure benchmarks).
+build_trace.cache_clear = _TRACE_MEMO.clear  # type: ignore[attr-defined]
 
 
 def mp_mixes(count: int = 12, *, rate4: int | None = None, seed: int = 99) -> list[tuple[str, ...]]:

@@ -99,7 +99,9 @@ class TestSimulator:
         assert a.cycles == b.cycles
 
     def test_unknown_workload_raises(self):
-        with pytest.raises(KeyError, match="unknown workload"):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown workload"):
             Simulator(skylake_server()).run("quake_like", **FAST)
 
     def test_catch_config_builds_engine(self):

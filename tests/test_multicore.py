@@ -3,7 +3,8 @@
 import pytest
 
 from repro.sim.config import skylake_server
-from repro.sim.multicore import MPResult, MultiCoreSimulator, alone_ipcs, relocate_trace
+from repro.sim.metrics import MPRunResult
+from repro.sim.multicore import MultiCoreSimulator, alone_ipcs, relocate_trace
 from repro.workloads.suites import build_trace, mp_mixes
 
 N = 8000
@@ -36,8 +37,12 @@ class TestMPRuns:
     def test_rate4_mix_runs(self):
         mc = MultiCoreSimulator(skylake_server())
         res = mc.run_mix(("hplinpack_like",) * 4, N)
-        assert set(res.ipc) == {0, 1, 2, 3}
-        assert all(v > 0 for v in res.ipc.values())
+        assert set(res.per_core_ipc) == {0, 1, 2, 3}
+        assert all(v > 0 for v in res.per_core_ipc.values())
+        assert res.workload == "hplinpack_like+" * 3 + "hplinpack_like"
+        assert res.category == "MP"
+        assert set(res.per_core_stats) == {0, 1, 2, 3}
+        assert res.ipc > 0  # aggregate RunResult surface works too
 
     def test_wrong_mix_size_rejected(self):
         mc = MultiCoreSimulator(skylake_server())
@@ -84,10 +89,14 @@ class TestMixes:
 
 
 def test_mpresult_weighted_speedup():
-    res = MPResult(
-        mix=("a", "b", "c", "d"),
+    res = MPRunResult(
+        workload="a+b+c+d",
+        category="MP",
         config_name="cfg",
-        ipc={0: 1.0, 1: 1.0, 2: 2.0, 3: 2.0},
+        instructions=4,
+        cycles=1.0,
+        mix=("a", "b", "c", "d"),
+        per_core_ipc={0: 1.0, 1: 1.0, 2: 2.0, 3: 2.0},
     )
     alone = {"a": 2.0, "b": 2.0, "c": 2.0, "d": 2.0}
     assert res.weighted_speedup(alone) == pytest.approx(3.0)

@@ -97,6 +97,7 @@ class TestGlobalRegistries:
     def test_families(self):
         assert set(all_registries()) == {
             "prefetchers", "detectors", "topologies", "replacement-policies",
+            "workloads",
         }
 
     def test_expected_entries(self):

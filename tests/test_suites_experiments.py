@@ -28,8 +28,16 @@ class TestSuite:
         assert get_spec("hmmer_like").category == "ISPEC"
 
     def test_get_spec_unknown(self):
-        with pytest.raises(KeyError, match="unknown workload"):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="unknown workload"):
             get_spec("doom_like")
+
+    def test_get_spec_did_you_mean(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="did you mean 'gobmk-like'"):
+            get_spec("gobmk_lik")
 
     def test_suite_filter_by_category(self):
         servers = suite(categories=("server",))
